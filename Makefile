@@ -1,0 +1,23 @@
+# Canonical developer commands for the fvsst reproduction.
+
+.PHONY: install test bench experiments validate examples all
+
+install:
+	pip install -e '.[dev]' --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	fvsst run all
+
+validate:
+	fvsst validate
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+all: test bench validate

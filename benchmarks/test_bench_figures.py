@@ -1,0 +1,63 @@
+"""Benches regenerating every figure of the evaluation section."""
+
+from repro.experiments import run_experiment
+
+
+def _once(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+class TestBenchFig1:
+    def test_bench_fig1(self, benchmark):
+        result = benchmark(lambda: run_experiment("fig1"))
+        idx = result.series[0].x.index(500)
+        assert result.series[0].y("cpu=0%")[idx] > 0.95
+
+
+class TestBenchFig4:
+    def test_bench_fig4(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("fig4", fast=True))
+        assert result.scalars["max_impact_fraction"] < 0.08
+
+
+class TestBenchFig5:
+    def test_bench_fig5(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("fig5", fast=True))
+        assert (result.scalars["mean_freq_high_ipc_mhz"]
+                > result.scalars["mean_freq_low_ipc_mhz"])
+
+
+class TestBenchFig6:
+    def test_bench_fig6(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("fig6", fast=True))
+        assert result.scalars["mem_phase_at_min_cap"] > 0.95
+
+
+class TestBenchFig7:
+    def test_bench_fig7(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("fig7", fast=True))
+        p100 = result.series[0].y("phase100_normalised")
+        assert p100[2] < p100[1] < p100[0]
+
+
+class TestBenchFig8:
+    def test_bench_fig8(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("fig8", fast=True))
+        assert result.scalars["mcf@1000_modal_mhz"] == 650
+
+
+class TestBenchFig9And10:
+    def test_bench_fig9(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("fig9", fast=True))
+        assert result.scalars["max_actual_mhz"] <= 750
+
+    def test_bench_fig10(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("fig10", fast=True))
+        assert result.scalars["max_actual_mhz"] <= 750

@@ -1,0 +1,124 @@
+"""Micro-benchmarks of the hot paths.
+
+These time the components the fvsst daemon exercises every period — the
+scheduling pass, the analytic core advance, counter sampling, prediction —
+so regressions in the inner loops are visible independent of the
+experiment-level benches.
+"""
+
+import numpy as np
+
+from repro.core.predictor import CounterPredictor
+from repro.core.scheduler import FrequencyVoltageScheduler, ProcessorView
+from repro.model.ipc import WorkloadSignature
+from repro.model.latency import POWER4_LATENCIES
+from repro.power.table import POWER4_TABLE
+from repro.sim.core import CoreConfig, SimulatedCore
+from repro.sim.counters import CounterReader, CounterSample
+from repro.units import ghz
+from repro.workloads.job import Job, LoopMode
+from repro.workloads.synthetic import synthetic_phase
+
+
+def _views(n: int) -> list[ProcessorView]:
+    rng = np.random.default_rng(0)
+    views = []
+    for i in range(n):
+        ratio = float(np.exp(rng.uniform(np.log(0.05), np.log(10.0))))
+        views.append(ProcessorView(
+            node_id=i // 4, proc_id=i % 4,
+            signature=WorkloadSignature(
+                core_cpi=0.65,
+                mem_time_per_instr_s=0.65 / ratio / ghz(1.0)),
+        ))
+    return views
+
+
+class TestBenchScheduler:
+    def test_bench_schedule_4_procs(self, benchmark):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE)
+        views = _views(4)
+        schedule = benchmark(lambda: sched.schedule(views,
+                                                    power_limit_w=294.0))
+        assert schedule.total_power_w <= 294.0
+
+    def test_bench_schedule_256_procs(self, benchmark):
+        """Cluster-scale pass: 64 nodes x 4 processors."""
+        sched = FrequencyVoltageScheduler(POWER4_TABLE)
+        views = _views(256)
+        budget = 256 * 75.0
+        schedule = benchmark(lambda: sched.schedule(views,
+                                                    power_limit_w=budget))
+        assert schedule.total_power_w <= budget
+
+
+class TestBenchSimulatorAdvance:
+    def _core(self) -> SimulatedCore:
+        core = SimulatedCore(0, initial_freq_hz=ghz(1.0),
+                             config=CoreConfig(latency_jitter_sigma=0.02),
+                             rng=1)
+        phases = tuple(
+            synthetic_phase(r, duration_s=0.05, name=f"p{i}")
+            for i, r in enumerate((1.0, 0.5, 0.2))
+        )
+        core.add_job(Job(name="j", phases=phases, loop=LoopMode.LOOP))
+        return core
+
+    def test_bench_advance_one_second(self, benchmark):
+        core = self._core()
+        state = {"t": 0.0}
+
+        def advance():
+            core.advance(state["t"], 1.0)
+            state["t"] += 1.0
+
+        benchmark(advance)
+        assert core.counters.instructions > 0
+
+
+class TestBenchCounterPath:
+    def test_bench_counter_sampling(self, benchmark):
+        core = SimulatedCore(0, initial_freq_hz=ghz(1.0),
+                             config=CoreConfig(latency_jitter_sigma=0.0),
+                             rng=2)
+        core.add_job(Job(name="j",
+                         phases=(synthetic_phase(0.5, duration_s=10.0),),
+                         loop=LoopMode.LOOP))
+        reader = CounterReader(core.counters, noise_sigma=0.005, rng=3)
+        state = {"t": 0.0}
+
+        def sample_tick():
+            core.advance(state["t"], 0.01)
+            state["t"] += 0.01
+            return reader.sample(state["t"])
+
+        sample = benchmark(sample_tick)
+        assert sample.interval_s > 0
+
+    def test_bench_prediction(self, benchmark):
+        predictor = CounterPredictor(POWER4_LATENCIES)
+        sample = CounterSample(
+            time_s=0.1, interval_s=0.1, instructions=5e7, cycles=1e8,
+            n_l2=2e5, n_l3=5e4, n_mem=3e5, l1_stall_cycles=5e6,
+            halted_cycles=0.0,
+        )
+        freqs = POWER4_TABLE.freqs_array()
+
+        def predict_all():
+            sig = predictor.signature_from_sample(sample)
+            return sig.ipc_array(freqs)
+
+        ipcs = benchmark(predict_all)
+        assert len(ipcs) == 16
+
+
+class TestBenchSinglePassScheduler:
+    def test_bench_single_pass_256_procs(self, benchmark):
+        """The heap-based single-pass variant at cluster scale."""
+        from repro.core.singlepass import SinglePassScheduler
+        sched = SinglePassScheduler(POWER4_TABLE)
+        views = _views(256)
+        budget = 256 * 75.0
+        schedule = benchmark(lambda: sched.schedule(views,
+                                                    power_limit_w=budget))
+        assert schedule.total_power_w <= budget

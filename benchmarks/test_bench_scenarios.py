@@ -1,0 +1,111 @@
+"""Benches for the worked example, failover scenario, cluster extension
+and ablations."""
+
+from repro.experiments import run_experiment
+
+
+def _once(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+class TestBenchWorkedExample:
+    def test_bench_worked_example(self, benchmark):
+        result = benchmark(lambda: run_experiment("worked_example"))
+        assert result.scalars["t0_total_power_w"] == 289.0
+        assert result.scalars["t1_total_power_w"] == 282.0
+
+
+class TestBenchFailover:
+    def test_bench_failover(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("failover", fast=True))
+        assert result.scalars["fvsst_response_s"] < result.scalars[
+            "deadline_s"]
+
+
+class TestBenchCluster:
+    def test_bench_cluster_cap(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("cluster_cap", fast=True))
+        assert (result.scalars["fvsst_norm_throughput"]
+                > result.scalars["uniform_norm_throughput"])
+
+
+class TestBenchAblations:
+    def test_bench_ablation_epsilon(self, benchmark):
+        result = _once(
+            benchmark, lambda: run_experiment("ablation_epsilon", fast=True))
+        energy = result.tables[0].column("norm_energy")
+        assert energy[0] > energy[-1]
+
+    def test_bench_ablation_period(self, benchmark):
+        result = _once(
+            benchmark, lambda: run_experiment("ablation_period", fast=True))
+        overhead = result.tables[0].column("overhead_fraction")
+        assert overhead[0] >= overhead[-1]
+
+    def test_bench_ablation_predictor(self, benchmark):
+        result = benchmark(lambda: run_experiment("ablation_predictor"))
+        assert all(result.tables[0].column("covers_latency_variation"))
+
+    def test_bench_ablation_policies(self, benchmark):
+        result = _once(
+            benchmark, lambda: run_experiment("ablation_policies", fast=True))
+        rows = {row[0]: row[1] for row in result.tables[0].rows}
+        assert rows["fvsst"] >= max(rows["uniform"], rows["powerdown"])
+
+
+class TestBenchExtensions:
+    def test_bench_thermal(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("thermal", fast=True))
+        assert result.scalars["managed_peak_c"] <= 95.0
+
+    def test_bench_server_demand(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("server_demand", fast=True))
+        assert result.scalars["fvsst_norm_energy"] < 0.8
+
+    def test_bench_ablation_daemon(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("ablation_daemon", fast=True))
+        assert result.scalars["multi_impact"] <= result.scalars[
+            "single_impact"] + 1e-3
+
+    def test_bench_masking(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("masking", fast=True))
+        assert result.scalars["victim_loss_crowded"] > \
+            result.scalars["victim_loss_alone"]
+
+    def test_bench_variation(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("variation", fast=True))
+        assert result.scalars["aware_violation_fraction"] == 0.0
+
+    def test_bench_sensitivity_latency(self, benchmark):
+        result = _once(
+            benchmark,
+            lambda: run_experiment("sensitivity_latency", fast=True))
+        assert len(result.tables[0].rows) == 5
+
+    def test_bench_migration(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("migration", fast=True))
+        assert result.scalars["advantage@294"] > 1.4
+
+    def test_bench_server_ablation_daemon_design(self, benchmark):
+        result = _once(
+            benchmark,
+            lambda: run_experiment("sensitivity_noise", fast=True))
+        assert len(result.tables[0].rows) == 5
+
+    def test_bench_cluster_failover(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("cluster_failover", fast=True))
+        assert result.scalars["nested_sick_node_w"] <= 100.0
+
+    def test_bench_response_time(self, benchmark):
+        result = _once(benchmark,
+                       lambda: run_experiment("response_time", fast=True))
+        assert result.scalars["trigger_response_s"] < 0.05

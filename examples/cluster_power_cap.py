@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Cluster-wide power capping over tiered nodes.
+
+A 4-node cluster laid out the way Section 4.2 describes real sites: one
+web-tier node, one application-tier node, two database-tier nodes.  A
+utility curtailment request arrives and the cluster must shed 30% of its
+processor power budget.
+
+The fvsst coordinator (running the paper's Figure 3 algorithm globally over
+all 16 processors) is compared with slowing every node uniformly.
+
+Run:  python examples/cluster_power_cap.py
+"""
+
+from repro import MachineConfig, Simulation, tiered_cluster_assignment
+from repro.cluster import ClusterCoordinator, CoordinatorConfig
+from repro.core import uniform_cap_frequency
+from repro.sim import Cluster
+
+NODES, PROCS = 4, 4
+CURTAILMENT = 0.7  # fraction of peak power allowed after the request
+
+
+def build_cluster(seed: int) -> Cluster:
+    cluster = Cluster.homogeneous(
+        NODES, machine_config=MachineConfig(num_cores=PROCS), seed=seed
+    )
+    cluster.assign_all(
+        tiered_cluster_assignment(NODES, PROCS, web_nodes=1, app_nodes=1)
+    )
+    return cluster
+
+
+def total_instructions(cluster: Cluster) -> float:
+    return sum(core.counters.instructions
+               for node in cluster.nodes for core in node.machine.cores)
+
+
+def main() -> None:
+    table = build_cluster(0).nodes[0].machine.table
+    peak = NODES * PROCS * table.max_power_w
+    budget = CURTAILMENT * peak
+    print(f"peak processor power {peak:.0f} W; curtailment budget "
+          f"{budget:.0f} W ({CURTAILMENT:.0%})\n")
+
+    # --- fvsst global coordinator ------------------------------------------
+    cluster = build_cluster(seed=10)
+    sim = Simulation(cluster.machines)
+    coordinator = ClusterCoordinator(
+        cluster, CoordinatorConfig(power_limit_w=budget), seed=11
+    )
+    coordinator.attach(sim)
+    sim.run_for(6.0)
+    fvsst_work = total_instructions(cluster)
+    print("fvsst coordinator:")
+    for node in cluster.nodes:
+        tier = ("web", "app", "db", "db")[node.node_id]
+        freqs = sorted({int(f / 1e6) for f in
+                        node.machine.frequency_vector_hz()})
+        print(f"  node {node.node_id} ({tier}): {freqs} MHz, "
+              f"{node.cpu_power_w():.0f} W")
+    print(f"  cluster power {cluster.cpu_power_w():.0f} W <= {budget:.0f} W; "
+          f"{cluster.network.messages_sent} control messages\n")
+
+    # --- uniform scaling -----------------------------------------------------
+    cluster_u = build_cluster(seed=10)
+    sim_u = Simulation(cluster_u.machines)
+    f_uniform = uniform_cap_frequency(table, NODES * PROCS, budget)
+    for node in cluster_u.nodes:
+        for core in node.machine.cores:
+            core.set_frequency(f_uniform, 0.0)
+    sim_u.run_for(6.0)
+    uniform_work = total_instructions(cluster_u)
+    print(f"uniform scaling: every processor at {f_uniform / 1e6:.0f} MHz, "
+          f"{cluster_u.cpu_power_w():.0f} W")
+
+    print(f"\nthroughput at equal budget: fvsst / uniform = "
+          f"{fvsst_work / uniform_work:.3f}")
+    print("fvsst wins by harvesting the saturated db tier's headroom "
+          "instead of slowing the CPU-bound tiers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Surviving a machine-room cooling failure (Section 2's other trigger).
+
+The four CPUs run flat out at 25 °C ambient, sitting near their thermal
+equilibrium.  At T0 a CRAC unit fails and the inlet temperature climbs
+toward 45 °C.  A thermal monitor converts the shrinking thermal headroom
+into a per-processor frequency cap which fvsst applies as a thermal
+throttle; the unmanaged machine sails past its 95 °C junction limit.
+
+Note the mechanism: an *aggregate* power budget cannot protect the hottest
+core (the greedy pass spares CPU-bound processors), so thermal safety uses
+the per-processor frequency ceiling instead.
+
+Run:  python examples/thermal_emergency.py
+"""
+
+from repro import (
+    DaemonConfig,
+    FvsstDaemon,
+    MachineConfig,
+    SMPMachine,
+    Simulation,
+    ThermalMonitor,
+    ThermalParams,
+    profile_by_name,
+)
+from repro.analysis import sparkline
+
+T0 = 2.0
+RAMP_C_PER_S = 2.0
+AMBIENT_FAILED = 45.0
+
+
+def run(managed: bool) -> tuple[list[float], float]:
+    machine = SMPMachine(MachineConfig(num_cores=4), seed=11)
+    for i, app in enumerate(("gzip", "gap", "mcf", "health")):
+        machine.assign(i, profile_by_name(app).job(loop=True))
+    monitor = ThermalMonitor(4, ThermalParams(), ambient_c=25.0)
+    monitor.warm_start(140.0)
+
+    sim = Simulation(machine)
+    daemon = None
+    if managed:
+        daemon = FvsstDaemon(machine, DaemonConfig(), seed=12)
+        daemon.attach(sim)
+
+    temps: list[float] = []
+    state = {"ambient": 25.0, "cap": None}
+
+    def tick(t: float) -> None:
+        if t >= T0:
+            state["ambient"] = min(AMBIENT_FAILED,
+                                   25.0 + RAMP_C_PER_S * (t - T0))
+            monitor.set_ambient(state["ambient"])
+        powers = [machine.meter.core_power_w(c, t) for c in machine.cores]
+        monitor.advance(t, 0.05, powers)
+        if daemon is not None:
+            per_core = monitor.cpu_budget_w() / machine.num_cores
+            cap = machine.table.max_frequency_under(per_core)
+            cap = machine.table.f_min_hz if cap is None else cap
+            if cap != state["cap"]:
+                daemon.set_frequency_cap(cap, t)
+                state["cap"] = cap
+        temps.append(monitor.hottest_c)
+
+    sim.every(0.05, tick)
+    sim.run_for(30.0)
+    return temps, machine.cpu_power_w()
+
+
+def main() -> None:
+    limit = ThermalParams().t_limit_c
+    for managed in (False, True):
+        label = "fvsst thermal throttle" if managed else "unmanaged"
+        temps, final_power = run(managed)
+        peak = max(temps)
+        status = "OK" if peak <= limit else "OVER LIMIT"
+        print(f"{label}:")
+        print(f"  hottest core:  {sparkline(temps[::12])}")
+        print(f"  peak {peak:.1f} C vs limit {limit:.0f} C  [{status}]; "
+              f"final CPU power {final_power:.0f} W\n")
+
+
+if __name__ == "__main__":
+    main()

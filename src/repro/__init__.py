@@ -1,0 +1,189 @@
+"""repro — reproduction of Kotla, Ghiasi, Keller & Rawson (2005),
+"Scheduling Processor Voltage and Frequency in Server and Cluster Systems".
+
+The package implements the paper's fvsst frequency/voltage scheduler, the
+counter-driven performance model it relies on, an analytic Power4+ SMP and
+cluster simulator that stands in for the authors' pSeries p630 testbed,
+workload models for their benchmarks, the baseline policies they argue
+against, and one experiment per published table and figure.
+
+Quick start::
+
+    from repro import (SMPMachine, MachineConfig, Simulation,
+                       FvsstDaemon, DaemonConfig, profile_by_name)
+
+    machine = SMPMachine(MachineConfig(num_cores=4), seed=1)
+    machine.assign(3, profile_by_name("mcf").job())
+    daemon = FvsstDaemon(machine, DaemonConfig(power_limit_w=294.0), seed=2)
+    sim = Simulation(machine)
+    daemon.attach(sim)
+    sim.run_for(10.0)
+    print([f / 1e6 for f in machine.frequency_vector_hz()])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from . import constants, units
+from .errors import (
+    ReproError,
+    ConfigError,
+    ModelError,
+    PowerModelError,
+    FrequencyError,
+    BudgetError,
+    InfeasibleBudgetError,
+    SimulationError,
+    SchedulingError,
+    WorkloadError,
+    CascadeFailureError,
+)
+from .model import (
+    MemoryLatencyProfile,
+    POWER4_LATENCIES,
+    MemoryCounts,
+    WorkloadSignature,
+    perf,
+    perf_loss,
+    saturation_frequency,
+    ideal_frequency,
+)
+from .power import (
+    CmosPowerModel,
+    FrequencyPowerTable,
+    POWER4_TABLE,
+    WORKED_EXAMPLE_TABLE,
+    fit_lava_model,
+    PowerSupply,
+    SupplyBank,
+    PowerBudget,
+    ComplianceMonitor,
+)
+from .sim import (
+    SMPMachine,
+    MachineConfig,
+    SimulatedCore,
+    CoreConfig,
+    Simulation,
+    Cluster,
+    ClusterNode,
+    IdleStyle,
+)
+from .workloads import (
+    Phase,
+    Job,
+    SyntheticBenchmark,
+    two_phase_benchmark,
+    profile_by_name,
+    ALL_PROFILES,
+    WorkloadGenerator,
+    tiered_cluster_assignment,
+)
+from .core import (
+    FvsstDaemon,
+    DaemonConfig,
+    OverheadModel,
+    FrequencyVoltageScheduler,
+    ContinuousFrequencyScheduler,
+    ProcessorView,
+    Schedule,
+    CounterPredictor,
+    AlphaPredictor,
+    NoManagementGovernor,
+    UniformScalingGovernor,
+    PowerDownGovernor,
+    UtilizationGovernor,
+    StaticOracleGovernor,
+)
+from .cluster import ClusterCoordinator, CoordinatorConfig
+from .core import (
+    SinglePassScheduler,
+    MultithreadedFvsstDaemon,
+)
+from .power import ThermalMonitor, ThermalParams
+from .workloads import ServerSource, RequestSpec, diurnal_rate
+from .scenario import Scenario, ScenarioResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "units",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "ModelError",
+    "PowerModelError",
+    "FrequencyError",
+    "BudgetError",
+    "InfeasibleBudgetError",
+    "SimulationError",
+    "SchedulingError",
+    "WorkloadError",
+    "CascadeFailureError",
+    # model
+    "MemoryLatencyProfile",
+    "POWER4_LATENCIES",
+    "MemoryCounts",
+    "WorkloadSignature",
+    "perf",
+    "perf_loss",
+    "saturation_frequency",
+    "ideal_frequency",
+    # power
+    "CmosPowerModel",
+    "FrequencyPowerTable",
+    "POWER4_TABLE",
+    "WORKED_EXAMPLE_TABLE",
+    "fit_lava_model",
+    "PowerSupply",
+    "SupplyBank",
+    "PowerBudget",
+    "ComplianceMonitor",
+    # sim
+    "SMPMachine",
+    "MachineConfig",
+    "SimulatedCore",
+    "CoreConfig",
+    "Simulation",
+    "Cluster",
+    "ClusterNode",
+    "IdleStyle",
+    # workloads
+    "Phase",
+    "Job",
+    "SyntheticBenchmark",
+    "two_phase_benchmark",
+    "profile_by_name",
+    "ALL_PROFILES",
+    "WorkloadGenerator",
+    "tiered_cluster_assignment",
+    # fvsst
+    "FvsstDaemon",
+    "DaemonConfig",
+    "OverheadModel",
+    "FrequencyVoltageScheduler",
+    "ContinuousFrequencyScheduler",
+    "ProcessorView",
+    "Schedule",
+    "CounterPredictor",
+    "AlphaPredictor",
+    "NoManagementGovernor",
+    "UniformScalingGovernor",
+    "PowerDownGovernor",
+    "UtilizationGovernor",
+    "StaticOracleGovernor",
+    # cluster
+    "ClusterCoordinator",
+    "CoordinatorConfig",
+    # extensions
+    "SinglePassScheduler",
+    "MultithreadedFvsstDaemon",
+    "ThermalMonitor",
+    "ThermalParams",
+    "ServerSource",
+    "RequestSpec",
+    "diurnal_rate",
+    "Scenario",
+    "ScenarioResult",
+]

@@ -1,0 +1,45 @@
+"""Post-processing: metrics, time-series utilities, table rendering.
+
+The fvsst prototype relied on post-processing its logs to evaluate power
+savings (Section 6); this package is that tooling, shared by every
+experiment and bench.
+"""
+
+from .metrics import (
+    normalized_performance,
+    throughput_of_job,
+    mean_absolute_deviation,
+    performance_loss_fraction,
+)
+from .timeseries import StepSeries, resample_step, moving_average
+from .tables import render_table, render_series
+from .report import ExperimentResult, SeriesResult, TableResult
+from .charts import line_chart, bar_chart, sparkline
+from .export import save_result, load_result, export_csv, result_to_dict, result_from_dict
+from .phases import PhaseSegment, detect_phases, phase_summary
+
+__all__ = [
+    "normalized_performance",
+    "throughput_of_job",
+    "mean_absolute_deviation",
+    "performance_loss_fraction",
+    "StepSeries",
+    "resample_step",
+    "moving_average",
+    "render_table",
+    "render_series",
+    "ExperimentResult",
+    "SeriesResult",
+    "TableResult",
+    "line_chart",
+    "bar_chart",
+    "sparkline",
+    "save_result",
+    "load_result",
+    "export_csv",
+    "result_to_dict",
+    "result_from_dict",
+    "PhaseSegment",
+    "detect_phases",
+    "phase_summary",
+]

@@ -1,0 +1,131 @@
+"""Persisting experiment results.
+
+Reproduction artifacts should outlive the process that made them: this
+module serialises :class:`~repro.analysis.report.ExperimentResult` objects
+to JSON (full fidelity, reloadable) and CSV (one file per table/series,
+spreadsheet-friendly).  ``fvsst run <id> --output DIR`` writes both.
+
+JSON only — no pickle — so exported artifacts are safe to share and diff.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..errors import ExperimentError
+from .report import ExperimentResult, SeriesResult, TableResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result",
+           "load_result", "export_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Serialise a result to plain JSON-compatible data."""
+    return {
+        "version": _FORMAT_VERSION,
+        "experiment_id": result.experiment_id,
+        "description": result.description,
+        "tables": [
+            {"title": t.title, "headers": list(t.headers),
+             "rows": [list(row) for row in t.rows]}
+            for t in result.tables
+        ],
+        "series": [
+            {"title": s.title, "x_label": s.x_label, "x": list(s.x),
+             "series": {k: list(v) for k, v in s.series.items()}}
+            for s in result.series
+        ],
+        "scalars": dict(result.scalars),
+        "notes": list(result.notes),
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ExperimentError(f"unsupported result version {version!r}")
+    try:
+        return ExperimentResult(
+            experiment_id=data["experiment_id"],
+            description=data["description"],
+            tables=[
+                TableResult(title=t["title"],
+                            headers=tuple(t["headers"]),
+                            rows=tuple(tuple(r) for r in t["rows"]))
+                for t in data["tables"]
+            ],
+            series=[
+                SeriesResult(title=s["title"], x_label=s["x_label"],
+                             x=tuple(s["x"]),
+                             series={k: tuple(v)
+                                     for k, v in s["series"].items()})
+                for s in data["series"]
+            ],
+            scalars=dict(data["scalars"]),
+            notes=list(data["notes"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ExperimentError(f"malformed result payload: {exc}") from exc
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one result as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+    return path
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Load a result written by :func:`save_result`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"cannot load result from {path}: {exc}") \
+            from exc
+    return result_from_dict(data)
+
+
+def _safe(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+
+
+def export_csv(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """Write each table and series as a CSV file; returns paths written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    for i, table in enumerate(result.tables):
+        stem = _safe(table.title) or f"table{i}"
+        path = directory / f"{result.experiment_id}_{stem}.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(table.headers)
+            writer.writerows(table.rows)
+        written.append(path)
+
+    for i, series in enumerate(result.series):
+        stem = _safe(series.title) or f"series{i}"
+        path = directory / f"{result.experiment_id}_{stem}.csv"
+        labels = list(series.series)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow([series.x_label, *labels])
+            for j, x in enumerate(series.x):
+                writer.writerow([x, *(series.series[k][j] for k in labels)])
+        written.append(path)
+
+    if result.scalars:
+        path = directory / f"{result.experiment_id}_scalars.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(("name", "value"))
+            writer.writerows(sorted(result.scalars.items()))
+        written.append(path)
+    return written

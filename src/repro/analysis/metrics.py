@@ -1,0 +1,64 @@
+"""Evaluation metrics (Section 7.2).
+
+"The predictor component must provide accurate predictions.  fvsst, as a
+whole, must not impose a significant performance impact ...  it is also
+important to study the impact on power and performance."  The helpers here
+are the concrete scoring functions behind those three requirements.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..units import check_positive
+from ..workloads.job import Job
+
+__all__ = [
+    "throughput_of_job",
+    "normalized_performance",
+    "mean_absolute_deviation",
+    "performance_loss_fraction",
+]
+
+
+def throughput_of_job(job: Job) -> float:
+    """Instructions per second achieved by a completed ONCE-mode job."""
+    elapsed = job.elapsed_s()
+    if elapsed is None or elapsed <= 0.0:
+        raise ExperimentError(
+            f"job {job.name!r} has not completed; no throughput to report"
+        )
+    return job.instructions_retired / elapsed
+
+
+def normalized_performance(measured: float, baseline: float) -> float:
+    """Performance relative to an unconstrained baseline.
+
+    Table 3's "Perf @ cap" rows: 1.0 means no loss, smaller means slower.
+    """
+    check_positive(baseline, "baseline")
+    if measured < 0:
+        raise ExperimentError(f"negative measured performance {measured}")
+    return measured / baseline
+
+
+def performance_loss_fraction(measured: float, baseline: float) -> float:
+    """``1 - normalized_performance`` (positive = loss)."""
+    return 1.0 - normalized_performance(measured, baseline)
+
+
+def mean_absolute_deviation(predicted: Sequence[float],
+                            actual: Sequence[float]) -> float:
+    """Mean |predicted - actual| — Table 2's "IPC deviation" metric."""
+    p = np.asarray(predicted, dtype=float)
+    a = np.asarray(actual, dtype=float)
+    if p.shape != a.shape:
+        raise ExperimentError(
+            f"prediction/actual shape mismatch: {p.shape} vs {a.shape}"
+        )
+    if p.size == 0:
+        raise ExperimentError("no prediction pairs to score")
+    return float(np.mean(np.abs(p - a)))

@@ -1,0 +1,94 @@
+"""Phase detection over logged IPC series.
+
+The prototype's logs exist "for monitoring and data analysis" (Section 6);
+one natural analysis is recovering the program's phase structure from the
+measured IPC stream — useful for checking that the scheduler's choice of
+``T`` actually resolves the phases present (Figure 5's discussion: "the
+settings of T and t are small enough to detect phase behavior ... [they]
+obscure smaller phases").
+
+Detection is deliberately simple and robust: a relative-change test
+against a short trailing baseline, with a minimum dwell so counter noise
+does not fragment phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..units import check_positive
+
+__all__ = ["PhaseSegment", "detect_phases", "phase_summary"]
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSegment:
+    """One detected stationary stretch of the IPC series."""
+
+    start_s: float
+    end_s: float
+    mean_ipc: float
+    samples: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def detect_phases(times, ipc, *, rel_change: float = 0.3,
+                  min_samples: int = 3) -> list[PhaseSegment]:
+    """Split an IPC series into stationary segments.
+
+    A new segment opens when a sample deviates from the running mean of
+    the current segment by more than ``rel_change`` (relative) and the
+    current segment has at least ``min_samples`` samples — the dwell that
+    keeps single-sample noise from splitting phases.
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(ipc, dtype=float)
+    if t.shape != v.shape or t.ndim != 1:
+        raise ExperimentError("times and ipc must be matching 1-D arrays")
+    if t.size == 0:
+        raise ExperimentError("empty series")
+    check_positive(rel_change, "rel_change")
+    if min_samples < 1:
+        raise ExperimentError("min_samples must be >= 1")
+
+    segments: list[PhaseSegment] = []
+    start = 0
+    total = v[0]
+    count = 1
+    for i in range(1, t.size):
+        mean = total / count
+        deviates = abs(v[i] - mean) > rel_change * max(mean, 1e-12)
+        if deviates and count >= min_samples:
+            segments.append(PhaseSegment(
+                start_s=float(t[start]), end_s=float(t[i]),
+                mean_ipc=float(mean), samples=count,
+            ))
+            start, total, count = i, v[i], 1
+        else:
+            total += v[i]
+            count += 1
+    segments.append(PhaseSegment(
+        start_s=float(t[start]), end_s=float(t[-1]),
+        mean_ipc=float(total / count), samples=count,
+    ))
+    return segments
+
+
+def phase_summary(segments: list[PhaseSegment]) -> dict[str, float]:
+    """Aggregate statistics of a detected segmentation."""
+    if not segments:
+        raise ExperimentError("no segments to summarise")
+    durations = np.array([s.duration_s for s in segments])
+    means = np.array([s.mean_ipc for s in segments])
+    return {
+        "num_phases": float(len(segments)),
+        "mean_duration_s": float(durations.mean()),
+        "min_duration_s": float(durations.min()),
+        "ipc_spread": float(means.max() - means.min()),
+    }

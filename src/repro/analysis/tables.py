@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment tables and series.
+
+Every experiment prints "the same rows/series the paper reports"; these are
+the shared formatters.  Output is deterministic, alignment-padded ASCII —
+diffable in CI and pasteable into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ExperimentError
+
+__all__ = ["render_table", "render_series"]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *,
+                 title: str | None = None, precision: int = 3) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ExperimentError("table needs headers")
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        str_rows.append([_fmt(v, precision) for v in row])
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(x_label: str, y_labels: Sequence[str],
+                  x: Sequence[object], ys: Sequence[Sequence[object]], *,
+                  title: str | None = None, precision: int = 3) -> str:
+    """Render one or more aligned series against a shared x column."""
+    if len(ys) != len(y_labels):
+        raise ExperimentError("one label per series required")
+    for y in ys:
+        if len(y) != len(x):
+            raise ExperimentError("series length differs from x length")
+    headers = [x_label, *y_labels]
+    rows = [[xv, *(y[i] for y in ys)] for i, xv in enumerate(x)]
+    return render_table(headers, rows, title=title, precision=precision)

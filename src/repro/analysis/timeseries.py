@@ -1,0 +1,92 @@
+"""Step-function time series from schedule/counter logs.
+
+Scheduler decisions hold until superseded, so the natural representation is
+a right-continuous step function.  :class:`StepSeries` wraps (times,
+values) with evaluation, integration, and residency queries; the figure
+experiments build their curves from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["StepSeries", "resample_step", "moving_average"]
+
+
+@dataclass(frozen=True)
+class StepSeries:
+    """A right-continuous step function ``v(t) = values[i]`` for
+    ``times[i] <= t < times[i+1]``."""
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.times, dtype=float)
+        v = np.asarray(self.values, dtype=float)
+        if t.ndim != 1 or t.shape != v.shape:
+            raise ExperimentError("times and values must be matching 1-D arrays")
+        if t.size == 0:
+            raise ExperimentError("empty series")
+        if np.any(np.diff(t) < 0):
+            raise ExperimentError("times must be non-decreasing")
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "values", v)
+
+    def at(self, t: float) -> float:
+        """Value in force at time ``t`` (first value before the series starts)."""
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        return float(self.values[max(idx, 0)])
+
+    def integral(self, t0: float, t1: float) -> float:
+        """Integral of the step function over ``[t0, t1]``."""
+        if t1 < t0:
+            raise ExperimentError(f"inverted interval [{t0}, {t1}]")
+        edges = np.concatenate(([t0], self.times[(self.times > t0)
+                                                 & (self.times < t1)], [t1]))
+        total = 0.0
+        for a, b in zip(edges[:-1], edges[1:]):
+            total += self.at(a) * (b - a)
+        return total
+
+    def mean(self, t0: float, t1: float) -> float:
+        """Time-weighted mean over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise ExperimentError(f"degenerate interval [{t0}, {t1}]")
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def residency(self, t0: float, t1: float) -> dict[float, float]:
+        """Fraction of ``[t0, t1]`` spent at each distinct value."""
+        if t1 <= t0:
+            raise ExperimentError(f"degenerate interval [{t0}, {t1}]")
+        edges = np.concatenate(([t0], self.times[(self.times > t0)
+                                                 & (self.times < t1)], [t1]))
+        shares: dict[float, float] = {}
+        for a, b in zip(edges[:-1], edges[1:]):
+            v = self.at(a)
+            shares[v] = shares.get(v, 0.0) + (b - a)
+        span = t1 - t0
+        return {v: s / span for v, s in sorted(shares.items())}
+
+
+def resample_step(series: StepSeries, times: np.ndarray) -> np.ndarray:
+    """Evaluate a step series on a fixed grid (for aligned comparisons)."""
+    grid = np.asarray(times, dtype=float)
+    return np.array([series.at(t) for t in grid])
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinkage (for noisy IPC plots)."""
+    v = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ExperimentError("window must be >= 1")
+    if window == 1 or v.size == 0:
+        return v.copy()
+    kernel = np.ones(min(window, v.size))
+    smoothed = np.convolve(v, kernel, mode="same")
+    norm = np.convolve(np.ones_like(v), kernel, mode="same")
+    return smoothed / norm

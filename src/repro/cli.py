@@ -1,0 +1,142 @@
+"""Command-line interface: ``fvsst`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``fvsst list`` — show the available experiments.
+* ``fvsst run <experiment> [--fast] [--seed N] [--precision P]`` — run one
+  experiment (or ``all``) and print its paper-style tables/series.
+* ``fvsst table1`` etc. — shorthand for ``run``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.report import ExperimentResult
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fvsst",
+        description="Reproduction harness for 'Scheduling Processor Voltage "
+                    "and Frequency in Server and Cluster Systems' (2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    show_p = sub.add_parser("show",
+                            help="re-render a saved JSON result artifact")
+    show_p.add_argument("path", help="path written by 'run --output'")
+    show_p.add_argument("--precision", type=int, default=3)
+    show_p.add_argument("--chart", action="store_true")
+
+    digest_p = sub.add_parser("digest",
+                              help="run everything and write a markdown "
+                                   "digest")
+    digest_p.add_argument("--output", metavar="FILE", default="digest.md")
+    digest_p.add_argument("--full", action="store_true")
+    digest_p.add_argument("--seed", type=int, default=2005)
+
+    val_p = sub.add_parser("validate",
+                           help="run the paper-vs-measured validation suite")
+    val_p.add_argument("--full", action="store_true",
+                       help="full-size experiment runs (slower)")
+    val_p.add_argument("--seed", type=int, default=2005)
+
+    run_p = sub.add_parser("run", help="run an experiment and print results")
+    run_p.add_argument("experiment",
+                       help="experiment id (e.g. table3, fig8) or 'all'")
+    run_p.add_argument("--fast", action="store_true",
+                       help="shrunken durations (same shapes)")
+    run_p.add_argument("--seed", type=int, default=2005,
+                       help="root random seed (default 2005)")
+    run_p.add_argument("--precision", type=int, default=3,
+                       help="decimal places in printed tables")
+    run_p.add_argument("--chart", action="store_true",
+                       help="render series results as ASCII line charts")
+    run_p.add_argument("--output", metavar="DIR", default=None,
+                       help="also write JSON + CSV artifacts into DIR")
+    return parser
+
+
+def _run_one(experiment_id: str, *, seed: int, fast: bool,
+             precision: int, chart: bool = False,
+             output: str | None = None) -> ExperimentResult:
+    from .experiments import run_experiment
+
+    # Deterministic experiments ignore the seed; passing it is harmless.
+    result = run_experiment(experiment_id, seed=seed, fast=fast)
+    print(result.render(precision=precision))
+    if chart and result.series:
+        from .analysis.charts import line_chart
+        for series in result.series:
+            numeric_x = [float(v) for v in series.x]
+            print()
+            print(line_chart(numeric_x, dict(series.series),
+                             title=series.title or series.x_label))
+    if output is not None:
+        from pathlib import Path
+        from .analysis.export import export_csv, save_result
+        directory = Path(output)
+        save_result(result, directory / f"{experiment_id}.json")
+        export_csv(result, directory)
+        print(f"artifacts written to {directory}/")
+    print()
+    return result
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    from .experiments import REGISTRY
+
+    try:
+        if args.command == "list":
+            for eid in sorted(REGISTRY):
+                print(eid)
+            return 0
+        if args.command == "show":
+            from .analysis.export import load_result
+            result = load_result(args.path)
+            print(result.render(precision=args.precision))
+            if args.chart and result.series:
+                from .analysis.charts import line_chart
+                for series in result.series:
+                    print()
+                    print(line_chart([float(v) for v in series.x],
+                                     dict(series.series),
+                                     title=series.title or series.x_label))
+            return 0
+        if args.command == "digest":
+            from .digest import write_digest
+            path = write_digest(args.output, fast=not args.full,
+                                seed=args.seed)
+            print(f"digest written to {path}")
+            return 0
+        if args.command == "validate":
+            from .validation import run_validation
+            report = run_validation(fast=not args.full, seed=args.seed)
+            print(report.render())
+            return 0 if report.passed else 1
+        if args.command == "run":
+            ids = sorted(REGISTRY) if args.experiment == "all" \
+                else [args.experiment]
+            for eid in ids:
+                _run_one(eid, seed=args.seed, fast=args.fast,
+                         precision=args.precision, chart=args.chart,
+                         output=args.output)
+            return 0
+        raise AssertionError(f"unhandled command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Cluster-level frequency/voltage scheduling.
+
+The paper's algorithm (Figure 3) is written over ``Nodes x Procs`` with a
+single global power limit, but its prototype ran on one SMP; "the
+development of a prototype for the cluster environment remains as future
+work" (Section 6).  This package completes that step over the simulated
+substrate:
+
+* :mod:`~repro.cluster.protocol` — the messages agents and coordinator
+  exchange (sized, so the network model can charge for them).
+* :mod:`~repro.cluster.agent` — the per-node agent: samples local counters,
+  reports summaries, applies frequency commands.
+* :mod:`~repro.cluster.coordinator` — the global scheduler: collects all
+  node reports every ``T``, runs Figure 3 across every processor of every
+  node, and pushes per-node frequency vectors back through the network.
+"""
+
+from .protocol import ProcReport, NodeReport, FrequencyCommand, message_size_bytes
+from .agent import NodeAgent
+from .coordinator import ClusterCoordinator, CoordinatorConfig
+from .nested import NestedBudgetScheduler
+
+__all__ = [
+    "ProcReport",
+    "NodeReport",
+    "FrequencyCommand",
+    "message_size_bytes",
+    "NodeAgent",
+    "ClusterCoordinator",
+    "CoordinatorConfig",
+    "NestedBudgetScheduler",
+]

@@ -1,0 +1,103 @@
+"""The per-node agent.
+
+Each node runs a lightweight agent (the cluster analogue of the fvsst
+daemon's data-collection half): it samples local counters every ``t``,
+aggregates them into per-processor summaries, and on request produces a
+:class:`~repro.cluster.protocol.NodeReport`.  Frequency commands from the
+coordinator are applied locally through the same actuators the single-node
+daemon uses.
+"""
+
+from __future__ import annotations
+
+from ..errors import ClusterError
+from ..sim.counters import CounterReader, CounterSample
+from ..sim.driver import Simulation
+from ..sim.node import ClusterNode
+from ..sim.rng import spawn_rngs
+from ..units import check_positive
+from .protocol import FrequencyCommand, NodeReport, ProcReport
+
+__all__ = ["NodeAgent"]
+
+
+class NodeAgent:
+    """Counter collection and command application on one node."""
+
+    def __init__(self, node: ClusterNode, *,
+                 sample_period_s: float = 0.010,
+                 counter_noise_sigma: float = 0.005,
+                 idle_detection: bool = False,
+                 seed: int | None = None) -> None:
+        check_positive(sample_period_s, "sample_period_s")
+        self.node = node
+        self.sample_period_s = sample_period_s
+        self.idle_detection = idle_detection
+        rngs = spawn_rngs(seed, node.machine.num_cores)
+        self.readers = [
+            CounterReader(core.counters, noise_sigma=counter_noise_sigma,
+                          rng=rngs[i])
+            for i, core in enumerate(node.machine.cores)
+        ]
+        self._windows: list[list[CounterSample]] = [
+            [] for _ in node.machine.cores
+        ]
+        self._idle_flags = [False] * node.machine.num_cores
+        self._attached = False
+
+    def attach(self, sim: Simulation) -> None:
+        """Install the periodic local sampler."""
+        if self._attached:
+            raise ClusterError(f"agent of node {self.node.node_id} already attached")
+        self._attached = True
+        if self.idle_detection:
+            for core in self.node.machine.cores:
+                core.idle_detector.enabled = True
+                core.idle_detector.subscribe(self._on_idle_signal)
+        sim.every(self.sample_period_s, self._on_sample,
+                  name=f"agent-n{self.node.node_id}-sample")
+
+    def _on_sample(self, now_s: float) -> None:
+        for i, reader in enumerate(self.readers):
+            self._windows[i].append(reader.sample(now_s))
+
+    def _on_idle_signal(self, core_id: int, is_idle: bool) -> None:
+        self._idle_flags[core_id] = is_idle
+
+    # -- protocol ----------------------------------------------------------------
+
+    def make_report(self, now_s: float) -> NodeReport:
+        """Summarise and clear the current windows."""
+        procs = []
+        for i, window in enumerate(self._windows):
+            procs.append(ProcReport(
+                proc_id=i,
+                instructions=sum(s.instructions for s in window),
+                cycles=sum(s.cycles for s in window),
+                n_l2=sum(s.n_l2 for s in window),
+                n_l3=sum(s.n_l3 for s in window),
+                n_mem=sum(s.n_mem for s in window),
+                l1_stall_cycles=sum(s.l1_stall_cycles for s in window),
+                halted_cycles=sum(s.halted_cycles for s in window),
+                interval_s=sum(s.interval_s for s in window),
+                idle_signaled=self._idle_flags[i],
+            ))
+            window.clear()
+        return NodeReport(node_id=self.node.node_id, time_s=now_s,
+                          procs=tuple(procs))
+
+    def apply_command(self, command: FrequencyCommand, now_s: float) -> None:
+        """Set local frequencies per the coordinator's decision."""
+        if command.node_id != self.node.node_id:
+            raise ClusterError(
+                f"command for node {command.node_id} delivered to node "
+                f"{self.node.node_id}"
+            )
+        cores = self.node.machine.cores
+        if len(command.freqs_hz) != len(cores):
+            raise ClusterError(
+                f"command carries {len(command.freqs_hz)} frequencies for "
+                f"{len(cores)} processors"
+            )
+        for core, freq in zip(cores, command.freqs_hz):
+            core.set_frequency(freq, now_s)

@@ -1,0 +1,230 @@
+"""The global cluster coordinator.
+
+Runs the Figure 3 algorithm across every processor of every node under one
+global power limit.  Every scheduling period ``T`` it synchronously
+collects a report from each agent (paying network round trips), converts
+the reports to processor views through the predictor, schedules, and ships
+per-node frequency commands whose *application is delayed by the network*
+— so the measured response time to a power-limit trigger includes the
+communication the paper says ``T`` amortises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import constants
+from ..core.logs import FvsstLog, ScheduleLogEntry
+from ..core.predictor import CounterPredictor, PredictorProtocol
+from ..core.scheduler import FrequencyVoltageScheduler, ProcessorView, Schedule
+from ..errors import ClusterError
+from ..model.latency import MemoryLatencyProfile, POWER4_LATENCIES
+from ..sim.cluster import Cluster
+from ..sim.counters import CounterSample
+from ..sim.driver import Simulation
+from ..sim.rng import spawn_seeds
+from ..units import check_positive
+from .agent import NodeAgent
+from .nested import NestedBudgetScheduler
+from .protocol import FrequencyCommand, NodeReport, message_size_bytes
+
+__all__ = ["CoordinatorConfig", "ClusterCoordinator"]
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Cluster scheduling parameters."""
+
+    epsilon: float = constants.DEFAULT_EPSILON
+    #: Local agent sampling period t.
+    sample_period_s: float = constants.DEFAULT_DISPATCH_PERIOD_S
+    #: Global scheduling period T.
+    schedule_period_s: float = constants.DEFAULT_SCHEDULE_PERIOD_S
+    #: Global processor power limit (None = unconstrained).
+    power_limit_w: float | None = None
+    counter_noise_sigma: float = 0.005
+    idle_detection: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.sample_period_s, "sample_period_s")
+        check_positive(self.schedule_period_s, "schedule_period_s")
+        if self.schedule_period_s < self.sample_period_s:
+            raise ClusterError("T must be at least t")
+        if self.power_limit_w is not None:
+            check_positive(self.power_limit_w, "power_limit_w")
+
+
+class ClusterCoordinator:
+    """Global Figure 3 over a simulated cluster."""
+
+    def __init__(self, cluster: Cluster,
+                 config: CoordinatorConfig | None = None, *,
+                 scheduler: FrequencyVoltageScheduler | None = None,
+                 predictor: PredictorProtocol | None = None,
+                 latencies: MemoryLatencyProfile = POWER4_LATENCIES,
+                 seed: int | None = None) -> None:
+        self.cluster = cluster
+        self.config = config or CoordinatorConfig()
+        table = cluster.nodes[0].machine.table
+        self.scheduler = scheduler or NestedBudgetScheduler(
+            table, epsilon=self.config.epsilon
+        )
+        self.predictor = predictor or CounterPredictor(latencies)
+        seeds = spawn_seeds(seed, len(cluster.nodes))
+        self.agents = [
+            NodeAgent(node,
+                      sample_period_s=self.config.sample_period_s,
+                      counter_noise_sigma=self.config.counter_noise_sigma,
+                      idle_detection=self.config.idle_detection,
+                      seed=seeds[i])
+            for i, node in enumerate(cluster.nodes)
+        ]
+        self.power_limit_w = self.config.power_limit_w
+        #: Optional per-node limits nested inside the global one (node
+        #: supply degradation, per-rack breakers, ...).
+        self.node_limits_w: dict[int, float] = {}
+        self.log = FvsstLog()
+        self.last_schedule: Schedule | None = None
+        self._sim: Simulation | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def attach(self, sim: Simulation) -> None:
+        """Install agents and the periodic global pass."""
+        if self._sim is not None:
+            raise ClusterError("coordinator already attached")
+        self._sim = sim
+        for agent in self.agents:
+            agent.attach(sim)
+        sim.every(self.config.schedule_period_s, self._on_schedule_tick,
+                  name="coordinator-schedule")
+
+    @property
+    def sim(self) -> Simulation:
+        if self._sim is None:
+            raise ClusterError("coordinator is not attached")
+        return self._sim
+
+    # -- the global pass ---------------------------------------------------------------
+
+    def _collect(self, now_s: float) -> tuple[list[NodeReport], float]:
+        """Gather one report per node; returns (reports, collection delay)."""
+        reports = []
+        worst_delay = 0.0
+        for agent in self.agents:
+            report = agent.make_report(now_s)
+            # Request goes out, report comes back: one round trip, with the
+            # collections overlapping across nodes (asynchronous gather).
+            delay = self.cluster.network.round_trip_s(
+                64, message_size_bytes(report)
+            )
+            worst_delay = max(worst_delay, delay)
+            reports.append(report)
+        return reports, worst_delay
+
+    def _views_from_reports(self, reports: list[NodeReport]
+                            ) -> list[ProcessorView]:
+        views: list[ProcessorView] = []
+        for report in reports:
+            for proc in sorted(report.procs, key=lambda p: p.proc_id):
+                sample = CounterSample(
+                    time_s=report.time_s,
+                    interval_s=proc.interval_s,
+                    instructions=proc.instructions,
+                    cycles=proc.cycles,
+                    n_l2=proc.n_l2,
+                    n_l3=proc.n_l3,
+                    n_mem=proc.n_mem,
+                    l1_stall_cycles=proc.l1_stall_cycles,
+                    halted_cycles=proc.halted_cycles,
+                )
+                views.append(ProcessorView(
+                    node_id=report.node_id,
+                    proc_id=proc.proc_id,
+                    signature=self.predictor.signature_from_sample(sample),
+                    idle_signaled=proc.idle_signaled,
+                ))
+        return views
+
+    def _on_schedule_tick(self, now_s: float) -> None:
+        self.run_global_pass(now_s)
+
+    def run_global_pass(self, now_s: float) -> Schedule:
+        """Collect, schedule, and dispatch commands (network-delayed)."""
+        reports, collect_delay = self._collect(now_s)
+        views = self._views_from_reports(reports)
+        if self.node_limits_w and isinstance(self.scheduler,
+                                             NestedBudgetScheduler):
+            schedule = self.scheduler.schedule_nested(
+                views, self.power_limit_w, self.node_limits_w,
+                on_infeasible="floor")
+        else:
+            schedule = self.scheduler.schedule(views, self.power_limit_w,
+                                               on_infeasible="floor")
+        decision_time = now_s + collect_delay
+        self._dispatch(schedule, decision_time)
+        self._record(schedule, now_s)
+        self.last_schedule = schedule
+        return schedule
+
+    def _dispatch(self, schedule: Schedule, decision_time_s: float) -> None:
+        by_node: dict[int, list] = {}
+        for a in schedule.assignments:
+            by_node.setdefault(a.node_id, []).append(a)
+        for node_id, assignments in by_node.items():
+            assignments.sort(key=lambda a: a.proc_id)
+            command = FrequencyCommand(
+                node_id=node_id,
+                time_s=decision_time_s,
+                freqs_hz=tuple(a.freq_hz for a in assignments),
+                voltages=tuple(a.voltage for a in assignments),
+            )
+            delay = self.cluster.network.send(message_size_bytes(command))
+            agent = self.agents[self._agent_index(node_id)]
+            apply_at = decision_time_s + delay
+            self.sim.at(apply_at,
+                        lambda t, a=agent, c=command: a.apply_command(c, t),
+                        name=f"apply-cmd-n{node_id}")
+
+    def _agent_index(self, node_id: int) -> int:
+        for i, agent in enumerate(self.agents):
+            if agent.node.node_id == node_id:
+                return i
+        raise ClusterError(f"no agent for node {node_id}")
+
+    def _record(self, schedule: Schedule, now_s: float) -> None:
+        for a in schedule.assignments:
+            self.log.record_schedule(ScheduleLogEntry(
+                time_s=now_s,
+                node_id=a.node_id,
+                proc_id=a.proc_id,
+                freq_hz=a.freq_hz,
+                eps_freq_hz=a.eps_freq_hz,
+                voltage=a.voltage,
+                power_w=a.power_w,
+                predicted_loss=a.predicted_loss,
+                predicted_ipc=None,
+                power_limit_w=self.power_limit_w,
+                infeasible=schedule.infeasible,
+            ))
+
+    # -- triggers -------------------------------------------------------------------------
+
+    def set_power_limit(self, limit_w: float | None, now_s: float) -> None:
+        """Change the global limit and run an immediate global pass."""
+        self.power_limit_w = limit_w
+        self.run_global_pass(now_s)
+
+    def set_node_limit(self, node_id: int, limit_w: float | None,
+                       now_s: float) -> None:
+        """Install (or lift, with ``None``) a per-node limit and run an
+        immediate pass — the node-level PSU failure trigger."""
+        if not isinstance(self.scheduler, NestedBudgetScheduler):
+            raise ClusterError(
+                "per-node limits need a NestedBudgetScheduler"
+            )
+        if limit_w is None:
+            self.node_limits_w.pop(node_id, None)
+        else:
+            self.node_limits_w[node_id] = limit_w
+        self.run_global_pass(now_s)

@@ -1,0 +1,119 @@
+"""Nested power budgets: per-node limits inside the global limit.
+
+The paper's Figure 3 treats the power limit as global.  Real clusters also
+carry *local* limits — a node whose own supply degrades must get under its
+node budget regardless of the cluster-wide picture.  The nested scheduler
+runs Figure 3's step 2 twice:
+
+1. **per node**: for each node with a local limit, greedily reduce that
+   node's processors until the node fits (same smallest-loss-first metric,
+   scoped to the node);
+2. **globally**: the unchanged global pass over all processors.
+
+Per-node passes never *raise* frequencies, so a schedule satisfying every
+node limit before the global pass still satisfies them after it (the
+global pass only lowers further) — the invariant the property tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Mapping, Sequence
+
+from ..core.scheduler import (
+    FrequencyVoltageScheduler,
+    ProcessorAssignment,
+    ProcessorView,
+    Schedule,
+)
+from ..errors import SchedulingError
+from ..units import check_positive
+
+__all__ = ["NestedBudgetScheduler"]
+
+
+class NestedBudgetScheduler(FrequencyVoltageScheduler):
+    """Figure 3 with optional per-node limits nested inside the global one."""
+
+    def schedule_nested(
+        self,
+        views: Sequence[ProcessorView],
+        global_limit_w: float | None = None,
+        node_limits_w: Mapping[int, float] | None = None,
+        *,
+        max_freq_hz: float | None = None,
+        on_infeasible: Literal["floor", "raise"] = "floor",
+    ) -> Schedule:
+        """Run step 1, the per-node passes, the global pass, and step 3."""
+        if not views:
+            raise SchedulingError("no processors to schedule")
+        keys = [(v.node_id, v.proc_id) for v in views]
+        if len(set(keys)) != len(keys):
+            raise SchedulingError("duplicate (node, proc) in views")
+        node_limits = dict(node_limits_w or {})
+        for node_id, limit in node_limits.items():
+            check_positive(limit, f"node_limits_w[{node_id}]")
+        cap_hz = None
+        if max_freq_hz is not None:
+            cap_hz = self.table.quantize_down(max_freq_hz)
+
+        # Step 1 (+ optional ceiling).
+        freqs: list[float] = []
+        eps_freqs: list[float] = []
+        for view in views:
+            if view.idle_signaled:
+                f = self.table.f_min_hz
+            else:
+                f, _ = self.epsilon_constrained(view.signature)
+            eps_freqs.append(f)
+            if cap_hz is not None:
+                f = min(f, cap_hz)
+            freqs.append(f)
+
+        infeasible = False
+
+        # Step 2a: per-node passes.
+        for node_id, limit in sorted(node_limits.items()):
+            idxs = [i for i, v in enumerate(views) if v.node_id == node_id]
+            if not idxs:
+                raise SchedulingError(
+                    f"node limit for unknown node {node_id}"
+                )
+            sub_views = [views[i] for i in idxs]
+            sub_freqs = [freqs[i] for i in idxs]
+            node_infeasible = self._reduce_to_budget(
+                sub_views, sub_freqs, limit, on_infeasible)
+            infeasible = infeasible or node_infeasible
+            for i, f in zip(idxs, sub_freqs):
+                freqs[i] = f
+
+        # Step 2b: the global pass.
+        if global_limit_w is not None:
+            check_positive(global_limit_w, "global_limit_w")
+            global_infeasible = self._reduce_to_budget(
+                views, freqs, global_limit_w, on_infeasible)
+            infeasible = infeasible or global_infeasible
+
+        # Step 3 + assembly.
+        assignments = []
+        for view, f, eps_f in zip(views, freqs, eps_freqs):
+            loss = 0.0 if view.idle_signaled else self.predicted_loss(
+                view.signature, f)
+            assignments.append(ProcessorAssignment(
+                node_id=view.node_id, proc_id=view.proc_id, freq_hz=f,
+                voltage=self.voltages.min_voltage(view.node_id,
+                                                  view.proc_id, f),
+                power_w=self.power_for(view.node_id, view.proc_id, f),
+                predicted_loss=loss, eps_freq_hz=eps_f,
+            ))
+        return Schedule(
+            assignments=tuple(assignments),
+            total_power_w=sum(a.power_w for a in assignments),
+            power_limit_w=global_limit_w,
+            epsilon=self.epsilon,
+            infeasible=infeasible,
+        )
+
+    def node_power_w(self, schedule: Schedule, node_id: int) -> float:
+        """Scheduled power of one node."""
+        return sum(a.power_w for a in schedule.assignments
+                   if a.node_id == node_id)

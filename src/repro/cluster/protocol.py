@@ -1,0 +1,78 @@
+"""Messages of the cluster scheduling protocol.
+
+Kept deliberately small: one report per node per scheduling period carrying
+a per-processor counter summary, and one command per node carrying its
+frequency vector.  Sizes are estimated so the network model can charge
+realistic latency — the communication overhead the paper amortises with a
+large ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+
+__all__ = ["ProcReport", "NodeReport", "FrequencyCommand",
+           "message_size_bytes"]
+
+#: Encoded size of one float field on the wire.
+_FIELD_BYTES = 8
+#: Fixed framing/header cost per message.
+_HEADER_BYTES = 32
+
+
+@dataclass(frozen=True, slots=True)
+class ProcReport:
+    """Counter summary of one processor over the last window."""
+
+    proc_id: int
+    instructions: float
+    cycles: float
+    n_l2: float
+    n_l3: float
+    n_mem: float
+    l1_stall_cycles: float
+    halted_cycles: float
+    interval_s: float
+    idle_signaled: bool
+
+
+@dataclass(frozen=True, slots=True)
+class NodeReport:
+    """All processor summaries of one node."""
+
+    node_id: int
+    time_s: float
+    procs: tuple[ProcReport, ...]
+
+    def __post_init__(self) -> None:
+        ids = [p.proc_id for p in self.procs]
+        if len(set(ids)) != len(ids):
+            raise ClusterError(f"node {self.node_id}: duplicate proc ids")
+
+
+@dataclass(frozen=True, slots=True)
+class FrequencyCommand:
+    """The coordinator's decision for one node."""
+
+    node_id: int
+    time_s: float
+    #: Frequency per processor, indexed by proc id.
+    freqs_hz: tuple[float, ...]
+    #: Voltage per processor, same indexing.
+    voltages: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.freqs_hz) != len(self.voltages):
+            raise ClusterError("frequency and voltage vectors differ in length")
+
+
+def message_size_bytes(message: NodeReport | FrequencyCommand) -> int:
+    """Wire-size estimate for the network model."""
+    if isinstance(message, NodeReport):
+        per_proc = 9 * _FIELD_BYTES + 1  # 9 numeric fields + idle flag
+        return _HEADER_BYTES + per_proc * len(message.procs)
+    if isinstance(message, FrequencyCommand):
+        return _HEADER_BYTES + 2 * _FIELD_BYTES * len(message.freqs_hz)
+    raise ClusterError(f"unknown message type {type(message).__name__}")

@@ -1,0 +1,97 @@
+"""Work scheduling: consolidation by migration (the rival approach).
+
+The paper's Section 1 argues for scheduling *frequencies* rather than
+*work* — migration has overhead, is often impossible in clusters, and
+needs OS scheduler changes.  To measure that argument, this governor is
+the strongest reasonable member of the work-scheduling family on one SMP:
+under a power budget, keep ``k = floor(limit / P(f_max))`` cores online at
+full frequency, power the rest down, and *migrate* their jobs onto the
+online cores (round-robin packed), paying a per-migration cold-cache cost.
+When the budget relaxes, cores come back and load re-spreads.
+
+The comparison against fvsst is the ``migration`` experiment: frequency
+scheduling exploits saturation (memory-bound jobs keep their own core at a
+slow rung); consolidation time-slices everything at full speed.
+"""
+
+from __future__ import annotations
+
+from ..sim.driver import Simulation
+from ..sim.machine import SMPMachine
+from ..units import check_non_negative
+from ..workloads.job import Job
+from .governor import Governor
+
+__all__ = ["ConsolidationGovernor"]
+
+
+class ConsolidationGovernor(Governor):
+    """Power-down + migration work scheduler."""
+
+    name = "consolidation"
+
+    def __init__(self, machine: SMPMachine, *,
+                 power_limit_w: float | None = None,
+                 migration_cost_s: float = 0.005,
+                 rebalance_period_s: float = 0.5) -> None:
+        super().__init__(machine)
+        check_non_negative(migration_cost_s, "migration_cost_s")
+        self.power_limit_w = power_limit_w
+        self.migration_cost_s = migration_cost_s
+        self.rebalance_period_s = rebalance_period_s
+        #: Total migrations performed (the overhead the paper avoids).
+        self.migrations = 0
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _online_count(self) -> int:
+        n = self.machine.num_cores
+        if self.power_limit_w is None:
+            return n
+        k = int(self.power_limit_w // self.machine.table.max_power_w)
+        return max(1, min(n, k))   # at least one core stays up
+
+    def _gather_jobs(self) -> list[tuple[int, Job]]:
+        jobs = []
+        for core in self.machine.cores:
+            for job in core.dispatcher.jobs:
+                jobs.append((core.core_id, job))
+        return jobs
+
+    def _apply(self, now_s: float) -> None:
+        online = self._online_count()
+        table = self.machine.table
+        placed = self._gather_jobs()
+        # Pack jobs round-robin over the online cores, migrating whatever
+        # sits on an offline core (or needs rebalancing).  Keyed by object
+        # identity: Job instances are mutable and unhashable by design.
+        targets: dict[int, int] = {}
+        for i, (_src, job) in enumerate(
+                sorted(placed, key=lambda e: e[1].name)):
+            targets[id(job)] = i % online
+        for src, job in placed:
+            dst = targets[id(job)]
+            if src != dst:
+                self.machine.migrate(job, src, dst,
+                                     cost_s=self.migration_cost_s)
+                self.migrations += 1
+        for i, core in enumerate(self.machine.cores):
+            core.offline = i >= online
+            if not core.offline:
+                core.set_frequency(table.f_max_hz, now_s)
+
+    # -- governor interface -----------------------------------------------------------
+
+    def attach(self, sim: Simulation) -> None:
+        super().attach(sim)
+        self._apply(sim.now_s)
+        sim.every(self.rebalance_period_s, self._apply,
+                  name="consolidation-rebalance")
+
+    def set_power_limit(self, limit_w: float | None, now_s: float) -> None:
+        self.power_limit_w = limit_w
+        self._apply(now_s)
+
+    @property
+    def online_count(self) -> int:
+        return sum(1 for c in self.machine.cores if not c.offline)

@@ -1,0 +1,358 @@
+"""The fvsst daemon (Section 6).
+
+A privileged user-level process that periodically reads the performance
+counters of every processor (period ``t``), runs the Figure 3 scheduling
+calculation every ``T = n * t`` (or immediately on a power-limit trigger),
+applies the chosen frequencies through the throttle actuators, and logs
+both streams.  Its own execution steals core time according to an
+:class:`OverheadModel` — the overhead Figure 4 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .. import constants
+from ..errors import SchedulingError
+from ..sim.counters import CounterReader, CounterSample
+from ..sim.driver import Simulation
+from ..sim.machine import SMPMachine
+from ..sim.rng import spawn_rngs
+from ..units import check_non_negative, check_positive
+from .governor import Governor
+from .logs import CounterLogEntry, FvsstLog, ScheduleLogEntry
+from .predictor import CounterPredictor, PredictorProtocol
+from .scheduler import FrequencyVoltageScheduler, ProcessorView, Schedule
+from .triggers import IdleTransition, PowerLimitChange, TriggerBus
+
+__all__ = ["OverheadModel", "DaemonConfig", "FvsstDaemon"]
+
+
+@dataclass(frozen=True, slots=True)
+class OverheadModel:
+    """CPU time fvsst's own code consumes (charged to its host core)."""
+
+    #: Reading one core's counters through the kernel interface.
+    sample_cost_s: float = 25e-6
+    #: One scheduling calculation (all processors).
+    schedule_cost_s: float = 150e-6
+    #: Applying one frequency change through the throttle interface.
+    actuation_cost_s: float = 10e-6
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.sample_cost_s, "sample_cost_s")
+        check_non_negative(self.schedule_cost_s, "schedule_cost_s")
+        check_non_negative(self.actuation_cost_s, "actuation_cost_s")
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """fvsst tunables (defaults are the paper's: t=10 ms, T=100 ms)."""
+
+    epsilon: float = constants.DEFAULT_EPSILON
+    #: Counter sampling period t.
+    sample_period_s: float = constants.DEFAULT_DISPATCH_PERIOD_S
+    #: Scheduling every n samples (T = n * t).
+    schedule_every: int = 10
+    #: Global processor power limit (None = unconstrained).
+    power_limit_w: float | None = None
+    #: Multiplicative noise on counter reads.
+    counter_noise_sigma: float = 0.005
+    #: Core the single-threaded daemon runs on.
+    daemon_core: int = 0
+    overhead: OverheadModel = field(default_factory=OverheadModel)
+    #: Subscribe to idle signals and pin idle processors at f_min.
+    idle_detection: bool = False
+    #: Infer idleness from the halted-cycle counter instead of (or in
+    #: addition to) explicit signals: a window whose halted fraction
+    #: exceeds this threshold marks the processor idle for the next pass.
+    #: Section 5: "If the processor idles by halting and has a performance
+    #: counter that tracks the number of halted cycles, then there is no
+    #: need for the idle indicator."  ``None`` disables the inference
+    #: (meaningless on hot-idling parts, whose counter never moves).
+    halted_idle_threshold: float | None = None
+    #: Close the loop against the power meter (Section 5: "the use of
+    #: power measurement ... ensures that the system stays below the
+    #: absolute limit").  When the *measured* processor draw exceeds the
+    #: limit — table drift, process variation, meter truth vs belief —
+    #: the daemon tightens an internal planning limit proportionally and
+    #: relaxes it back when headroom reappears.
+    measured_feedback: bool = False
+    #: Proportional tightening gain applied to the measured excess.
+    feedback_gain: float = 0.8
+    #: Fraction of the remaining gap recovered per pass — but only while
+    #: the measured draw sits below the limit by ``feedback_margin`` (a
+    #: deadband that prevents the tighten/relax limit cycle).
+    feedback_relax: float = 0.10
+    #: Relative headroom required before the planning limit relaxes.
+    feedback_margin: float = 0.03
+    #: Node id used in logs and views (single-machine daemons are node 0).
+    node_id: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.sample_period_s, "sample_period_s")
+        if self.schedule_every < 1:
+            raise SchedulingError("schedule_every must be >= 1")
+        if self.power_limit_w is not None:
+            check_positive(self.power_limit_w, "power_limit_w")
+        check_non_negative(self.counter_noise_sigma, "counter_noise_sigma")
+        if self.halted_idle_threshold is not None and not \
+                0.0 < self.halted_idle_threshold <= 1.0:
+            raise SchedulingError(
+                "halted_idle_threshold must lie in (0, 1]"
+            )
+        if not 0.0 < self.feedback_gain <= 2.0:
+            raise SchedulingError("feedback_gain must lie in (0, 2]")
+        if not 0.0 < self.feedback_relax <= 1.0:
+            raise SchedulingError("feedback_relax must lie in (0, 1]")
+
+    @property
+    def schedule_period_s(self) -> float:
+        """T = n * t."""
+        return self.sample_period_s * self.schedule_every
+
+
+class FvsstDaemon(Governor):
+    """The frequency and voltage scheduler daemon."""
+
+    name = "fvsst"
+
+    def __init__(self, machine: SMPMachine,
+                 config: DaemonConfig | None = None, *,
+                 scheduler: FrequencyVoltageScheduler | None = None,
+                 predictor: PredictorProtocol | None = None,
+                 seed: int | None = None) -> None:
+        super().__init__(machine)
+        self.config = config or DaemonConfig()
+        cfg = self.config
+        if not 0 <= cfg.daemon_core < machine.num_cores:
+            raise SchedulingError(
+                f"daemon_core {cfg.daemon_core} out of range"
+            )
+        self.scheduler = scheduler or FrequencyVoltageScheduler(
+            machine.table, epsilon=cfg.epsilon
+        )
+        self.predictor = predictor or CounterPredictor(machine.config.latencies)
+        rngs = spawn_rngs(seed, machine.num_cores)
+        self.readers = [
+            CounterReader(core.counters,
+                          noise_sigma=cfg.counter_noise_sigma, rng=rngs[i])
+            for i, core in enumerate(machine.cores)
+        ]
+        self.log = FvsstLog()
+        self.triggers = TriggerBus()
+        self.triggers.subscribe(PowerLimitChange, self._on_limit_trigger)
+        self.triggers.subscribe(IdleTransition, self._on_idle_trigger)
+        self.power_limit_w = cfg.power_limit_w
+        self._windows: list[list[CounterSample]] = [
+            [] for _ in machine.cores
+        ]
+        self._cached_views: list[ProcessorView] | None = None
+        self._idle_flags = [False] * machine.num_cores
+        self._sample_count = 0
+        #: Per-processor frequency ceiling (thermal throttle), if any.
+        self.frequency_cap_hz: float | None = None
+        #: Internal planning limit maintained by the measured-power
+        #: feedback loop (None until the loop engages).
+        self._planning_limit_w: float | None = None
+        #: Last schedule applied (None before the first pass).
+        self.last_schedule: Schedule | None = None
+
+    # -- attachment ---------------------------------------------------------------
+
+    def attach(self, sim: Simulation) -> None:
+        """Install the periodic sampler (and idle subscriptions)."""
+        super().attach(sim)
+        if self.config.idle_detection:
+            for core in self.machine.cores:
+                core.idle_detector.enabled = True
+                core.idle_detector.subscribe(self._idle_signal_from_core)
+        sim.every(self.config.sample_period_s, self._on_sample_tick,
+                  name="fvsst-sample")
+
+    # -- the sampling/scheduling loop --------------------------------------------------
+
+    def _charge_overhead(self, cost_s: float) -> None:
+        if self.config.overhead.enabled and cost_s > 0.0:
+            self.machine.core(self.config.daemon_core).steal_time(cost_s)
+
+    def _on_sample_tick(self, now_s: float) -> None:
+        cfg = self.config
+        for i, reader in enumerate(self.readers):
+            sample = reader.sample(now_s)
+            self._windows[i].append(sample)
+            self.log.record_sample(CounterLogEntry(
+                time_s=now_s, node_id=cfg.node_id, proc_id=i, sample=sample,
+            ))
+        self._charge_overhead(cfg.overhead.sample_cost_s
+                              * self.machine.num_cores)
+        self._sample_count += 1
+        if self._sample_count % cfg.schedule_every == 0:
+            self._run_schedule(now_s)
+
+    def _aggregate_window(self, proc: int, now_s: float) -> CounterSample | None:
+        window = self._windows[proc]
+        if not window:
+            return None
+        return CounterSample(
+            time_s=now_s,
+            interval_s=sum(s.interval_s for s in window),
+            instructions=sum(s.instructions for s in window),
+            cycles=sum(s.cycles for s in window),
+            n_l2=sum(s.n_l2 for s in window),
+            n_l3=sum(s.n_l3 for s in window),
+            n_mem=sum(s.n_mem for s in window),
+            l1_stall_cycles=sum(s.l1_stall_cycles for s in window),
+            halted_cycles=sum(s.halted_cycles for s in window),
+        )
+
+    def _build_views(self, now_s: float) -> list[ProcessorView]:
+        views: list[ProcessorView] = []
+        threshold = self.config.halted_idle_threshold
+        for i in range(self.machine.num_cores):
+            aggregate = self._aggregate_window(i, now_s)
+            signature = (None if aggregate is None
+                         else self.predictor.signature_from_sample(aggregate))
+            if signature is None and self._cached_views is not None:
+                # Window too thin (e.g. a trigger fired mid-window): fall
+                # back to the last pass's knowledge.
+                signature = self._cached_views[i].signature
+            idle = self._idle_flags[i]
+            if (threshold is not None and aggregate is not None
+                    and aggregate.halted_fraction >= threshold):
+                # Halting hardware: the counter itself is the idle
+                # indicator (Section 5) — no explicit signal required.
+                idle = True
+            views.append(ProcessorView(
+                node_id=self.config.node_id,
+                proc_id=i,
+                signature=signature,
+                idle_signaled=idle,
+            ))
+        return views
+
+    def _effective_limit_w(self, now_s: float) -> float | None:
+        """The limit the scheduler plans against this pass.
+
+        With measured feedback enabled, the measured processor draw is
+        compared with the hard limit: excess tightens the internal
+        planning limit proportionally; compliance relaxes it back toward
+        the hard limit.
+        """
+        cfg = self.config
+        if self.power_limit_w is None:
+            self._planning_limit_w = None
+            return None
+        if not cfg.measured_feedback:
+            return self.power_limit_w
+        if self._planning_limit_w is None:
+            self._planning_limit_w = self.power_limit_w
+        measured = self.machine.measure_cpu_power_w()
+        excess = measured - self.power_limit_w
+        if excess > 0.0:
+            floor = self.machine.num_cores * self.machine.table.min_power_w
+            self._planning_limit_w = max(
+                floor * 0.5, self._planning_limit_w - cfg.feedback_gain * excess
+            )
+        elif measured <= self.power_limit_w * (1.0 - cfg.feedback_margin):
+            # Deadband: only creep back up with real headroom in hand.
+            gap = self.power_limit_w - self._planning_limit_w
+            self._planning_limit_w += cfg.feedback_relax * gap
+        return min(self._planning_limit_w, self.power_limit_w)
+
+    def _run_schedule(self, now_s: float) -> None:
+        cfg = self.config
+        views = self._build_views(now_s)
+        self._cached_views = views
+        schedule = self.scheduler.schedule(views,
+                                           self._effective_limit_w(now_s),
+                                           max_freq_hz=self.frequency_cap_hz,
+                                           on_infeasible="floor")
+        transitions = self._apply(schedule, now_s)
+        self._charge_overhead(cfg.overhead.schedule_cost_s
+                              + cfg.overhead.actuation_cost_s * transitions)
+        for view, assignment in zip(views, schedule.assignments):
+            predicted = (None if view.signature is None
+                         else view.signature.ipc(assignment.freq_hz))
+            self.log.record_schedule(ScheduleLogEntry(
+                time_s=now_s,
+                node_id=assignment.node_id,
+                proc_id=assignment.proc_id,
+                freq_hz=assignment.freq_hz,
+                eps_freq_hz=assignment.eps_freq_hz,
+                voltage=assignment.voltage,
+                power_w=assignment.power_w,
+                predicted_loss=assignment.predicted_loss,
+                predicted_ipc=predicted,
+                power_limit_w=self.power_limit_w,
+                infeasible=schedule.infeasible,
+            ))
+        self.last_schedule = schedule
+        for w in self._windows:
+            w.clear()
+
+    def _apply(self, schedule: Schedule, now_s: float) -> int:
+        """Push the decision into the actuators; returns transition count."""
+        transitions = 0
+        for assignment in schedule.assignments:
+            core = self.machine.core(assignment.proc_id)
+            if core.frequency_setting_hz != assignment.freq_hz:
+                transitions += 1
+            core.set_frequency(assignment.freq_hz, now_s)
+        return transitions
+
+    # -- triggers --------------------------------------------------------------------
+
+    def set_power_limit(self, limit_w: float | None, now_s: float) -> None:
+        """Install a new global limit and reschedule immediately.
+
+        This is the rapid-response path of the motivating example: the
+        system must be under the new limit well before the supply cascade
+        deadline, so the daemon does not wait for the next timer firing.
+        """
+        self.triggers.publish(PowerLimitChange(time_s=now_s,
+                                               new_limit_w=limit_w))
+
+    def _on_limit_trigger(self, trigger: PowerLimitChange) -> None:
+        self.power_limit_w = trigger.new_limit_w
+        self._planning_limit_w = None   # feedback restarts at the new limit
+        self._run_schedule(trigger.time_s)
+
+    def set_frequency_cap(self, cap_hz: float | None, now_s: float) -> None:
+        """Install (or lift, with ``None``) a per-processor frequency
+        ceiling and reschedule immediately.
+
+        This is the thermal-throttle path: unlike the aggregate power
+        limit, a ceiling bounds *every* processor, so the hottest core's
+        power is actually constrained (see the thermal experiment).
+        """
+        self.frequency_cap_hz = cap_hz
+        self._run_schedule(now_s)
+
+    def _idle_signal_from_core(self, core_id: int, is_idle: bool) -> None:
+        now = self.sim.now_s if self._sim is not None else 0.0
+        self.triggers.publish(IdleTransition(
+            time_s=now, node_id=self.config.node_id,
+            proc_id=core_id, is_idle=is_idle,
+        ))
+
+    def _on_idle_trigger(self, trigger: IdleTransition) -> None:
+        self._idle_flags[trigger.proc_id] = trigger.is_idle
+        if trigger.is_idle:
+            # Pin the idle processor at the floor immediately (Section 5).
+            self.machine.core(trigger.proc_id).set_frequency(
+                self.machine.table.f_min_hz, trigger.time_s
+            )
+        else:
+            # Leaving idle: resume normal operation right away rather than
+            # waiting out the timer at the floor frequency.
+            self._run_schedule(trigger.time_s)
+
+    # -- conveniences -----------------------------------------------------------------
+
+    def with_config(self, **changes) -> "FvsstDaemon":
+        """A fresh daemon on the same machine with amended config (used by
+        parameter-sweep benches)."""
+        return FvsstDaemon(self.machine, replace(self.config, **changes),
+                           scheduler=self.scheduler, predictor=self.predictor)

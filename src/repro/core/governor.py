@@ -1,0 +1,54 @@
+"""The common governor interface.
+
+A governor is anything that owns the frequency settings of a machine's
+processors: the fvsst daemon, or any of the baseline policies the paper
+argues against (uniform slowdown, node power-down, utilization-driven
+scaling, doing nothing).  Experiments attach exactly one governor to a
+machine and drive the simulation; because all governors share this
+interface, every experiment can be rerun under every policy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import SchedulingError
+from ..sim.driver import Simulation
+from ..sim.machine import SMPMachine
+
+__all__ = ["Governor"]
+
+
+class Governor(ABC):
+    """Owns the operating points of one machine."""
+
+    #: Short policy name for logs and result tables.
+    name: str = "governor"
+
+    def __init__(self, machine: SMPMachine) -> None:
+        self.machine = machine
+        self._sim: Simulation | None = None
+
+    @property
+    def sim(self) -> Simulation:
+        """The simulation this governor is attached to."""
+        if self._sim is None:
+            raise SchedulingError(f"{self.name} is not attached to a simulation")
+        return self._sim
+
+    def attach(self, sim: Simulation) -> None:
+        """Bind to a simulation and install periodic tasks / initial state.
+
+        Subclasses must call ``super().attach(sim)`` first.
+        """
+        if self._sim is not None:
+            raise SchedulingError(f"{self.name} is already attached")
+        self._sim = sim
+
+    @abstractmethod
+    def set_power_limit(self, limit_w: float | None, now_s: float) -> None:
+        """React to a change of the global processor power limit.
+
+        ``None`` lifts the limit.  Called by trigger sources (supply
+        monitors, experiments) at simulation time ``now_s``.
+        """

@@ -1,0 +1,172 @@
+"""Scheduling and counter logs (Section 6).
+
+"The program generates both scheduling and performance counter data logs
+that provide performance and frequency information for monitoring and data
+analysis."  These logs are the raw material of every figure in the paper:
+Figure 5's IPC/frequency/power series, Figure 8's frequency residency,
+Figure 9/10's desired-vs-actual traces, and Table 2's predicted-vs-measured
+IPC deviations all come out of :class:`FvsstLog` queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..sim.counters import CounterSample
+
+__all__ = ["ScheduleLogEntry", "CounterLogEntry", "FvsstLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class CounterLogEntry:
+    """One counter sample from one processor."""
+
+    time_s: float
+    node_id: int
+    proc_id: int
+    sample: CounterSample
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleLogEntry:
+    """One scheduling decision for one processor."""
+
+    time_s: float
+    node_id: int
+    proc_id: int
+    #: Final scheduled frequency.
+    freq_hz: float
+    #: Step-1 epsilon-constrained ("desired") frequency.
+    eps_freq_hz: float
+    voltage: float
+    power_w: float
+    predicted_loss: float
+    #: IPC the predictor expects at ``freq_hz`` over the next interval
+    #: (None when the window carried no usable data).
+    predicted_ipc: float | None
+    #: The limit in force (None = unconstrained).
+    power_limit_w: float | None
+    #: True when this decision hit the infeasible-floor path.
+    infeasible: bool
+
+
+@dataclass
+class FvsstLog:
+    """Accumulated logs plus the queries the experiments need."""
+
+    counter_entries: list[CounterLogEntry] = field(default_factory=list)
+    schedule_entries: list[ScheduleLogEntry] = field(default_factory=list)
+
+    # -- recording -----------------------------------------------------------------
+
+    def record_sample(self, entry: CounterLogEntry) -> None:
+        self.counter_entries.append(entry)
+
+    def record_schedule(self, entry: ScheduleLogEntry) -> None:
+        self.schedule_entries.append(entry)
+
+    # -- per-processor filters -------------------------------------------------------
+
+    def samples_of(self, node_id: int, proc_id: int) -> list[CounterLogEntry]:
+        return [e for e in self.counter_entries
+                if e.node_id == node_id and e.proc_id == proc_id]
+
+    def schedules_of(self, node_id: int, proc_id: int) -> list[ScheduleLogEntry]:
+        return [e for e in self.schedule_entries
+                if e.node_id == node_id and e.proc_id == proc_id]
+
+    # -- series (Figures 5, 9, 10) ----------------------------------------------------
+
+    def ipc_series(self, node_id: int, proc_id: int
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """(times, measured IPC) of one processor."""
+        entries = self.samples_of(node_id, proc_id)
+        t = np.array([e.time_s for e in entries])
+        ipc = np.array([e.sample.ipc for e in entries])
+        return t, ipc
+
+    def frequency_series(self, node_id: int, proc_id: int, *,
+                         desired: bool = False
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """(times, scheduled frequency); ``desired=True`` returns the
+        step-1 epsilon-constrained series instead (Figure 9's two curves)."""
+        entries = self.schedules_of(node_id, proc_id)
+        t = np.array([e.time_s for e in entries])
+        f = np.array([e.eps_freq_hz if desired else e.freq_hz
+                      for e in entries])
+        return t, f
+
+    def power_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, total scheduled processor power) across all processors."""
+        by_time: dict[float, float] = {}
+        for e in self.schedule_entries:
+            by_time[e.time_s] = by_time.get(e.time_s, 0.0) + e.power_w
+        times = np.array(sorted(by_time))
+        return times, np.array([by_time[t] for t in times])
+
+    # -- residency (Figure 8) -----------------------------------------------------------
+
+    def frequency_residency(self, node_id: int, proc_id: int, *,
+                            desired: bool = False) -> dict[float, float]:
+        """Fraction of scheduling intervals spent at each frequency.
+
+        Each schedule entry holds until the next one, so with a fixed
+        period the interval count is proportional to time.
+        """
+        entries = self.schedules_of(node_id, proc_id)
+        if not entries:
+            raise ExperimentError(
+                f"no schedule entries for node {node_id} proc {proc_id}"
+            )
+        counts: dict[float, int] = {}
+        for e in entries:
+            f = e.eps_freq_hz if desired else e.freq_hz
+            counts[f] = counts.get(f, 0) + 1
+        total = len(entries)
+        return {f: c / total for f, c in sorted(counts.items())}
+
+    # -- predictor accuracy (Table 2) ------------------------------------------------------
+
+    def prediction_pairs(self, node_id: int, proc_id: int
+                         ) -> list[tuple[float, float, float]]:
+        """(decision time, predicted IPC, measured IPC over the following
+        scheduling interval) triples.
+
+        The measured value aggregates all counter samples between this
+        scheduling decision and the next, matching how the prototype's
+        post-processing scored the predictor.
+        """
+        schedules = [e for e in self.schedules_of(node_id, proc_id)
+                     if e.predicted_ipc is not None]
+        samples = self.samples_of(node_id, proc_id)
+        pairs: list[tuple[float, float, float]] = []
+        for i, dec in enumerate(schedules):
+            t_end = (schedules[i + 1].time_s if i + 1 < len(schedules)
+                     else float("inf"))
+            window = [s.sample for s in samples
+                      if dec.time_s < s.time_s <= t_end]
+            instr = sum(s.instructions for s in window)
+            cycles = sum(s.cycles for s in window)
+            if cycles > 0 and instr > 0:
+                pairs.append((dec.time_s, dec.predicted_ipc, instr / cycles))
+        return pairs
+
+    def ipc_deviation(self, node_id: int, proc_id: int, *,
+                      skip_head: int = 0, skip_tail: int = 0) -> float:
+        """Mean absolute predicted-vs-measured IPC deviation.
+
+        ``skip_head``/``skip_tail`` drop decisions at the run's edges —
+        Table 2's ``CPU3*`` column excludes the benchmark's initialisation
+        and termination windows this way.
+        """
+        pairs = self.prediction_pairs(node_id, proc_id)
+        if skip_tail:
+            pairs = pairs[:-skip_tail]
+        if skip_head:
+            pairs = pairs[skip_head:]
+        if not pairs:
+            raise ExperimentError("no prediction pairs to score")
+        return float(np.mean([abs(p - m) for _, p, m in pairs]))

@@ -1,0 +1,110 @@
+"""Counter-driven IPC predictors.
+
+Two realisations of the Section 4.3 model:
+
+* :class:`CounterPredictor` (the default, and what a deployed system does):
+  recover the frequency-independent CPI component ``c0`` from the *observed*
+  CPI at the interval's effective frequency —
+
+      c0 = CPI_observed - m * f_effective
+
+  where ``m`` comes from the memory counters and the latency table.  This
+  needs no assumed ``alpha``: whatever ILP the workload achieved is folded
+  into the observation.  Remaining error sources: phase transitions between
+  the observation and prediction windows, counter noise, latency jitter,
+  and throttle settling — exactly the sources the paper discusses with
+  Table 2.
+
+* :class:`AlphaPredictor` (the paper's literal equation): build ``c0`` from
+  an assumed platform constant ``alpha`` plus counted L1 stalls.  Biased
+  whenever the true ILP differs from the assumption (the "predictor does
+  not account for non-memory stalls" bias named in Section 8.1); kept for
+  the predictor-variant ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..errors import ModelError
+from ..model.ipc import WorkloadSignature, signature_from_counts
+from ..model.latency import MemoryLatencyProfile
+from ..sim.counters import CounterSample
+from ..units import check_positive
+
+__all__ = ["PredictorProtocol", "CounterPredictor", "AlphaPredictor"]
+
+#: Floor on the recovered core CPI: even a perfect machine needs some
+#: cycles per instruction; noise must not drive ``c0`` to zero or negative.
+_MIN_CORE_CPI = 0.05
+
+#: Minimum instructions in a window for a meaningful signature.
+_MIN_INSTRUCTIONS = 1000.0
+
+
+class PredictorProtocol(Protocol):
+    """What the daemon and scheduler require of a predictor."""
+
+    def signature_from_sample(self, sample: CounterSample) -> WorkloadSignature | None:
+        """Workload signature from one counter window, or ``None`` when the
+        window carries too little information (halted/empty intervals)."""
+        ...
+
+
+class CounterPredictor:
+    """Observation-calibrated predictor (no assumed alpha)."""
+
+    def __init__(self, latencies: MemoryLatencyProfile, *,
+                 min_instructions: float = _MIN_INSTRUCTIONS) -> None:
+        check_positive(min_instructions, "min_instructions")
+        self.latencies = latencies
+        self.min_instructions = min_instructions
+
+    def signature_from_sample(self, sample: CounterSample) -> WorkloadSignature | None:
+        if sample.instructions < self.min_instructions or sample.cycles <= 0.0:
+            return None
+        if sample.interval_s <= 0.0:
+            return None
+        cpi_observed = sample.cycles / sample.instructions
+        mem_time_per_instr = (
+            sample.memory_counts().memory_time_s(self.latencies)
+            / sample.instructions
+        )
+        f_effective = sample.effective_freq_hz
+        core_cpi = cpi_observed - mem_time_per_instr * f_effective
+        core_cpi = max(core_cpi, _MIN_CORE_CPI)
+        return WorkloadSignature(
+            core_cpi=core_cpi, mem_time_per_instr_s=mem_time_per_instr
+        )
+
+    def predict_ipc(self, sample: CounterSample, freq_hz: float) -> float | None:
+        """Projected IPC at ``freq_hz`` (None on an uninformative window)."""
+        sig = self.signature_from_sample(sample)
+        return None if sig is None else sig.ipc(freq_hz)
+
+
+class AlphaPredictor:
+    """The paper's literal equation with an assumed platform ``alpha``."""
+
+    def __init__(self, latencies: MemoryLatencyProfile, *, alpha: float,
+                 min_instructions: float = _MIN_INSTRUCTIONS) -> None:
+        check_positive(alpha, "alpha")
+        check_positive(min_instructions, "min_instructions")
+        self.latencies = latencies
+        self.alpha = alpha
+        self.min_instructions = min_instructions
+
+    def signature_from_sample(self, sample: CounterSample) -> WorkloadSignature | None:
+        if sample.instructions < self.min_instructions:
+            return None
+        try:
+            return signature_from_counts(
+                sample.memory_counts(), self.latencies, alpha=self.alpha
+            )
+        except ModelError:
+            return None
+
+    def predict_ipc(self, sample: CounterSample, freq_hz: float) -> float | None:
+        """Projected IPC at ``freq_hz`` (None on an uninformative window)."""
+        sig = self.signature_from_sample(sample)
+        return None if sig is None else sig.ipc(freq_hz)

@@ -1,0 +1,277 @@
+"""The frequency and voltage scheduling algorithm (Figure 3).
+
+Three steps over all processors of all nodes:
+
+1. For every processor, compute the predicted performance loss (relative to
+   ``f_max``) at every available frequency and pick the lowest frequency
+   whose loss is strictly below ``epsilon`` — the *epsilon-constrained*
+   frequency.  An idle-signalled processor gets ``f_min`` outright; a
+   processor with no usable counter data conservatively gets ``f_max``.
+2. While aggregate processor power exceeds the global limit, repeatedly
+   take the processor whose *next lower* frequency has the smallest
+   predicted loss versus ``f_max`` and move it down one step.  Idle
+   processors (predicted loss 0) drain first; processors with unknown
+   workloads are treated pessimistically as pure-CPU (loss grows linearly
+   as frequency drops).
+3. Assign each processor the minimum stable voltage for its frequency.
+
+If every processor reaches the bottom of the ladder and power still
+exceeds the limit, the budget is infeasible for DVFS alone; callers choose
+between an exception and the floor schedule (the daemon applies the floor
+and lets the compliance monitor record the violation — powering nodes down
+is a different governor's job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from .. import constants
+from ..errors import InfeasibleBudgetError, SchedulingError
+from ..model.ipc import WorkloadSignature
+from ..model.perf import perf_loss
+from ..power.table import FrequencyPowerTable
+from ..units import check_positive
+from .voltage import VoltageSelector
+
+__all__ = [
+    "ProcessorView",
+    "ProcessorAssignment",
+    "Schedule",
+    "FrequencyVoltageScheduler",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorView:
+    """What the scheduler knows about one processor at scheduling time."""
+
+    node_id: int
+    proc_id: int
+    #: Aggregate workload signature from the last window (None = no data).
+    signature: WorkloadSignature | None
+    #: True when an idle signal is active for this processor (Section 5).
+    idle_signaled: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorAssignment:
+    """One processor's scheduled operating point."""
+
+    node_id: int
+    proc_id: int
+    freq_hz: float
+    voltage: float
+    power_w: float
+    #: Predicted fractional loss vs f_max at the final frequency.
+    predicted_loss: float
+    #: The step-1 epsilon-constrained frequency (before the power pass) —
+    #: the "desired" frequency of Figures 9/10.
+    eps_freq_hz: float
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete scheduling decision."""
+
+    assignments: tuple[ProcessorAssignment, ...]
+    total_power_w: float
+    power_limit_w: float | None
+    epsilon: float
+    #: True when the power limit could not be met even at the floor.
+    infeasible: bool = field(default=False)
+
+    @property
+    def budget_met(self) -> bool:
+        """Whether predicted power respects the limit (True if unlimited)."""
+        if self.power_limit_w is None:
+            return True
+        return self.total_power_w <= self.power_limit_w + 1e-9
+
+    def frequency_vector_hz(self) -> list[float]:
+        """Final frequencies, in (node, proc) order."""
+        return [a.freq_hz for a in self.assignments]
+
+    def eps_frequency_vector_hz(self) -> list[float]:
+        """Step-1 epsilon-constrained frequencies, in (node, proc) order."""
+        return [a.eps_freq_hz for a in self.assignments]
+
+    def power_vector_w(self) -> list[float]:
+        """Per-processor power, in (node, proc) order."""
+        return [a.power_w for a in self.assignments]
+
+    def loss_vector(self) -> list[float]:
+        """Per-processor predicted loss, in (node, proc) order."""
+        return [a.predicted_loss for a in self.assignments]
+
+    def assignment_for(self, node_id: int, proc_id: int) -> ProcessorAssignment:
+        for a in self.assignments:
+            if a.node_id == node_id and a.proc_id == proc_id:
+                return a
+        raise SchedulingError(f"no assignment for node {node_id} proc {proc_id}")
+
+
+class FrequencyVoltageScheduler:
+    """The Figure 3 algorithm over a fixed operating-point table."""
+
+    def __init__(self, table: FrequencyPowerTable, *,
+                 epsilon: float = constants.DEFAULT_EPSILON,
+                 voltage_selector: VoltageSelector | None = None) -> None:
+        check_positive(epsilon, "epsilon")
+        if epsilon >= 1.0:
+            raise SchedulingError("epsilon must be < 1")
+        self.table = table
+        self.epsilon = epsilon
+        self.voltages = voltage_selector or VoltageSelector()
+
+    # -- step 1 ------------------------------------------------------------------
+
+    def power_for(self, node_id: int, proc_id: int, freq_hz: float) -> float:
+        """Power of one processor at an operating point.
+
+        The base scheduler assumes identical parts; the heterogeneous
+        subclass overrides this with per-processor tables (process
+        variation).
+        """
+        return self.table.power_at(freq_hz)
+
+    def predicted_loss(self, signature: WorkloadSignature | None,
+                       freq_hz: float) -> float:
+        """Predicted loss vs f_max at ``freq_hz``.
+
+        Unknown workloads are treated as pure CPU (the pessimistic bound
+        ``1 - f/f_max``).
+        """
+        if signature is None:
+            return 1.0 - freq_hz / self.table.f_max_hz
+        return perf_loss(signature, self.table.f_max_hz, freq_hz)
+
+    def epsilon_constrained(self, signature: WorkloadSignature | None
+                            ) -> tuple[float, float]:
+        """Lowest frequency with predicted loss < epsilon.
+
+        Returns ``(freq_hz, predicted_loss_at_freq)``.  Always succeeds:
+        ``f_max`` has loss 0.
+        """
+        freqs = self.table.freqs_array()
+        if signature is None:
+            losses = 1.0 - freqs / self.table.f_max_hz
+        else:
+            perf = signature.ipc_array(freqs) * freqs
+            losses = (perf[-1] - perf) / perf[-1]
+        admissible = np.flatnonzero(losses < self.epsilon)
+        idx = int(admissible[0]) if admissible.size else len(freqs) - 1
+        return float(freqs[idx]), float(losses[idx])
+
+    # -- the full pass ------------------------------------------------------------
+
+    def schedule(self, views: Sequence[ProcessorView],
+                 power_limit_w: float | None = None, *,
+                 max_freq_hz: float | None = None,
+                 on_infeasible: Literal["floor", "raise"] = "floor") -> Schedule:
+        """Run steps 1–3 and return the complete decision.
+
+        ``max_freq_hz`` is an optional per-processor frequency ceiling —
+        the mechanism a *thermal* constraint needs, since an aggregate
+        power budget cannot stop one CPU-bound processor from running hot
+        while its neighbours idle cold.  The ceiling is quantised down to
+        the ladder and applied after step 1 (the epsilon-constrained
+        "desired" frequency is recorded unclamped).
+        """
+        if not views:
+            raise SchedulingError("no processors to schedule")
+        keys = [(v.node_id, v.proc_id) for v in views]
+        if len(set(keys)) != len(keys):
+            raise SchedulingError("duplicate (node, proc) in views")
+        if power_limit_w is not None:
+            check_positive(power_limit_w, "power_limit_w")
+        cap_hz: float | None = None
+        if max_freq_hz is not None:
+            check_positive(max_freq_hz, "max_freq_hz")
+            if max_freq_hz < self.table.f_min_hz:
+                raise SchedulingError(
+                    f"frequency ceiling {max_freq_hz:.3e} Hz below the "
+                    f"ladder floor {self.table.f_min_hz:.3e} Hz"
+                )
+            cap_hz = self.table.quantize_down(max_freq_hz)
+
+        # Step 1: epsilon-constrained frequencies (then the ceiling).
+        freqs: list[float] = []
+        eps_freqs: list[float] = []
+        for view in views:
+            if view.idle_signaled:
+                f = self.table.f_min_hz
+            else:
+                f, _ = self.epsilon_constrained(view.signature)
+            eps_freqs.append(f)
+            if cap_hz is not None:
+                f = min(f, cap_hz)
+            freqs.append(f)
+
+        # Step 2: greedy power reduction.
+        infeasible = False
+        if power_limit_w is not None:
+            infeasible = self._reduce_to_budget(views, freqs, power_limit_w,
+                                                on_infeasible)
+
+        # Step 3: voltages, and assembly.
+        assignments = []
+        for view, f, eps_f in zip(views, freqs, eps_freqs):
+            loss = 0.0 if view.idle_signaled else self.predicted_loss(
+                view.signature, f)
+            assignments.append(ProcessorAssignment(
+                node_id=view.node_id,
+                proc_id=view.proc_id,
+                freq_hz=f,
+                voltage=self.voltages.min_voltage(view.node_id, view.proc_id, f),
+                power_w=self.power_for(view.node_id, view.proc_id, f),
+                predicted_loss=loss,
+                eps_freq_hz=eps_f,
+            ))
+        total = sum(a.power_w for a in assignments)
+        return Schedule(
+            assignments=tuple(assignments),
+            total_power_w=total,
+            power_limit_w=power_limit_w,
+            epsilon=self.epsilon,
+            infeasible=infeasible,
+        )
+
+    def _reduce_to_budget(self, views: Sequence[ProcessorView],
+                          freqs: list[float], limit_w: float,
+                          on_infeasible: Literal["floor", "raise"]) -> bool:
+        """Step 2 in place on ``freqs``; returns the infeasibility flag."""
+        def total() -> float:
+            return sum(
+                self.power_for(v.node_id, v.proc_id, f)
+                for v, f in zip(views, freqs)
+            )
+
+        while total() > limit_w:
+            best_idx: int | None = None
+            best_key: tuple[float, int, int] | None = None
+            for i, view in enumerate(views):
+                f_less = self.table.next_lower(freqs[i])
+                if f_less is None:
+                    continue
+                # Idle processors cost nothing to slow down.
+                loss = 0.0 if view.idle_signaled else self.predicted_loss(
+                    view.signature, f_less)
+                key = (loss, view.node_id, view.proc_id)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_idx = i
+            if best_idx is None:
+                floor = total()
+                if on_infeasible == "raise":
+                    raise InfeasibleBudgetError(
+                        f"power floor {floor:.1f} W exceeds limit {limit_w:.1f} W"
+                        " with every processor at minimum frequency",
+                        floor_power_w=floor, limit_w=limit_w,
+                    )
+                return True
+            freqs[best_idx] = self.table.next_lower(freqs[best_idx])  # type: ignore[assignment]
+        return False

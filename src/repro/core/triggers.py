@@ -1,0 +1,78 @@
+"""The scheduling triggers of Section 5.
+
+"Three possible triggers for changing frequency and voltage are considered
+here": a change of the global power limit, the periodic timer, and idle
+enter/exit signals.  The timer lives inside the daemon (it *is* the
+scheduling period ``T``); the other two arrive asynchronously through a
+:class:`TriggerBus`, decoupling their sources (supply monitors, firmware
+idle detection, operators) from the daemon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import SchedulingError
+from ..units import check_non_negative, check_positive
+
+__all__ = ["PowerLimitChange", "IdleTransition", "TriggerBus"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLimitChange:
+    """The global processor power limit changed (PSU loss/restore,
+    curtailment request, ...)."""
+
+    time_s: float
+    new_limit_w: float | None   #: None lifts the limit entirely
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.time_s, "time_s")
+        if self.new_limit_w is not None:
+            check_positive(self.new_limit_w, "new_limit_w")
+
+
+@dataclass(frozen=True, slots=True)
+class IdleTransition:
+    """A processor entered or left the idle loop."""
+
+    time_s: float
+    node_id: int
+    proc_id: int
+    is_idle: bool
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.time_s, "time_s")
+
+
+class TriggerBus:
+    """Typed publish/subscribe for trigger events."""
+
+    _TYPES = (PowerLimitChange, IdleTransition)
+
+    def __init__(self) -> None:
+        self._subscribers: dict[type, list[Callable]] = {
+            t: [] for t in self._TYPES
+        }
+        #: Every trigger ever published, in order (for logs and tests).
+        self.history: list[object] = []
+
+    def subscribe(self, trigger_type: type, callback: Callable) -> None:
+        """Register ``callback(trigger)`` for one trigger type."""
+        if trigger_type not in self._subscribers:
+            raise SchedulingError(
+                f"unknown trigger type {trigger_type!r}; known: "
+                f"{[t.__name__ for t in self._TYPES]}"
+            )
+        self._subscribers[trigger_type].append(callback)
+
+    def publish(self, trigger: PowerLimitChange | IdleTransition) -> int:
+        """Deliver a trigger to its subscribers; returns delivery count."""
+        callbacks = self._subscribers.get(type(trigger))
+        if callbacks is None:
+            raise SchedulingError(f"unknown trigger {trigger!r}")
+        self.history.append(trigger)
+        for cb in callbacks:
+            cb(trigger)
+        return len(callbacks)

@@ -1,0 +1,45 @@
+"""Minimum-voltage assignment (Figure 3, step 3).
+
+"The algorithm relies on a table look-up to determine the lowest voltage
+setting allowed for the selected frequency of each processor.  It may be
+the case that the voltage table is different for each processor if there is
+significant process variation among them."
+
+A :class:`VoltageSelector` maps (node, proc, frequency) to a voltage via a
+default curve plus optional per-processor overrides.  The default curve is
+the V(f) recovered by the Lava fit of Table 1.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..power.lava import fit_lava_model
+from ..power.table import POWER4_TABLE
+from ..power.vf_curve import VoltageFrequencyCurve
+
+__all__ = ["default_vf_curve", "VoltageSelector"]
+
+
+@lru_cache(maxsize=1)
+def default_vf_curve() -> VoltageFrequencyCurve:
+    """The minimum-voltage curve implied by Table 1 (computed once)."""
+    return fit_lava_model(POWER4_TABLE).vf_curve
+
+
+class VoltageSelector:
+    """Per-processor minimum-voltage lookup with process-variation overrides."""
+
+    def __init__(self, curve: VoltageFrequencyCurve | None = None) -> None:
+        self._default = curve if curve is not None else default_vf_curve()
+        self._overrides: dict[tuple[int, int], VoltageFrequencyCurve] = {}
+
+    def set_processor_curve(self, node_id: int, proc_id: int,
+                            curve: VoltageFrequencyCurve) -> None:
+        """Install a processor-specific curve (process variation)."""
+        self._overrides[(node_id, proc_id)] = curve
+
+    def min_voltage(self, node_id: int, proc_id: int, freq_hz: float) -> float:
+        """The lowest stable voltage for this processor at this frequency."""
+        curve = self._overrides.get((node_id, proc_id), self._default)
+        return curve.min_voltage(freq_hz)

@@ -1,0 +1,87 @@
+"""One-page digest of the whole reproduction.
+
+``fvsst digest`` runs every registered experiment (fast mode by default)
+and emits a single markdown document: headline scalars and tables per
+artifact, the validation verdict on top.  Useful as a regression snapshot
+— run it before and after a change and diff the two files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .analysis.report import ExperimentResult
+from .errors import ExperimentError
+
+__all__ = ["build_digest", "write_digest"]
+
+#: Paper artifacts first, extensions after, ablations last.
+_ORDER = (
+    "table1", "table2", "table3",
+    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "worked_example",
+    "failover", "response_time", "thermal", "cluster_cap",
+    "cluster_failover", "migration", "variation", "server_demand",
+    "masking", "sensitivity_latency", "sensitivity_noise",
+    "ablation_epsilon", "ablation_period", "ablation_predictor",
+    "ablation_policies", "ablation_daemon",
+)
+
+
+def _section(result: ExperimentResult) -> str:
+    parts = [f"## {result.experiment_id} — {result.description}\n"]
+    if result.scalars:
+        parts.append("".join(
+            f"* `{k}` = {v:.4g}\n" for k, v in result.scalars.items()
+        ))
+    for table in result.tables:
+        parts.append("```\n" + table.render() + "\n```\n")
+    for note in result.notes:
+        parts.append(f"> {note}\n")
+    return "\n".join(parts)
+
+
+def build_digest(*, fast: bool = True, seed: int = 2005,
+                 experiment_ids: tuple[str, ...] | None = None) -> str:
+    """Run the experiments and return the digest as markdown text."""
+    from .experiments import REGISTRY, run_experiment
+    from .validation import run_validation
+
+    ids = list(experiment_ids) if experiment_ids is not None else [
+        e for e in _ORDER if e in REGISTRY
+    ]
+    unknown = [e for e in ids if e not in REGISTRY]
+    if unknown:
+        raise ExperimentError(f"unknown experiments: {unknown}")
+    # Anything registered but missing from the static order still runs.
+    if experiment_ids is None:
+        ids += sorted(set(REGISTRY) - set(ids))
+
+    report = run_validation(fast=fast, seed=seed)
+    lines = [
+        "# fvsst reproduction digest",
+        "",
+        f"mode: {'fast' if fast else 'full'}; seed: {seed}; "
+        f"experiments: {len(ids)}",
+        "",
+        "## Validation",
+        "",
+        "```",
+        report.render(),
+        "```",
+        "",
+        f"**{'ALL CHECKS PASS' if report.passed else 'FAILURES PRESENT'}**",
+        "",
+    ]
+    for eid in ids:
+        result = run_experiment(eid, seed=seed, fast=fast)
+        lines.append(_section(result))
+    return "\n".join(lines)
+
+
+def write_digest(path: str | Path, **kwargs) -> Path:
+    """Build the digest and write it to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_digest(**kwargs))
+    return path

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError` so callers
+can catch package failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "UnitError",
+    "ModelError",
+    "PowerModelError",
+    "FrequencyError",
+    "BudgetError",
+    "InfeasibleBudgetError",
+    "SimulationError",
+    "SchedulingError",
+    "WorkloadError",
+    "CounterError",
+    "ClusterError",
+    "CascadeFailureError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation."""
+
+
+class UnitError(ReproError):
+    """A quantity was supplied in an impossible range for its unit."""
+
+
+class ModelError(ReproError):
+    """The performance model was given inputs outside its domain."""
+
+
+class PowerModelError(ReproError):
+    """The power model was given inputs outside its domain."""
+
+
+class FrequencyError(ReproError):
+    """A frequency is not in the machine's available frequency set."""
+
+
+class BudgetError(ReproError):
+    """A power budget is malformed (non-positive, inverted margins, ...)."""
+
+
+class InfeasibleBudgetError(BudgetError):
+    """No frequency assignment can satisfy the power budget.
+
+    Raised by the scheduler when every processor already sits at the lowest
+    available frequency and aggregate power still exceeds the limit.  Callers
+    (e.g. the cluster coordinator) may respond by powering nodes down.
+    """
+
+    def __init__(self, message: str, *, floor_power_w: float | None = None,
+                 limit_w: float | None = None) -> None:
+        super().__init__(message)
+        #: Aggregate power with every processor at its minimum frequency.
+        self.floor_power_w = floor_power_w
+        #: The budget that could not be met.
+        self.limit_w = limit_w
+
+
+class SimulationError(ReproError):
+    """The machine simulator reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """The frequency/voltage scheduler was misused."""
+
+
+class WorkloadError(ReproError):
+    """A workload/phase/job specification is invalid."""
+
+
+class CounterError(ReproError):
+    """Performance counter access failed or produced inconsistent values."""
+
+
+class ClusterError(ReproError):
+    """Cluster coordination failed (unknown node, protocol violation, ...)."""
+
+
+class CascadeFailureError(SimulationError):
+    """The system stayed over the power-supply capacity past the deadline.
+
+    Models the cascading power-supply failure of Section 2 of the paper: if
+    demand is not brought under the surviving supply's capacity within
+    ``delta_t`` seconds of the first failure, the second supply fails too.
+    """
+
+    def __init__(self, message: str, *, time_s: float | None = None) -> None:
+        super().__init__(message)
+        #: Simulation time at which the cascade occurred.
+        self.time_s = time_s
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was asked for an unknown artifact or failed."""

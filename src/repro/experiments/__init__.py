@@ -1,0 +1,82 @@
+"""One experiment module per paper artifact (see DESIGN.md §5).
+
+Every module exposes ``run(seed=..., fast=...) -> ExperimentResult``; the
+``fast`` flag shrinks durations for test suites while keeping shapes.  The
+registry maps artifact ids to the runners for the CLI and benches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..analysis.report import ExperimentResult
+from ..errors import ExperimentError
+from . import (
+    table1,
+    table2,
+    table3,
+    fig1,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    worked_example,
+    failover,
+    cluster_cap,
+    ablations,
+    thermal,
+    server_demand,
+    masking,
+    sensitivity,
+    variation,
+    migration,
+    cluster_failover,
+    response_time,
+)
+
+__all__ = ["REGISTRY", "run_experiment", "ExperimentResult"]
+
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "fig1": fig1.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig9.run_zoom,
+    "worked_example": worked_example.run,
+    "failover": failover.run,
+    "thermal": thermal.run,
+    "server_demand": server_demand.run,
+    "masking": masking.run,
+    "sensitivity_latency": sensitivity.run_latency_miscalibration,
+    "sensitivity_noise": sensitivity.run_noise_sweep,
+    "variation": variation.run,
+    "migration": migration.run,
+    "cluster_failover": cluster_failover.run,
+    "response_time": response_time.run,
+    "cluster_cap": cluster_cap.run,
+    "ablation_epsilon": ablations.run_epsilon_sweep,
+    "ablation_period": ablations.run_period_sweep,
+    "ablation_predictor": ablations.run_predictor_variants,
+    "ablation_policies": ablations.run_policy_comparison,
+    "ablation_daemon": ablations.run_daemon_design,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by artifact id."""
+    try:
+        runner = REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(REGISTRY)}"
+        ) from None
+    return runner(**kwargs)

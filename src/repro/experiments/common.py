@@ -1,0 +1,150 @@
+"""Shared experiment plumbing.
+
+The Table 3 / Figure 6–10 experiments all follow the paper's Section 8
+protocol: a benchmark on one CPU (others hot-idle or absent), a governor
+owning the frequencies, a power budget, and throughput/energy accounting.
+This module provides that harness once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+from ..core.baselines import (
+    NoManagementGovernor,
+    PowerDownGovernor,
+    UniformScalingGovernor,
+    UtilizationGovernor,
+)
+from ..core.daemon import DaemonConfig, FvsstDaemon
+from ..core.governor import Governor
+from ..core.logs import FvsstLog
+from ..errors import ExperimentError
+from ..sim.driver import Simulation
+from ..sim.machine import MachineConfig, SMPMachine
+from ..workloads.job import Job
+
+__all__ = [
+    "GOVERNOR_NAMES",
+    "make_governor",
+    "BenchmarkRun",
+    "run_job_under_governor",
+]
+
+GOVERNOR_NAMES = ("fvsst", "none", "uniform", "powerdown", "utilization")
+
+
+def make_governor(name: str, machine: SMPMachine, *,
+                  power_limit_w: float | None,
+                  daemon_config: DaemonConfig | None = None,
+                  seed: int | None = None) -> Governor:
+    """Instantiate a governor by name with a power budget."""
+    if name == "fvsst":
+        config = daemon_config or DaemonConfig()
+        if config.power_limit_w != power_limit_w:
+            from dataclasses import replace
+            config = replace(config, power_limit_w=power_limit_w)
+        return FvsstDaemon(machine, config, seed=seed)
+    if name == "none":
+        return NoManagementGovernor(machine)
+    if name == "uniform":
+        return UniformScalingGovernor(machine, power_limit_w=power_limit_w)
+    if name == "powerdown":
+        return PowerDownGovernor(machine, power_limit_w=power_limit_w)
+    if name == "utilization":
+        return UtilizationGovernor(machine, power_limit_w=power_limit_w)
+    raise ExperimentError(
+        f"unknown governor {name!r}; available: {GOVERNOR_NAMES}"
+    )
+
+
+@dataclass
+class BenchmarkRun:
+    """Everything measured from one benchmark-under-governor run."""
+
+    job: Job
+    machine: SMPMachine
+    governor: Governor
+    elapsed_s: float
+    #: Throughput of the benchmark job, instructions/second.
+    throughput: float
+    #: Energy of the benchmark core over the job's execution, joules.
+    core_energy_j: float
+    #: fvsst log when the governor was the daemon, else None.
+    log: FvsstLog | None
+
+    @property
+    def average_core_power_w(self) -> float:
+        if self.elapsed_s <= 0:
+            raise ExperimentError("run has no elapsed time")
+        return self.core_energy_j / self.elapsed_s
+
+
+def run_job_under_governor(
+    job: Job,
+    governor_name: str, *,
+    power_limit_w: float | None,
+    bench_core: int = 0,
+    num_cores: int = 1,
+    daemon_config: DaemonConfig | None = None,
+    machine_config: MachineConfig | None = None,
+    seed: int | None = None,
+    max_duration_s: float = 600.0,
+    settle_s: float = 0.0,
+) -> BenchmarkRun:
+    """Run one ONCE-mode job to completion under a named governor.
+
+    The job goes on ``bench_core``; remaining cores hot-idle (the paper's
+    Section 8 setup).  ``settle_s`` optionally lets the governor warm up on
+    idle cores before the job is enqueued.
+    """
+    if job.done:
+        raise ExperimentError(f"job {job.name!r} already completed")
+    machine = SMPMachine(
+        machine_config or MachineConfig(num_cores=num_cores), seed=seed
+    )
+    governor = make_governor(governor_name, machine,
+                             power_limit_w=power_limit_w,
+                             daemon_config=daemon_config, seed=seed)
+    sim = Simulation(machine)
+    governor.attach(sim)
+    if settle_s > 0.0:
+        sim.run_for(settle_s)
+
+    start_energy = machine.ledger.energy_of(f"core{bench_core}")
+    start_time = sim.now_s
+    machine.assign(bench_core, job)
+
+    # Advance in coarse steps until the job completes (events still fire at
+    # exact times inside each step).
+    step = 0.5
+    while not job.done:
+        if sim.now_s - start_time > max_duration_s:
+            raise ExperimentError(
+                f"job {job.name!r} did not finish within {max_duration_s} s "
+                f"under {governor_name!r}"
+            )
+        sim.run_for(step)
+
+    end_time = job.completed_at_s if job.completed_at_s is not None else sim.now_s
+    # Integrate energy exactly to the completion instant by advancing the
+    # remaining fraction of the step before reading the ledger.
+    elapsed = end_time - start_time
+    core_energy = machine.ledger.energy_of(f"core{bench_core}") - start_energy
+    # The ledger runs to sim.now_s (>= completion); scale back linearly over
+    # the short overshoot window to approximate energy at completion.
+    overshoot = sim.now_s - end_time
+    if overshoot > 0 and sim.now_s > start_time:
+        ledger_span = sim.now_s - start_time
+        core_energy *= elapsed / ledger_span
+    throughput = job.instructions_retired / elapsed if elapsed > 0 else 0.0
+    return BenchmarkRun(
+        job=job,
+        machine=machine,
+        governor=governor,
+        elapsed_s=elapsed,
+        throughput=throughput,
+        core_energy_j=core_energy,
+        log=governor.log if isinstance(governor, FvsstDaemon) else None,
+    )

@@ -1,0 +1,62 @@
+"""Figure 1: performance saturation.
+
+Throughput of the synthetic benchmark versus frequency for several
+CPU:memory intensity ratios, normalised to each curve's 1000 MHz value.
+Memory-heavy settings flatten early (their saturation frequency is low);
+pure CPU work is linear in frequency.  This is the model-level phenomenon
+everything else builds on, so the experiment evaluates the ground-truth
+phase model directly (no daemon in the loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import ExperimentResult, SeriesResult
+from ..model.latency import POWER4_LATENCIES
+from ..model.perf import saturation_frequency
+from ..power.table import POWER4_TABLE
+from ..units import to_mhz
+from ..workloads.synthetic import synthetic_phase
+
+__all__ = ["run", "CURVE_INTENSITIES"]
+
+CURVE_INTENSITIES = (1.00, 0.75, 0.50, 0.25, 0.00)
+
+
+def run(seed: int | None = None, fast: bool = False) -> ExperimentResult:
+    """Regenerate Figure 1 (deterministic)."""
+    freqs = POWER4_TABLE.freqs_array()
+    series: dict[str, tuple[float, ...]] = {}
+    saturation_points: dict[str, float] = {}
+    for intensity in CURVE_INTENSITIES:
+        phase = synthetic_phase(intensity, instructions=1.0)
+        throughput = np.array([
+            phase.throughput(POWER4_LATENCIES, f) for f in freqs
+        ])
+        normalised = throughput / throughput[-1]
+        label = f"cpu={int(intensity * 100)}%"
+        series[label] = tuple(float(v) for v in normalised)
+        signature = phase.true_signature(POWER4_LATENCIES)
+        if signature.mem_time_per_instr_s > 0:
+            saturation_points[f"f_sat({label})_mhz"] = to_mhz(
+                saturation_frequency(signature, loss_budget=0.05)
+            )
+
+    fig = SeriesResult(
+        x_label="frequency_mhz",
+        x=tuple(int(to_mhz(f)) for f in freqs),
+        series=series,
+        title="Figure 1: normalised throughput vs frequency",
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        description="performance saturation by memory intensity",
+        series=[fig],
+        scalars=saturation_points,
+        notes=[
+            "Curves with more memory work flatten at lower frequencies; the "
+            "paper's Figure 1 shows the same family of shapes for its "
+            "synthetic benchmark on real hardware.",
+        ],
+    )

@@ -1,0 +1,83 @@
+"""Figure 6: performance impact of power limits, per phase.
+
+The two-phase synthetic benchmark (100% CPU-intensive phase A, 20%
+intensity memory-bound phase B) on a single-processor configuration, run to
+completion under fvsst at a sweep of processor power limits.  Each phase's
+throughput is normalised to its full-power value: the memory phase stays
+flat across the sweep while the CPU phase degrades slightly sub-linearly
+with the frequency cap.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import ExperimentResult, SeriesResult
+from ..errors import ExperimentError
+from ..sim.rng import spawn_seeds
+from ..workloads.synthetic import SyntheticBenchmark
+from .common import run_job_under_governor
+
+__all__ = ["run", "CAPS_W", "phase_throughputs"]
+
+CAPS_W = (140.0, 123.0, 109.0, 95.0, 84.0, 75.0, 66.0, 57.0, 48.0, 41.0, 35.0)
+
+
+def phase_throughputs(intensity_a: float, intensity_b: float, cap_w: float, *,
+                      seed: int, fast: bool,
+                      phase_s: float | None = None) -> dict[str, float]:
+    """Run the two-phase benchmark under one cap; returns per-phase
+    instructions/second keyed by phase name."""
+    duration = phase_s if phase_s is not None else (0.4 if fast else 1.0)
+    repeats = 2 if fast else 3
+    bench = SyntheticBenchmark(
+        intensity_a=intensity_a, intensity_b=intensity_b,
+        duration_a_s=duration, duration_b_s=duration,
+        include_init_exit=False,
+    )
+    job = bench.job(repeats=repeats)
+    run = run_job_under_governor(job, "fvsst", power_limit_w=cap_w, seed=seed)
+    phase_a, phase_b = bench.main_phases()
+    core = run.machine.core(0)
+    out = {}
+    for phase in (phase_a, phase_b):
+        time_in_phase = core.phase_time_s.get(phase.name, 0.0)
+        if time_in_phase <= 0:
+            raise ExperimentError(f"no time recorded in {phase.name!r}")
+        out[phase.name] = phase.instructions * repeats / time_in_phase
+    return out
+
+
+def run(seed: int = 2005, fast: bool = False) -> ExperimentResult:
+    """Regenerate Figure 6."""
+    caps = CAPS_W[::3] if fast else CAPS_W
+    seeds = spawn_seeds(seed, len(caps))
+    rows_a, rows_b = [], []
+    for cap, s in zip(caps, seeds):
+        t = phase_throughputs(1.00, 0.20, cap, seed=s, fast=fast)
+        rows_a.append(t["phase-a"])
+        rows_b.append(t["phase-b"])
+    base_a, base_b = rows_a[0], rows_b[0]
+
+    fig = SeriesResult(
+        x_label="power_limit_w",
+        x=tuple(int(c) for c in caps),
+        series={
+            "cpu_phase_normalised": tuple(v / base_a for v in rows_a),
+            "mem_phase_normalised": tuple(v / base_b for v in rows_b),
+        },
+        title="Figure 6: per-phase performance vs power limit",
+    )
+    return ExperimentResult(
+        experiment_id="fig6",
+        description="performance impact of power limits (100% / 20% phases)",
+        series=[fig],
+        scalars={
+            "cpu_phase_at_min_cap": rows_a[-1] / base_a,
+            "mem_phase_at_min_cap": rows_b[-1] / base_b,
+        },
+        notes=[
+            "The memory-intensive phase shows no degradation across the "
+            "sweep; the CPU-intensive phase degrades slightly less than "
+            "one-to-one with the frequency cap (residual memory stalls) — "
+            "the paper's Figure 6 shapes.",
+        ],
+    )

@@ -1,0 +1,112 @@
+"""Frequency scheduling vs work scheduling (Section 1's first claim).
+
+The paper's opening argument: schedule frequencies, not work, because
+migration costs, is often impossible, and needs scheduler changes.  This
+experiment runs the strongest single-SMP work scheduler we can build — the
+:class:`~repro.core.consolidation.ConsolidationGovernor`, which packs all
+jobs onto as many full-speed cores as the budget affords — against fvsst
+at a budget sweep, on the four-application mix.
+
+fvsst's edge comes from saturation: under the budget it keeps *every* job
+on its own processor at a rung near its saturation point, while
+consolidation time-slices pairs of jobs on shared full-speed cores (each
+job seeing half a core plus migration stalls).
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import ExperimentResult, TableResult
+from ..core.consolidation import ConsolidationGovernor
+from ..core.daemon import DaemonConfig, FvsstDaemon, OverheadModel
+from ..sim.core import CoreConfig
+from ..sim.driver import Simulation
+from ..sim.machine import MachineConfig, SMPMachine
+from ..sim.rng import spawn_seeds
+from ..workloads.profiles import ALL_PROFILES
+
+__all__ = ["run", "BUDGETS_W"]
+
+BUDGETS_W = (560.0, 294.0, 150.0)
+APPS = ("gzip", "gap", "mcf", "health")
+
+
+def _build(seed: int) -> SMPMachine:
+    machine = SMPMachine(MachineConfig(
+        num_cores=4,
+        core_config=CoreConfig(latency_jitter_sigma=0.0),
+    ), seed=seed)
+    for i, app in enumerate(APPS):
+        machine.assign(i, ALL_PROFILES[app].job(loop=True))
+    return machine
+
+
+def _run(policy: str, budget: float, *, seed: int,
+         fast: bool) -> dict[str, float]:
+    duration = 3.0 if fast else 8.0
+    machine = _build(seed)
+    sim = Simulation(machine)
+    migrations = 0
+    if policy == "fvsst":
+        FvsstDaemon(machine, DaemonConfig(
+            power_limit_w=budget, counter_noise_sigma=0.0,
+            overhead=OverheadModel(enabled=False)), seed=seed + 1
+        ).attach(sim)
+    else:
+        governor = ConsolidationGovernor(machine, power_limit_w=budget)
+        governor.attach(sim)
+    sim.run_for(duration)
+    if policy != "fvsst":
+        migrations = governor.migrations
+    powers = [machine.meter.core_power_w(c, sim.now_s)
+              for c in machine.cores]
+    return {
+        "instructions": sum(c.counters.instructions
+                            for c in machine.cores),
+        "power_w": sum(powers),
+        "migrations": float(migrations),
+    }
+
+
+def run(seed: int = 2005, fast: bool = False) -> ExperimentResult:
+    """Budget sweep: fvsst vs consolidation."""
+    seeds = spawn_seeds(seed, 2 * len(BUDGETS_W) + 1)
+    reference = _run("fvsst", BUDGETS_W[0], seed=seeds[-1], fast=fast)
+
+    rows = []
+    ratios = {}
+    for i, budget in enumerate(BUDGETS_W):
+        fvsst = _run("fvsst", budget, seed=seeds[2 * i], fast=fast)
+        consolidation = _run("consolidation", budget,
+                             seed=seeds[2 * i + 1], fast=fast)
+        norm_f = fvsst["instructions"] / reference["instructions"]
+        norm_c = consolidation["instructions"] / reference["instructions"]
+        ratios[budget] = norm_f / norm_c if norm_c > 0 else float("inf")
+        rows.append((
+            int(budget),
+            round(norm_f, 3),
+            round(norm_c, 3),
+            int(consolidation["migrations"]),
+            round(fvsst["power_w"], 0),
+            round(consolidation["power_w"], 0),
+        ))
+    table = TableResult(
+        headers=("budget_w", "fvsst_norm", "consolidation_norm",
+                 "migrations", "fvsst_w", "consolidation_w"),
+        rows=tuple(rows),
+        title="Frequency scheduling vs consolidation-by-migration",
+    )
+    return ExperimentResult(
+        experiment_id="migration",
+        description="Section 1: scheduling frequencies vs scheduling work",
+        tables=[table],
+        scalars={
+            f"advantage@{int(b)}": ratios[b] for b in BUDGETS_W
+        },
+        notes=[
+            "Unconstrained (560 W) the approaches tie: everyone runs at "
+            "speed (fvsst slightly ahead on energy, not shown).  Under a "
+            "budget, consolidation halves each job's core share while "
+            "fvsst trades frequency only where saturation makes it cheap "
+            "— and pays zero migrations.",
+        ],
+    )

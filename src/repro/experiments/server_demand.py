@@ -1,0 +1,136 @@
+"""Web-server demand scenario (the Elnozahy et al. comparison, Section 3.1).
+
+A single-processor web server with a compressed diurnal load cycle.  Four
+policies run the same request stream:
+
+* ``none`` — always 1000 MHz: best latency, worst energy.
+* ``utilization`` — DBS/LongRun-style stepping on a *halting* core: the
+  demand-driven scheme on its home turf.
+* ``fvsst`` — counter-driven, with idle detection enabled (the Section 5
+  design): idle troughs go to the floor; busy periods get what the
+  request mix can actually use.
+* ``fvsst-hot-noidle`` — fvsst on the hot-idling Power4+ without the idle
+  signal, showing the pathology Section 7.1 describes (idle looks like
+  CPU-bound work, so little energy is saved in the troughs).
+
+Scored on CPU energy and p95 request latency.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import ExperimentResult, TableResult
+from ..core.baselines import NoManagementGovernor, UtilizationGovernor
+from ..core.daemon import DaemonConfig, FvsstDaemon
+from ..sim.core import CoreConfig
+from ..sim.driver import Simulation
+from ..sim.idle import IdleStyle
+from ..sim.machine import MachineConfig, SMPMachine
+from ..sim.rng import spawn_seeds
+from ..workloads.server import ServerSource, diurnal_rate
+
+__all__ = ["run", "POLICIES"]
+
+POLICIES = ("none", "utilization", "fvsst", "fvsst-hot-noidle")
+
+#: Peak service demand: ~2M instr/request at ~0.5 GIPS floor throughput
+#: keeps even the trough frequency comfortably ahead of arrivals.
+LOW_RATE = 20.0
+HIGH_RATE = 140.0
+PERIOD_S = 8.0
+
+
+def _build(policy: str, seed: int):
+    idle_style = (IdleStyle.HOT_LOOP
+                  if policy in ("fvsst-hot-noidle", "none-hot")
+                  else IdleStyle.HALT)
+    machine = SMPMachine(MachineConfig(
+        num_cores=1,
+        core_config=CoreConfig(latency_jitter_sigma=0.0,
+                               idle_style=idle_style),
+    ), seed=seed)
+    sim = Simulation(machine)
+    if policy in ("none", "none-hot"):
+        NoManagementGovernor(machine).attach(sim)
+    elif policy == "utilization":
+        UtilizationGovernor(machine, power_limit_w=None).attach(sim)
+    elif policy == "fvsst":
+        FvsstDaemon(machine, DaemonConfig(
+            counter_noise_sigma=0.0, idle_detection=True,
+        ), seed=seed + 1).attach(sim)
+    elif policy == "fvsst-hot-noidle":
+        FvsstDaemon(machine, DaemonConfig(
+            counter_noise_sigma=0.0, idle_detection=False,
+        ), seed=seed + 1).attach(sim)
+    else:
+        raise ValueError(policy)
+    return machine, sim
+
+
+def _run_policy(policy: str, *, seed: int, fast: bool) -> dict[str, float]:
+    duration = PERIOD_S * (1 if fast else 3)
+    machine, sim = _build(policy, seed)
+    source = ServerSource(
+        machine, 0,
+        rate_per_s=diurnal_rate(LOW_RATE, HIGH_RATE, PERIOD_S),
+        max_rate_per_s=HIGH_RATE,
+        rng=seed + 2,
+    )
+    source.attach(sim)
+    sim.run_for(duration)
+    return {
+        "energy_j": machine.ledger.energy_of("core0"),
+        "p95_latency_ms": source.latency_percentile_s(95) * 1e3,
+        "mean_latency_ms": source.mean_latency_s() * 1e3,
+        "completed": float(source.completed),
+        "issued": float(source.issued),
+    }
+
+
+def run(seed: int = 2005, fast: bool = False) -> ExperimentResult:
+    """Run the diurnal server scenario under all four policies."""
+    seeds = spawn_seeds(seed, len(POLICIES) + 1)
+    results = {p: _run_policy(p, seed=s, fast=fast)
+               for p, s in zip(POLICIES, seeds)}
+    # Each policy is normalised against an unmanaged run with the *same*
+    # idle style, so the hot-noidle row isolates the idle-loop pathology
+    # rather than the halting hardware's idle discount.
+    results["none-hot"] = _run_policy("none-hot", seed=seeds[-1], fast=fast)
+    base_energy = results["none"]["energy_j"]
+    hot_base_energy = results["none-hot"]["energy_j"]
+
+    rows = []
+    for policy in POLICIES:
+        r = results[policy]
+        base = hot_base_energy if policy == "fvsst-hot-noidle" else base_energy
+        rows.append((
+            policy,
+            round(r["energy_j"] / base, 3),
+            round(r["p95_latency_ms"], 2),
+            round(r["mean_latency_ms"], 2),
+            int(r["completed"]),
+        ))
+    table = TableResult(
+        headers=("policy", "norm_energy", "p95_latency_ms",
+                 "mean_latency_ms", "completed"),
+        rows=tuple(rows),
+        title=f"Diurnal web load {LOW_RATE}-{HIGH_RATE} req/s, "
+              f"period {PERIOD_S}s",
+    )
+    return ExperimentResult(
+        experiment_id="server_demand",
+        description="demand-driven server: fvsst vs utilization stepping",
+        tables=[table],
+        scalars={
+            "fvsst_norm_energy": results["fvsst"]["energy_j"] / base_energy,
+            "hot_noidle_norm_energy": (
+                results["fvsst-hot-noidle"]["energy_j"] / hot_base_energy),
+            "fvsst_p95_ms": results["fvsst"]["p95_latency_ms"],
+        },
+        notes=[
+            "With idle detection, fvsst rides the load troughs at the "
+            "frequency floor and saves substantial energy at modest "
+            "latency cost; without it (hot idle), the idle loop's IPC 1.3 "
+            "masquerades as demanding work and most of the saving "
+            "disappears — the Section 5/7.1 pathology quantified.",
+        ],
+    )

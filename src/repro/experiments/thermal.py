@@ -1,0 +1,135 @@
+"""Thermal emergency: the Section 2 air-conditioning failure.
+
+At ``T0`` a CRAC unit fails and the machine-room ambient ramps from 25 °C
+toward 45 °C.  A thermal monitor converts ambient + junction limit into the
+processor power budget; fvsst receives budget updates and slows the
+processors so the hottest core never crosses its junction limit.  The
+unmanaged system saturates its thermal envelope and overheats.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import ExperimentResult, SeriesResult, TableResult
+from ..core.daemon import DaemonConfig, FvsstDaemon
+from ..power.thermal import ThermalMonitor, ThermalParams
+from ..sim.driver import Simulation
+from ..sim.machine import MachineConfig, SMPMachine
+from ..sim.rng import spawn_seeds
+from ..workloads.profiles import ALL_PROFILES
+
+__all__ = ["run", "T0_S", "AMBIENT_START_C", "AMBIENT_FAILED_C"]
+
+T0_S = 2.0
+AMBIENT_START_C = 25.0
+AMBIENT_FAILED_C = 45.0
+#: Ambient climb rate after the CRAC failure, degrees per second.
+RAMP_C_PER_S = 2.0
+
+
+def _scenario(manage: bool, *, seed: int, fast: bool) -> dict:
+    duration = (15.0 if fast else 45.0)
+    machine = SMPMachine(MachineConfig(num_cores=4), seed=seed)
+    for i, app in enumerate(("gzip", "gap", "mcf", "health")):
+        machine.assign(i, ALL_PROFILES[app].job(loop=True))
+    monitor = ThermalMonitor(4, ThermalParams(),
+                             ambient_c=AMBIENT_START_C)
+    # The machine has been running flat out: cores start at steady state.
+    monitor.warm_start(140.0)
+    sim = Simulation(machine)
+    daemon: FvsstDaemon | None = None
+    if manage:
+        daemon = FvsstDaemon(machine, DaemonConfig(), seed=seed + 1)
+        daemon.attach(sim)
+
+    state = {"ambient": AMBIENT_START_C, "last_cap": None}
+    series_t: list[float] = []
+    series_temp: list[float] = []
+    series_power: list[float] = []
+
+    def tick(t: float) -> None:
+        # Ambient ramp after the failure.
+        if t >= T0_S and state["ambient"] < AMBIENT_FAILED_C:
+            state["ambient"] = min(
+                AMBIENT_FAILED_C,
+                AMBIENT_START_C + RAMP_C_PER_S * (t - T0_S),
+            )
+            monitor.set_ambient(state["ambient"])
+        powers = [machine.meter.core_power_w(c, t) for c in machine.cores]
+        monitor.advance(t, 0.05, powers)
+        if daemon is not None:
+            # An aggregate power budget cannot protect the hottest core
+            # (greedy spares the CPU-bound processors); thermal safety
+            # needs the per-processor frequency ceiling instead.
+            per_core_w = monitor.cpu_budget_w() / machine.num_cores
+            cap = machine.table.max_frequency_under(per_core_w)
+            cap = machine.table.f_min_hz if cap is None else cap
+            if cap != state["last_cap"]:
+                daemon.set_frequency_cap(cap, t)
+                state["last_cap"] = cap
+        series_t.append(t)
+        series_temp.append(monitor.hottest_c)
+        series_power.append(machine.cpu_power_w())
+
+    sim.every(0.05, tick)
+    sim.run_for(duration)
+
+    return {
+        "peak_c": max(series_temp),
+        "limit_c": monitor.params.t_limit_c,
+        "over_limit_fraction": sum(
+            1 for v in series_temp if v > monitor.params.t_limit_c
+        ) / len(series_temp),
+        "final_power_w": machine.cpu_power_w(),
+        "t": series_t,
+        "temp": series_temp,
+        "power": series_power,
+    }
+
+
+def run(seed: int = 2005, fast: bool = False) -> ExperimentResult:
+    """Run the CRAC-failure scenario managed and unmanaged."""
+    seeds = spawn_seeds(seed, 2)
+    managed = _scenario(True, seed=seeds[0], fast=fast)
+    unmanaged = _scenario(False, seed=seeds[1], fast=fast)
+
+    table = TableResult(
+        headers=("policy", "peak_temp_c", "limit_c", "over_limit_fraction",
+                 "final_cpu_w"),
+        rows=(
+            ("fvsst", round(managed["peak_c"], 1), managed["limit_c"],
+             round(managed["over_limit_fraction"], 3),
+             round(managed["final_power_w"], 0)),
+            ("none", round(unmanaged["peak_c"], 1), unmanaged["limit_c"],
+             round(unmanaged["over_limit_fraction"], 3),
+             round(unmanaged["final_power_w"], 0)),
+        ),
+        title=f"CRAC failure at t={T0_S}s: ambient "
+              f"{AMBIENT_START_C}->{AMBIENT_FAILED_C} C",
+    )
+    stride = max(1, len(managed["t"]) // 60)
+    fig = SeriesResult(
+        x_label="time_s",
+        x=tuple(round(v, 2) for v in managed["t"][::stride]),
+        series={
+            "fvsst_hottest_c": tuple(managed["temp"][::stride]),
+            "none_hottest_c": tuple(unmanaged["temp"][::stride]),
+            "fvsst_cpu_w": tuple(managed["power"][::stride]),
+        },
+        title="Hottest-core temperature under the ambient ramp",
+    )
+    return ExperimentResult(
+        experiment_id="thermal",
+        description="air-conditioning failure: thermal-budget DVFS",
+        tables=[table],
+        series=[fig],
+        scalars={
+            "managed_peak_c": managed["peak_c"],
+            "unmanaged_peak_c": unmanaged["peak_c"],
+        },
+        notes=[
+            "The thermal monitor converts ambient + junction limit into a "
+            "processor budget; fvsst tracks the shrinking budget and the "
+            "hottest core stays at/below the limit, while the unmanaged "
+            "system exceeds it once the ambient ramp completes.",
+        ],
+    )

@@ -1,0 +1,47 @@
+"""Section 4.3 performance model: counter-driven IPC prediction.
+
+The model decomposes cycles-per-instruction into a frequency-independent core
+component (ideal CPI ``1/alpha`` plus L1 stall cycles) and a
+frequency-dependent memory component reconstructed from L2/L3/DRAM access
+counts and their constant wall-clock service times:
+
+    CPI(f) = 1/alpha + S_L1 + [(N_L2*T_L2 + N_L3*T_L3 + N_mem*T_mem)/Instr] * f
+
+Submodules:
+
+* :mod:`~repro.model.latency` — memory-hierarchy service-time profiles.
+* :mod:`~repro.model.ipc` — the CPI/IPC projection equations.
+* :mod:`~repro.model.perf` — ``Perf(f) = IPC(f) * f`` and ``PerfLoss``.
+* :mod:`~repro.model.ideal` — the closed-form continuous ``f_ideal``.
+* :mod:`~repro.model.bounds` — best/worst-case latency bound predictor
+  (footnote 1, second approach).
+* :mod:`~repro.model.twopoint` — two-frequency calibration (footnote 1,
+  first approach, from reference [2]).
+"""
+
+from .latency import MemoryLatencyProfile, POWER4_LATENCIES
+from .ipc import MemoryCounts, WorkloadSignature, predict_cpi, predict_ipc, signature_from_counts
+from .perf import perf, perf_loss, perf_at_frequencies, saturation_frequency
+from .ideal import ideal_frequency
+from .bounds import LatencyBounds, PredictionInterval, predict_ipc_bounds
+from .twopoint import TwoPointCalibration, calibrate_two_point
+
+__all__ = [
+    "MemoryLatencyProfile",
+    "POWER4_LATENCIES",
+    "MemoryCounts",
+    "WorkloadSignature",
+    "predict_cpi",
+    "predict_ipc",
+    "signature_from_counts",
+    "perf",
+    "perf_loss",
+    "perf_at_frequencies",
+    "saturation_frequency",
+    "ideal_frequency",
+    "LatencyBounds",
+    "PredictionInterval",
+    "predict_ipc_bounds",
+    "TwoPointCalibration",
+    "calibrate_two_point",
+]

@@ -1,0 +1,100 @@
+"""Best/worst-case latency-bound prediction (footnote 1, second approach).
+
+The constant-latency assumption of the base model is a known source of error:
+real service times vary with queueing, page-mode hits, and prefetching.  The
+footnote describes an investigated alternative that brackets the truth by
+evaluating the model at *best-case* and *worst-case* latency profiles,
+yielding an interval prediction at each candidate frequency.
+
+A conservative scheduler can then test ``epsilon`` against the pessimistic
+end of the interval before lowering frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..units import check_positive
+from .ipc import MemoryCounts, signature_from_counts
+from .latency import MemoryLatencyProfile
+
+__all__ = ["LatencyBounds", "PredictionInterval", "predict_ipc_bounds"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyBounds:
+    """A pair of latency profiles bracketing the true service times."""
+
+    best: MemoryLatencyProfile
+    worst: MemoryLatencyProfile
+
+    def __post_init__(self) -> None:
+        if not (
+            self.best.t_l2_s <= self.worst.t_l2_s
+            and self.best.t_l3_s <= self.worst.t_l3_s
+            and self.best.t_mem_s <= self.worst.t_mem_s
+        ):
+            raise ModelError("best-case latencies must not exceed worst-case")
+
+    @classmethod
+    def from_nominal(
+        cls,
+        nominal: MemoryLatencyProfile,
+        *,
+        spread: float,
+    ) -> "LatencyBounds":
+        """Symmetric bounds ``nominal * (1 -/+ spread)``, ``0 < spread < 1``."""
+        check_positive(spread, "spread")
+        if spread >= 1.0:
+            raise ModelError("spread must be < 1 so best-case stays positive")
+        return cls(best=nominal.scaled(1.0 - spread), worst=nominal.scaled(1.0 + spread))
+
+
+@dataclass(frozen=True, slots=True)
+class PredictionInterval:
+    """An IPC prediction interval ``[low, high]`` at one frequency.
+
+    ``low`` comes from the worst-case latencies (slow memory -> low IPC);
+    ``high`` from the best-case ones.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low <= self.high:
+            raise ModelError(f"invalid interval [{self.low}, {self.high}]")
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def predict_ipc_bounds(
+    counts: MemoryCounts,
+    bounds: LatencyBounds,
+    freq_hz: float,
+    *,
+    alpha: float,
+) -> PredictionInterval:
+    """Project an IPC interval at ``freq_hz`` from counter deltas.
+
+    The interval is exact under the model family: any constant latency
+    profile lying between ``bounds.best`` and ``bounds.worst`` produces an
+    IPC inside the returned interval, because IPC is monotone decreasing in
+    each ``T_i``.
+    """
+    sig_best = signature_from_counts(counts, bounds.best, alpha=alpha)
+    sig_worst = signature_from_counts(counts, bounds.worst, alpha=alpha)
+    return PredictionInterval(
+        low=sig_worst.ipc(freq_hz),
+        high=sig_best.ipc(freq_hz),
+    )

@@ -1,0 +1,87 @@
+"""The continuous "ideal frequency" extension (Section 5).
+
+For processors offering many (or continuous) frequency settings, evaluating
+``PerfLoss`` at every step is wasteful.  The paper instead inverts the
+performance equation: given a tolerated loss ``epsilon`` relative to
+``f_max``, the target throughput is ``P_t = Perf(f_max) * (1 - epsilon)`` and
+
+    Perf(f) = f / (c0 + m*f) = P_t
+    =>  f_ideal = P_t * c0 / (1 - m * P_t)
+
+which is the paper's closed form (the paper writes ``c0 = 1/alpha`` and
+multiplies through by ``Instr``; ours keeps the L1 stall term inside ``c0``).
+CPU-bound work (paper heuristic: ``IPC > 1`` at ``f_max``) gets ``f_max``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from ..units import check_fraction, check_positive
+from .ipc import WorkloadSignature
+from .perf import perf
+
+__all__ = ["ideal_frequency"]
+
+#: IPC above which the paper's heuristic declares a workload CPU-bound and
+#: pins it at the maximum frequency.
+CPU_BOUND_IPC_THRESHOLD = 1.0
+
+
+def ideal_frequency(
+    signature: WorkloadSignature,
+    f_max_hz: float,
+    *,
+    epsilon: float,
+    f_min_hz: float | None = None,
+    ipc_threshold: float = CPU_BOUND_IPC_THRESHOLD,
+) -> float:
+    """Continuous frequency at which the workload loses exactly ``epsilon``
+    of its ``f_max`` throughput.
+
+    Parameters
+    ----------
+    signature:
+        Frequency-separable workload description.
+    f_max_hz:
+        Nominal maximum frequency; both the loss reference and the ceiling of
+        the returned value.
+    epsilon:
+        Tolerated fractional performance loss, in ``(0, 1)``.
+    f_min_hz:
+        Optional hardware floor; the result is clamped up to it.
+    ipc_threshold:
+        The paper pins workloads with ``IPC(f_max) > 1`` at ``f_max``; pass a
+        different threshold (or ``float('inf')`` to disable the heuristic and
+        always use the closed form).
+
+    Returns
+    -------
+    float
+        The ideal frequency in Hz, clamped into ``[f_min_hz, f_max_hz]``.
+    """
+    check_positive(f_max_hz, "f_max_hz")
+    check_fraction(epsilon, "epsilon")
+    if epsilon in (0.0, 1.0):
+        raise ModelError("epsilon must lie strictly between 0 and 1")
+    if f_min_hz is not None:
+        check_positive(f_min_hz, "f_min_hz")
+        if f_min_hz > f_max_hz:
+            raise ModelError(f"f_min {f_min_hz} exceeds f_max {f_max_hz}")
+
+    if signature.ipc(f_max_hz) > ipc_threshold:
+        return f_max_hz
+
+    target = perf(signature, f_max_hz) * (1.0 - epsilon)
+    m = signature.mem_time_per_instr_s
+    denom = 1.0 - m * target
+    if denom <= 0.0:
+        # Target throughput at or above the saturation asymptote 1/m: no
+        # finite frequency reaches it, so the best available is f_max.
+        f_ideal = f_max_hz
+    else:
+        f_ideal = target * signature.core_cpi / denom
+
+    f_ideal = min(f_ideal, f_max_hz)
+    if f_min_hz is not None:
+        f_ideal = max(f_ideal, f_min_hz)
+    return f_ideal

@@ -1,0 +1,165 @@
+"""The CPI/IPC projection equations of Section 4.3.
+
+Given performance-counter data gathered over an interval at *any* frequency,
+the model projects the IPC the same work would achieve at another frequency.
+The key quantity is the per-instruction *memory time*
+
+    m = (N_L2*T_L2 + N_L3*T_L3 + N_mem*T_mem) / Instr        [seconds/instr]
+
+which is frequency-invariant, while its contribution in cycles is ``m * f``.
+The frequency-independent cycle component is
+
+    c0 = 1/alpha + S_L1                                      [cycles/instr]
+
+so ``CPI(f) = c0 + m*f`` and ``IPC(f) = 1 / (c0 + m*f)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from ..units import check_non_negative, check_positive
+from .latency import MemoryLatencyProfile
+
+__all__ = [
+    "MemoryCounts",
+    "WorkloadSignature",
+    "predict_cpi",
+    "predict_ipc",
+    "signature_from_counts",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryCounts:
+    """Raw per-interval counter deltas, as a Power4+-style kernel interface
+    would report them.
+
+    Attributes
+    ----------
+    instructions:
+        Instructions completed in the interval.
+    n_l2, n_l3, n_mem:
+        Number of accesses *serviced by* the L2, the L3 and DRAM.  (An L1
+        miss that hits in L2 counts once in ``n_l2`` only.)
+    l1_stall_cycles:
+        Stall cycles attributable to L1 hits beyond the pipelined single
+        cycle — frequency-independent in cycles.
+    """
+
+    instructions: float
+    n_l2: float = 0.0
+    n_l3: float = 0.0
+    n_mem: float = 0.0
+    l1_stall_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.instructions, "instructions")
+        check_non_negative(self.n_l2, "n_l2")
+        check_non_negative(self.n_l3, "n_l3")
+        check_non_negative(self.n_mem, "n_mem")
+        check_non_negative(self.l1_stall_cycles, "l1_stall_cycles")
+
+    def __add__(self, other: "MemoryCounts") -> "MemoryCounts":
+        if not isinstance(other, MemoryCounts):
+            return NotImplemented
+        return MemoryCounts(
+            instructions=self.instructions + other.instructions,
+            n_l2=self.n_l2 + other.n_l2,
+            n_l3=self.n_l3 + other.n_l3,
+            n_mem=self.n_mem + other.n_mem,
+            l1_stall_cycles=self.l1_stall_cycles + other.l1_stall_cycles,
+        )
+
+    def memory_time_s(self, latencies: MemoryLatencyProfile) -> float:
+        """Total off-core wall-clock time, ``N_L2*T_L2 + N_L3*T_L3 + N_mem*T_mem``."""
+        return (
+            self.n_l2 * latencies.t_l2_s
+            + self.n_l3 * latencies.t_l3_s
+            + self.n_mem * latencies.t_mem_s
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSignature:
+    """The two frequency-separable per-instruction components of a workload.
+
+    ``core_cpi`` is in cycles/instruction; ``mem_time_per_instr_s`` is in
+    seconds/instruction.  Together they determine IPC at every frequency:
+    ``IPC(f) = 1 / (core_cpi + mem_time_per_instr_s * f)``.
+    """
+
+    core_cpi: float
+    mem_time_per_instr_s: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.core_cpi, "core_cpi")
+        check_non_negative(self.mem_time_per_instr_s, "mem_time_per_instr_s")
+
+    def cpi(self, freq_hz: float) -> float:
+        """Projected cycles per instruction at ``freq_hz``."""
+        check_positive(freq_hz, "freq_hz")
+        return self.core_cpi + self.mem_time_per_instr_s * freq_hz
+
+    def ipc(self, freq_hz: float) -> float:
+        """Projected instructions per cycle at ``freq_hz``."""
+        return 1.0 / self.cpi(freq_hz)
+
+    def ipc_array(self, freqs_hz: np.ndarray) -> np.ndarray:
+        """Vectorised IPC projection over an array of frequencies."""
+        freqs = np.asarray(freqs_hz, dtype=float)
+        if np.any(freqs <= 0):
+            raise ModelError("all frequencies must be positive")
+        return 1.0 / (self.core_cpi + self.mem_time_per_instr_s * freqs)
+
+    @property
+    def is_memory_free(self) -> bool:
+        """True when the workload never leaves the core/L1 (pure CPU work)."""
+        return self.mem_time_per_instr_s == 0.0
+
+
+def signature_from_counts(
+    counts: MemoryCounts,
+    latencies: MemoryLatencyProfile,
+    *,
+    alpha: float,
+) -> WorkloadSignature:
+    """Build a :class:`WorkloadSignature` from raw counter deltas.
+
+    ``alpha`` is the IPC of an ideal stall-free machine for this workload —
+    a per-platform constant combining the workload's ILP with the core's
+    issue resources (Section 4.3).  The prototype treats it as a calibrated
+    constant; the predictor in :mod:`repro.core.predictor` estimates it
+    online instead.
+    """
+    check_positive(alpha, "alpha")
+    if counts.instructions <= 0:
+        raise ModelError("cannot form a signature from zero instructions")
+    core_cpi = 1.0 / alpha + counts.l1_stall_cycles / counts.instructions
+    mem_time = counts.memory_time_s(latencies) / counts.instructions
+    return WorkloadSignature(core_cpi=core_cpi, mem_time_per_instr_s=mem_time)
+
+
+def predict_cpi(
+    counts: MemoryCounts,
+    latencies: MemoryLatencyProfile,
+    freq_hz: float,
+    *,
+    alpha: float,
+) -> float:
+    """Project CPI at ``freq_hz`` from counter deltas (Section 4.3 equation)."""
+    return signature_from_counts(counts, latencies, alpha=alpha).cpi(freq_hz)
+
+
+def predict_ipc(
+    counts: MemoryCounts,
+    latencies: MemoryLatencyProfile,
+    freq_hz: float,
+    *,
+    alpha: float,
+) -> float:
+    """Project IPC at ``freq_hz`` from counter deltas (Section 4.3 equation)."""
+    return 1.0 / predict_cpi(counts, latencies, freq_hz, alpha=alpha)

@@ -1,0 +1,87 @@
+"""Memory-hierarchy service-time profiles.
+
+The model of Section 4.3 assumes each level of the hierarchy below the L1 has
+a *constant wall-clock* service time ``T_i`` (the footnote acknowledges this
+is an approximation).  The paper measured these on the p630 as 15 / 113 / 393
+processor cycles at the nominal 1 GHz for L2 / L3 / DRAM, i.e. 15 / 113 /
+393 ns.  The L1 is on-core, so its latency scales *with* the core clock and
+contributes to the frequency-independent stall term instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+from ..errors import ModelError
+from ..units import check_non_negative, check_positive
+
+__all__ = ["MemoryLatencyProfile", "POWER4_LATENCIES"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryLatencyProfile:
+    """Constant wall-clock service times of the off-core memory levels.
+
+    Attributes
+    ----------
+    t_l2_s, t_l3_s, t_mem_s:
+        Service time, in seconds, of an access that is satisfied by the L2,
+        the L3, or DRAM respectively.
+    l1_latency_cycles:
+        L1 hit latency in *cycles* (frequency-invariant in cycles because the
+        L1 runs at core speed).  Used by the simulator to derive L1 stall
+        cycles; the predictor folds these into the frequency-independent term.
+    """
+
+    t_l2_s: float
+    t_l3_s: float
+    t_mem_s: float
+    l1_latency_cycles: float = constants.L1_LATENCY_CYCLES
+
+    def __post_init__(self) -> None:
+        check_positive(self.t_l2_s, "t_l2_s")
+        check_positive(self.t_l3_s, "t_l3_s")
+        check_positive(self.t_mem_s, "t_mem_s")
+        check_non_negative(self.l1_latency_cycles, "l1_latency_cycles")
+        if not self.t_l2_s <= self.t_l3_s <= self.t_mem_s:
+            raise ModelError(
+                "latency profile must be monotone: "
+                f"t_l2={self.t_l2_s} <= t_l3={self.t_l3_s} <= t_mem={self.t_mem_s}"
+            )
+
+    def scaled(self, factor: float) -> "MemoryLatencyProfile":
+        """Return a profile with all off-core latencies scaled by ``factor``.
+
+        Used by the bounds predictor (best/worst case latencies) and by
+        failure-injection tests that perturb the memory subsystem.
+        """
+        check_positive(factor, "factor")
+        return MemoryLatencyProfile(
+            t_l2_s=self.t_l2_s * factor,
+            t_l3_s=self.t_l3_s * factor,
+            t_mem_s=self.t_mem_s * factor,
+            l1_latency_cycles=self.l1_latency_cycles,
+        )
+
+    def cycles_at(self, freq_hz: float) -> tuple[float, float, float]:
+        """Off-core latencies expressed in cycles at ``freq_hz``.
+
+        Demonstrates the saturation mechanism: the same wall-clock service
+        time costs more cycles at a higher clock.
+        """
+        check_positive(freq_hz, "freq_hz")
+        return (
+            self.t_l2_s * freq_hz,
+            self.t_l3_s * freq_hz,
+            self.t_mem_s * freq_hz,
+        )
+
+
+#: The measured p630/Power4+ profile from Section 7.1.
+POWER4_LATENCIES = MemoryLatencyProfile(
+    t_l2_s=constants.L2_LATENCY_S,
+    t_l3_s=constants.L3_LATENCY_S,
+    t_mem_s=constants.MEM_LATENCY_S,
+    l1_latency_cycles=constants.L1_LATENCY_CYCLES,
+)

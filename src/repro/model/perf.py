@@ -1,0 +1,78 @@
+"""Performance and performance-loss metrics (Section 4.3).
+
+``Perf(f) = IPC(f) * f`` is throughput in instructions per second.  The paper
+defines the loss between a reference frequency and a candidate; we adopt the
+sign convention actually used by its worked example (positive = loss):
+
+    perf_loss(ref, cand) = (Perf(ref) - Perf(cand)) / Perf(ref)
+
+so values in ``(0, 1]`` are losses, negative values are gains, and the
+scheduler's acceptance test is ``perf_loss(f_max, f) < epsilon``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from ..units import check_fraction, check_positive
+from .ipc import WorkloadSignature
+
+__all__ = [
+    "perf",
+    "perf_loss",
+    "perf_at_frequencies",
+    "saturation_frequency",
+]
+
+
+def perf(signature: WorkloadSignature, freq_hz: float) -> float:
+    """Throughput ``IPC(f) * f`` in instructions/second at ``freq_hz``.
+
+    For memory-bound work this saturates at ``1 / m`` as ``f`` grows, where
+    ``m`` is the per-instruction memory time — the saturation phenomenon of
+    Figure 1.
+    """
+    check_positive(freq_hz, "freq_hz")
+    return signature.ipc(freq_hz) * freq_hz
+
+
+def perf_at_frequencies(signature: WorkloadSignature, freqs_hz) -> np.ndarray:
+    """Vectorised ``Perf(f)`` over an array of frequencies."""
+    freqs = np.asarray(freqs_hz, dtype=float)
+    if freqs.size and np.any(freqs <= 0):
+        raise ModelError("all frequencies must be positive")
+    return signature.ipc_array(freqs) * freqs
+
+
+def perf_loss(signature: WorkloadSignature, ref_freq_hz: float, cand_freq_hz: float) -> float:
+    """Fractional performance loss at ``cand_freq_hz`` relative to ``ref_freq_hz``.
+
+    Positive return values are losses (candidate slower than reference),
+    negative values gains.  Always < 1 because ``Perf`` is positive.
+    """
+    p_ref = perf(signature, ref_freq_hz)
+    p_cand = perf(signature, cand_freq_hz)
+    return (p_ref - p_cand) / p_ref
+
+
+def saturation_frequency(signature: WorkloadSignature, *, loss_budget: float = 0.01) -> float:
+    """Frequency beyond which at most ``loss_budget`` of asymptotic throughput
+    remains unrealised.
+
+    The asymptotic throughput of a workload with memory time ``m > 0`` per
+    instruction is ``1/m``.  Solving ``Perf(f) = (1 - loss_budget)/m`` for
+    ``f`` gives the characteristic saturation point of Figure 1:
+
+        f_sat = (1 - loss_budget) * c0 / (loss_budget * m)
+
+    Raises :class:`~repro.errors.ModelError` for memory-free workloads, which
+    never saturate (throughput is linear in ``f``).
+    """
+    check_fraction(loss_budget, "loss_budget")
+    if loss_budget == 0.0:
+        raise ModelError("loss_budget must be > 0; saturation is asymptotic")
+    m = signature.mem_time_per_instr_s
+    if m == 0.0:
+        raise ModelError("a memory-free workload has no saturation frequency")
+    return (1.0 - loss_budget) * signature.core_cpi / (loss_budget * m)

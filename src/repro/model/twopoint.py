@@ -1,0 +1,89 @@
+"""Two-frequency calibration (footnote 1, first approach, from [2]).
+
+Instead of assuming ``alpha`` and the latency table, observe the same
+workload at two different frequencies.  Because ``CPI(f) = c0 + m*f`` is
+affine in ``f``, two observations identify both components exactly:
+
+    m  = (CPI_1 - CPI_2) / (f_1 - f_2)
+    c0 = CPI_1 - m * f_1
+
+This trades a second measurement (and the assumption that the workload did
+not change between the two samples) for independence from the constant-
+latency and known-``alpha`` assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..units import check_positive
+from .ipc import WorkloadSignature
+
+__all__ = ["TwoPointCalibration", "calibrate_two_point"]
+
+#: Minimum relative frequency separation for a well-conditioned solve.
+_MIN_RELATIVE_SEPARATION = 1e-6
+
+
+@dataclass(frozen=True, slots=True)
+class TwoPointCalibration:
+    """One observation pair and the signature it induces."""
+
+    freq1_hz: float
+    ipc1: float
+    freq2_hz: float
+    ipc2: float
+    signature: WorkloadSignature
+
+    def residual_at(self, freq_hz: float, observed_ipc: float) -> float:
+        """Absolute IPC residual of a third observation against the fit —
+        a cheap online check that the workload stayed stationary."""
+        return abs(self.signature.ipc(freq_hz) - observed_ipc)
+
+
+def calibrate_two_point(
+    freq1_hz: float,
+    ipc1: float,
+    freq2_hz: float,
+    ipc2: float,
+) -> TwoPointCalibration:
+    """Solve for the workload signature from two (frequency, IPC) samples.
+
+    Raises
+    ------
+    ModelError
+        If the frequencies are too close to separate the components, or if
+        the solved components are unphysical (negative memory time arises
+        when the higher frequency showed *higher* IPC — i.e. the workload
+        changed between samples).
+    """
+    check_positive(freq1_hz, "freq1_hz")
+    check_positive(freq2_hz, "freq2_hz")
+    check_positive(ipc1, "ipc1")
+    check_positive(ipc2, "ipc2")
+
+    separation = abs(freq1_hz - freq2_hz) / max(freq1_hz, freq2_hz)
+    if separation < _MIN_RELATIVE_SEPARATION:
+        raise ModelError(
+            f"frequencies {freq1_hz} and {freq2_hz} are too close to calibrate"
+        )
+
+    cpi1 = 1.0 / ipc1
+    cpi2 = 1.0 / ipc2
+    m = (cpi1 - cpi2) / (freq1_hz - freq2_hz)
+    c0 = cpi1 - m * freq1_hz
+    if m < 0.0:
+        raise ModelError(
+            "negative memory component: IPC rose with frequency, the workload "
+            "likely changed between the two samples"
+        )
+    if c0 <= 0.0:
+        raise ModelError(
+            "non-positive core CPI: observations are inconsistent with the model"
+        )
+    signature = WorkloadSignature(core_cpi=c0, mem_time_per_instr_s=m)
+    return TwoPointCalibration(
+        freq1_hz=freq1_hz, ipc1=ipc1, freq2_hz=freq2_hz, ipc2=ipc2,
+        signature=signature,
+    )

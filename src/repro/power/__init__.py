@@ -1,0 +1,45 @@
+"""Power substrate: CMOS power model, operating-point tables, supplies.
+
+* :mod:`~repro.power.cmos` — ``P = C*Vdd^2*f + B*Vdd^2`` (Section 4.4).
+* :mod:`~repro.power.vf_curve` — minimum-stable-voltage curves ``V(f)``.
+* :mod:`~repro.power.table` — frequency→power operating-point tables;
+  ships the paper's Table 1 verbatim.
+* :mod:`~repro.power.lava` — a stand-in for the Lava circuit estimator:
+  fits the CMOS model + V(f) curve to an operating-point table.
+* :mod:`~repro.power.supply` — power supplies, failure/restore, cascade
+  deadline (Section 2).
+* :mod:`~repro.power.budget` — power budgets, safety margins, compliance
+  monitoring.
+* :mod:`~repro.power.energy` — energy integration and accounting.
+"""
+
+from .cmos import CmosPowerModel
+from .vf_curve import VoltageFrequencyCurve, LinearVFCurve, TableVFCurve
+from .table import FrequencyPowerTable, POWER4_TABLE, WORKED_EXAMPLE_TABLE
+from .lava import LavaFit, fit_lava_model
+from .supply import PowerSupply, SupplyBank
+from .budget import PowerBudget, ComplianceMonitor, ComplianceRecord
+from .energy import EnergyAccumulator, EnergyLedger
+from .thermal import ThermalParams, ThermalNode, ThermalMonitor
+
+__all__ = [
+    "CmosPowerModel",
+    "VoltageFrequencyCurve",
+    "LinearVFCurve",
+    "TableVFCurve",
+    "FrequencyPowerTable",
+    "POWER4_TABLE",
+    "WORKED_EXAMPLE_TABLE",
+    "LavaFit",
+    "fit_lava_model",
+    "PowerSupply",
+    "SupplyBank",
+    "PowerBudget",
+    "ComplianceMonitor",
+    "ComplianceRecord",
+    "EnergyAccumulator",
+    "EnergyLedger",
+    "ThermalParams",
+    "ThermalNode",
+    "ThermalMonitor",
+]

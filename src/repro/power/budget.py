@@ -1,0 +1,151 @@
+"""Power budgets, safety margins, and compliance monitoring (Sections 4.4, 5).
+
+The scheduler receives a *global* processor power limit.  Section 5 notes the
+limit "may contain a margin of safety that forces a downward adjustment ...
+before any hardware-related, critical power limits are reached"; a
+:class:`PowerBudget` therefore carries both the hard limit and the margin the
+scheduler actually plans against.  A :class:`ComplianceMonitor` consumes
+measured power samples and records violations — the paper's "use of power
+measurement to monitor the total power consumption ensures that the system
+stays below the absolute limit".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BudgetError
+from ..units import check_fraction, check_non_negative, check_positive
+
+__all__ = ["PowerBudget", "ComplianceRecord", "ComplianceMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerBudget:
+    """A hard power limit plus a planning margin.
+
+    ``limit_w`` is the hard (hardware/contractual) bound; the scheduler plans
+    against ``planning_limit_w = limit_w * (1 - margin)``.
+    """
+
+    limit_w: float
+    margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.limit_w, "limit_w")
+        check_fraction(self.margin, "margin")
+        if self.margin >= 1.0:
+            raise BudgetError("margin must be < 1")
+
+    @property
+    def planning_limit_w(self) -> float:
+        """The limit the scheduler plans to stay under."""
+        return self.limit_w * (1.0 - self.margin)
+
+    def allows(self, power_w: float) -> bool:
+        """True when ``power_w`` respects the *hard* limit."""
+        return float(power_w) <= self.limit_w
+
+    def plans_for(self, power_w: float) -> bool:
+        """True when ``power_w`` respects the planning (margined) limit."""
+        return float(power_w) <= self.planning_limit_w
+
+    def with_limit(self, limit_w: float) -> "PowerBudget":
+        """A budget with a new hard limit and the same margin — the object
+        created when a power-limit-change trigger fires."""
+        return PowerBudget(limit_w=limit_w, margin=self.margin)
+
+
+@dataclass(frozen=True, slots=True)
+class ComplianceRecord:
+    """One measured sample judged against a budget."""
+
+    time_s: float
+    power_w: float
+    limit_w: float
+
+    @property
+    def compliant(self) -> bool:
+        return self.power_w <= self.limit_w
+
+    @property
+    def excess_w(self) -> float:
+        """How far over the limit (0 when compliant)."""
+        return max(0.0, self.power_w - self.limit_w)
+
+
+@dataclass
+class ComplianceMonitor:
+    """Accumulates measured-power samples and violation statistics.
+
+    ``settling_allowance_s`` grace-periods samples taken immediately after a
+    budget change — the time the actuators legitimately need to move the
+    system under a *newly lowered* limit is not a scheduler violation, and
+    experiments report it separately as the *response time*.
+    """
+
+    budget: PowerBudget
+    settling_allowance_s: float = 0.0
+    records: list[ComplianceRecord] = field(default_factory=list)
+    _budget_changed_at_s: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.settling_allowance_s, "settling_allowance_s")
+
+    def set_budget(self, budget: PowerBudget, now_s: float) -> None:
+        """Install a new budget (a limit-change trigger) at time ``now_s``."""
+        check_non_negative(now_s, "now_s")
+        self.budget = budget
+        self._budget_changed_at_s = now_s
+
+    def observe(self, now_s: float, power_w: float) -> ComplianceRecord:
+        """Record one sample; returns the judged record."""
+        check_non_negative(now_s, "now_s")
+        check_non_negative(power_w, "power_w")
+        rec = ComplianceRecord(
+            time_s=now_s, power_w=float(power_w), limit_w=self.budget.limit_w
+        )
+        self.records.append(rec)
+        return rec
+
+    # -- statistics ------------------------------------------------------------
+
+    def _graced(self, rec: ComplianceRecord) -> bool:
+        if self._budget_changed_at_s is None:
+            return False
+        dt = rec.time_s - self._budget_changed_at_s
+        return 0.0 <= dt < self.settling_allowance_s
+
+    @property
+    def violations(self) -> list[ComplianceRecord]:
+        """Non-compliant samples outside any settling grace window."""
+        return [r for r in self.records if not r.compliant and not self._graced(r)]
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of (non-graced) samples that violated the hard limit."""
+        judged = [r for r in self.records if not self._graced(r)]
+        if not judged:
+            return 0.0
+        return sum(1 for r in judged if not r.compliant) / len(judged)
+
+    def response_time_s(self) -> float | None:
+        """Time from the last budget change to the first compliant sample.
+
+        ``None`` when no budget change was recorded or compliance was never
+        regained.  This is the quantity that must beat the PSU cascade
+        deadline ``DeltaT`` in the motivating example.
+        """
+        if self._budget_changed_at_s is None:
+            return None
+        t0 = self._budget_changed_at_s
+        for rec in self.records:
+            if rec.time_s >= t0 and rec.compliant:
+                return rec.time_s - t0
+        return None
+
+    def max_excess_w(self) -> float:
+        """Largest observed excursion above the hard limit."""
+        if not self.records:
+            return 0.0
+        return max(r.excess_w for r in self.records)

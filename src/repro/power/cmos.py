@@ -1,0 +1,71 @@
+"""The CMOS power equation of Section 4.4.
+
+``P = C * Vdd^2 * f + B * Vdd^2`` — the first term is active (switching)
+power, the second static/leakage power.  ``C`` is the switched capacitance
+(farads; effectively includes activity factor) and ``B`` a process- and
+temperature-dependent leakage conductance (siemens).  The paper computes, in
+advance, the maximum power at each frequency using the minimum acceptable
+voltage; clock gating is ignored, so the value is an upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PowerModelError
+from ..units import check_non_negative, check_positive
+
+__all__ = ["CmosPowerModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CmosPowerModel:
+    """Analytic processor power as a function of frequency and voltage.
+
+    Attributes
+    ----------
+    capacitance_f:
+        Effective switched capacitance ``C`` in farads.
+    leakage_s:
+        Leakage conductance ``B`` in siemens (so ``B * Vdd^2`` is watts).
+    """
+
+    capacitance_f: float
+    leakage_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacitance_f, "capacitance_f")
+        check_non_negative(self.leakage_s, "leakage_s")
+
+    def power_w(self, freq_hz: float, vdd: float) -> float:
+        """Total power ``C*V^2*f + B*V^2`` in watts."""
+        check_positive(freq_hz, "freq_hz")
+        check_positive(vdd, "vdd")
+        v2 = vdd * vdd
+        return self.capacitance_f * v2 * freq_hz + self.leakage_s * v2
+
+    def active_power_w(self, freq_hz: float, vdd: float) -> float:
+        """Switching component ``C*V^2*f`` only."""
+        check_positive(freq_hz, "freq_hz")
+        check_positive(vdd, "vdd")
+        return self.capacitance_f * vdd * vdd * freq_hz
+
+    def static_power_w(self, vdd: float) -> float:
+        """Leakage component ``B*V^2`` only."""
+        check_positive(vdd, "vdd")
+        return self.leakage_s * vdd * vdd
+
+    def power_array_w(self, freqs_hz: np.ndarray, vdds: np.ndarray) -> np.ndarray:
+        """Vectorised total power over matched frequency/voltage arrays."""
+        f = np.asarray(freqs_hz, dtype=float)
+        v = np.asarray(vdds, dtype=float)
+        if f.shape != v.shape:
+            raise PowerModelError(
+                f"frequency shape {f.shape} != voltage shape {v.shape}"
+            )
+        if f.size and (np.any(f <= 0) or np.any(v <= 0)):
+            raise PowerModelError("frequencies and voltages must be positive")
+        v2 = v * v
+        return self.capacitance_f * v2 * f + self.leakage_s * v2

@@ -1,0 +1,160 @@
+"""Power supplies and the cascading-failure scenario of Section 2.
+
+A :class:`SupplyBank` holds redundant :class:`PowerSupply` units sharing the
+system load.  When one fails, the survivors must carry the whole draw; if the
+draw exceeds remaining capacity for longer than the cascade deadline
+``DeltaT``, the next supply fails too (and so on until blackout).  The bank
+is advanced in simulation time by the machine model, which reports the
+instantaneous system draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import constants
+from ..errors import CascadeFailureError, SimulationError
+from ..units import check_non_negative, check_positive
+
+__all__ = ["PowerSupply", "SupplyBank"]
+
+
+@dataclass
+class PowerSupply:
+    """One supply: a capacity and a health flag."""
+
+    capacity_w: float
+    name: str = "psu"
+    failed: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity_w, "capacity_w")
+
+    def fail(self) -> None:
+        """Mark the supply failed (no-op if already failed)."""
+        self.failed = True
+
+    def restore(self) -> None:
+        """Bring the supply back online."""
+        self.failed = False
+
+
+@dataclass
+class SupplyBank:
+    """A set of supplies plus cascade-overload bookkeeping.
+
+    Parameters
+    ----------
+    supplies:
+        The member units.
+    cascade_deadline_s:
+        ``DeltaT``: how long the bank tolerates demand above capacity before
+        the most-loaded surviving supply fails.
+    raise_on_cascade:
+        When True (default), a cascade raises
+        :class:`~repro.errors.CascadeFailureError`; benches that *measure*
+        cascades set it False and inspect :attr:`cascade_count`.
+    """
+
+    supplies: list[PowerSupply]
+    cascade_deadline_s: float = constants.PSU_CASCADE_DEADLINE_S
+    raise_on_cascade: bool = True
+    #: Simulation time at which the current overload episode began, if any.
+    overload_since_s: float | None = field(default=None, init=False)
+    #: Number of cascade failures that have occurred.
+    cascade_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.supplies:
+            raise SimulationError("a supply bank needs at least one supply")
+        check_positive(self.cascade_deadline_s, "cascade_deadline_s")
+
+    @classmethod
+    def example_p630(cls, **kwargs) -> "SupplyBank":
+        """The Section 2 configuration: two 480 W supplies."""
+        return cls(
+            supplies=[
+                PowerSupply(constants.PSU_CAPACITY_W, name=f"psu{i}")
+                for i in range(constants.PSU_COUNT)
+            ],
+            **kwargs,
+        )
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def online(self) -> list[PowerSupply]:
+        """Supplies currently healthy."""
+        return [s for s in self.supplies if not s.failed]
+
+    @property
+    def capacity_w(self) -> float:
+        """Aggregate capacity of the healthy supplies."""
+        return sum(s.capacity_w for s in self.online)
+
+    @property
+    def all_failed(self) -> bool:
+        """True when no supply remains — the system is dark."""
+        return not self.online
+
+    # -- events --------------------------------------------------------------
+
+    def fail_supply(self, index: int = 0) -> float:
+        """Fail the ``index``-th *online* supply; returns remaining capacity.
+
+        This is the ``T0`` event of the motivating example.
+        """
+        online = self.online
+        if not online:
+            raise SimulationError("no online supply left to fail")
+        online[index].fail()
+        return self.capacity_w
+
+    def restore_supply(self, index: int = 0) -> float:
+        """Restore the ``index``-th *failed* supply; returns new capacity."""
+        failed = [s for s in self.supplies if s.failed]
+        if not failed:
+            raise SimulationError("no failed supply to restore")
+        failed[index].restore()
+        return self.capacity_w
+
+    # -- overload tracking -----------------------------------------------------
+
+    def observe(self, now_s: float, demand_w: float) -> bool:
+        """Record the instantaneous demand at simulation time ``now_s``.
+
+        Returns True if a cascade failure occurred at this observation.
+        Overload episodes are tracked between calls: demand above capacity
+        starts (or continues) an episode; once an episode's duration exceeds
+        the cascade deadline, the first online supply fails, the episode
+        restarts against the reduced capacity, and — depending on
+        ``raise_on_cascade`` — an exception is raised.
+        """
+        check_non_negative(now_s, "now_s")
+        check_non_negative(demand_w, "demand_w")
+        if self.all_failed:
+            # Fully cascaded: the system is dark; nothing more can fail.
+            return True
+        if demand_w <= self.capacity_w:
+            self.overload_since_s = None
+            return False
+        if self.overload_since_s is None:
+            self.overload_since_s = now_s
+            return False
+        if now_s - self.overload_since_s < self.cascade_deadline_s:
+            return False
+        # Deadline exceeded: cascade.
+        self.cascade_count += 1
+        self.fail_supply(0)
+        self.overload_since_s = now_s if not self.all_failed else None
+        if self.raise_on_cascade:
+            raise CascadeFailureError(
+                f"demand {demand_w:.1f} W exceeded capacity for more than "
+                f"{self.cascade_deadline_s} s at t={now_s:.3f} s; supply cascade",
+                time_s=now_s,
+            )
+        return True
+
+    def headroom_w(self, demand_w: float) -> float:
+        """Capacity minus demand — negative while overloaded."""
+        return self.capacity_w - float(demand_w)

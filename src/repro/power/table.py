@@ -1,0 +1,185 @@
+"""Frequency→power operating-point tables (Table 1 of the paper).
+
+The scheduler never evaluates the CMOS equation online; Section 4.4 says the
+maximum power at each available frequency (at minimum stable voltage) is
+computed in advance.  :class:`FrequencyPowerTable` is that precomputed
+artifact plus the lookups the scheduling algorithm needs:
+
+* power at an exact operating point,
+* the highest frequency whose power fits a limit,
+* the next lower frequency (``f_less`` in Figure 3, step 2).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from .. import constants
+from ..errors import FrequencyError, PowerModelError
+from ..units import approx_equal, mhz
+
+__all__ = ["FrequencyPowerTable", "POWER4_TABLE", "WORKED_EXAMPLE_TABLE"]
+
+
+@dataclass(frozen=True)
+class FrequencyPowerTable:
+    """Immutable ascending table of (frequency Hz, peak power W) points."""
+
+    freqs_hz: tuple[float, ...] = field()
+    powers_w: tuple[float, ...] = field()
+
+    def __init__(self, points: Mapping[float, float] | Iterable[tuple[float, float]]):
+        items = points.items() if isinstance(points, Mapping) else points
+        rows = sorted((float(f), float(p)) for f, p in items)
+        if len(rows) < 2:
+            raise PowerModelError("operating-point table needs at least two points")
+        freqs = tuple(f for f, _ in rows)
+        powers = tuple(p for _, p in rows)
+        if any(f <= 0 for f in freqs) or any(p <= 0 for p in powers):
+            raise PowerModelError("frequencies and powers must be positive")
+        if len(set(freqs)) != len(freqs):
+            raise PowerModelError("duplicate frequencies in operating-point table")
+        if any(b <= a for a, b in zip(powers, powers[1:])):
+            raise PowerModelError("power must be strictly increasing with frequency")
+        object.__setattr__(self, "freqs_hz", freqs)
+        object.__setattr__(self, "powers_w", powers)
+
+    # -- basic introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.freqs_hz)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.freqs_hz, self.powers_w))
+
+    def __contains__(self, freq_hz: float) -> bool:
+        return self._index_of(freq_hz) is not None
+
+    @property
+    def f_min_hz(self) -> float:
+        """Lowest schedulable frequency."""
+        return self.freqs_hz[0]
+
+    @property
+    def f_max_hz(self) -> float:
+        """Highest schedulable frequency."""
+        return self.freqs_hz[-1]
+
+    @property
+    def min_power_w(self) -> float:
+        """Power at the lowest operating point — the per-processor floor."""
+        return self.powers_w[0]
+
+    @property
+    def max_power_w(self) -> float:
+        """Power at the highest operating point."""
+        return self.powers_w[-1]
+
+    def freqs_array(self) -> np.ndarray:
+        """Frequencies as a float ndarray (ascending)."""
+        return np.asarray(self.freqs_hz, dtype=float)
+
+    def powers_array(self) -> np.ndarray:
+        """Powers as a float ndarray (ascending)."""
+        return np.asarray(self.powers_w, dtype=float)
+
+    # -- lookups -------------------------------------------------------------
+
+    def _index_of(self, freq_hz: float) -> int | None:
+        i = bisect_left(self.freqs_hz, freq_hz)
+        for j in (i - 1, i):
+            if 0 <= j < len(self.freqs_hz) and approx_equal(
+                self.freqs_hz[j], freq_hz, rel=1e-9
+            ):
+                return j
+        return None
+
+    def index_of(self, freq_hz: float) -> int:
+        """Index of an exact operating point, or :class:`FrequencyError`."""
+        idx = self._index_of(freq_hz)
+        if idx is None:
+            raise FrequencyError(
+                f"{freq_hz:.6g} Hz is not an available operating point"
+            )
+        return idx
+
+    def power_at(self, freq_hz: float) -> float:
+        """Peak power (W) at an exact operating point."""
+        return self.powers_w[self.index_of(freq_hz)]
+
+    def next_lower(self, freq_hz: float) -> float | None:
+        """The next operating point below ``freq_hz`` (Figure 3's ``f_less``),
+        or ``None`` at the bottom of the ladder."""
+        idx = self.index_of(freq_hz)
+        return self.freqs_hz[idx - 1] if idx > 0 else None
+
+    def next_higher(self, freq_hz: float) -> float | None:
+        """The next operating point above ``freq_hz``, or ``None`` at the top."""
+        idx = self.index_of(freq_hz)
+        return self.freqs_hz[idx + 1] if idx + 1 < len(self.freqs_hz) else None
+
+    def max_frequency_under(self, power_limit_w: float) -> float | None:
+        """Highest frequency whose peak power is <= ``power_limit_w``.
+
+        This is the "select the highest frequency that yields a power value
+        less than the maximum" rule of Section 4.4.  Returns ``None`` when
+        even the lowest point exceeds the limit.
+        """
+        i = bisect_right(self.powers_w, power_limit_w)
+        return self.freqs_hz[i - 1] if i > 0 else None
+
+    def quantize_down(self, freq_hz: float) -> float:
+        """Highest operating point <= ``freq_hz`` (used to discretise a
+        continuous ``f_ideal``); clamps to the bottom of the ladder."""
+        i = bisect_right(self.freqs_hz, freq_hz * (1 + 1e-12))
+        return self.freqs_hz[max(i - 1, 0)]
+
+    def quantize_up(self, freq_hz: float) -> float:
+        """Lowest operating point >= ``freq_hz``; clamps to the top."""
+        i = bisect_left(self.freqs_hz, freq_hz * (1 - 1e-12))
+        return self.freqs_hz[min(i, len(self.freqs_hz) - 1)]
+
+    def nearest(self, freq_hz: float) -> float:
+        """Operating point nearest to ``freq_hz`` (ties resolve downward)."""
+        lo = self.quantize_down(freq_hz)
+        hi = self.quantize_up(freq_hz)
+        return lo if (freq_hz - lo) <= (hi - freq_hz) else hi
+
+    # -- derivation ----------------------------------------------------------
+
+    def restrict(self, freqs_hz: Iterable[float]) -> "FrequencyPowerTable":
+        """A sub-table containing only the given (existing) frequencies.
+
+        Used to build the coarse 5-point ladder of the Section 5 worked
+        example from the full 16-point Table 1.
+        """
+        pts = [(f, self.power_at(f)) for f in freqs_hz]
+        return FrequencyPowerTable(pts)
+
+    def scaled_power(self, factor: float) -> "FrequencyPowerTable":
+        """A table with every power multiplied by ``factor`` (process/thermal
+        corner what-ifs in ablation benches)."""
+        if factor <= 0:
+            raise PowerModelError("scale factor must be positive")
+        return FrequencyPowerTable(
+            [(f, p * factor) for f, p in zip(self.freqs_hz, self.powers_w)]
+        )
+
+
+def _power4_table() -> FrequencyPowerTable:
+    return FrequencyPowerTable(
+        {mhz(f): p for f, p in constants.POWER4_POWER_TABLE_W.items()}
+    )
+
+
+#: The paper's Table 1: all sixteen 250–1000 MHz points.
+POWER4_TABLE: FrequencyPowerTable = _power4_table()
+
+#: The five-point 600–1000 MHz ladder of the Section 5 worked example.
+WORKED_EXAMPLE_TABLE: FrequencyPowerTable = POWER4_TABLE.restrict(
+    mhz(f) for f in constants.SCHEDULER_FREQUENCIES_MHZ
+)

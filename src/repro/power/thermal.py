@@ -1,0 +1,177 @@
+"""A lumped thermal model and thermal-emergency triggering.
+
+Section 2 lists "site air conditioning failures" alongside PSU failures as
+events that force a rapid reduction in allowed power.  This module supplies
+the missing physics: a first-order RC thermal model per processor
+
+    C_th * dT/dt = P(t) - (T - T_ambient) / R_th
+
+integrated in closed form over piecewise-constant power, plus a
+:class:`ThermalMonitor` that converts temperature against a limit into the
+power budget fvsst must honour — when a core approaches its junction limit,
+the sustainable power is
+
+    P_max_sustainable = (T_limit - T_ambient) / R_th
+
+so an ambient rise (failed CRAC unit) translates directly into a lower
+processor power budget, exactly the trigger shape the scheduler consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..units import check_non_negative, check_positive
+
+__all__ = ["ThermalParams", "ThermalNode", "ThermalMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThermalParams:
+    """First-order thermal parameters of one processor + heatsink.
+
+    Defaults give a ~0.47 K/W, ~40 s time-constant package: a 140 W core
+    at 25 °C ambient settles near 91 °C, close to its limit — matching how
+    tightly 2005-era servers ran their cooling.
+    """
+
+    #: Junction-to-ambient thermal resistance, kelvin per watt.
+    r_th_k_per_w: float = 0.47
+    #: Thermal capacitance, joules per kelvin (tau = RC ~ 12 s).
+    c_th_j_per_k: float = 25.0
+    #: Maximum allowed junction temperature, Celsius.
+    t_limit_c: float = 95.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.r_th_k_per_w, "r_th_k_per_w")
+        check_positive(self.c_th_j_per_k, "c_th_j_per_k")
+        if self.t_limit_c <= 0:
+            raise SimulationError("t_limit_c must be positive (Celsius)")
+
+    @property
+    def time_constant_s(self) -> float:
+        """RC time constant."""
+        return self.r_th_k_per_w * self.c_th_j_per_k
+
+    def steady_state_c(self, power_w: float, ambient_c: float) -> float:
+        """Equilibrium junction temperature at constant power."""
+        check_non_negative(power_w, "power_w")
+        return ambient_c + self.r_th_k_per_w * power_w
+
+    def sustainable_power_w(self, ambient_c: float) -> float:
+        """Largest constant power whose equilibrium stays at the limit."""
+        headroom = self.t_limit_c - ambient_c
+        if headroom <= 0:
+            return 0.0
+        return headroom / self.r_th_k_per_w
+
+
+@dataclass
+class ThermalNode:
+    """Temperature state of one processor, integrated exactly.
+
+    Over an interval of constant power ``P`` the solution of the RC
+    equation is exponential relaxation toward the steady state:
+
+        T(t+dt) = T_ss + (T(t) - T_ss) * exp(-dt / RC)
+    """
+
+    params: ThermalParams
+    ambient_c: float = 25.0
+    temperature_c: float = field(default=25.0)
+
+    def advance(self, dt_s: float, power_w: float) -> float:
+        """Integrate ``dt_s`` seconds at constant ``power_w``; returns the
+        new temperature."""
+        check_non_negative(dt_s, "dt_s")
+        check_non_negative(power_w, "power_w")
+        t_ss = self.params.steady_state_c(power_w, self.ambient_c)
+        decay = math.exp(-dt_s / self.params.time_constant_s)
+        self.temperature_c = t_ss + (self.temperature_c - t_ss) * decay
+        return self.temperature_c
+
+    @property
+    def over_limit(self) -> bool:
+        return self.temperature_c > self.params.t_limit_c
+
+    @property
+    def headroom_c(self) -> float:
+        """Degrees below the junction limit (negative when over)."""
+        return self.params.t_limit_c - self.temperature_c
+
+    def set_ambient(self, ambient_c: float) -> None:
+        """Change the inlet/ambient temperature (CRAC failure, recovery)."""
+        self.ambient_c = float(ambient_c)
+
+
+class ThermalMonitor:
+    """Per-core thermal state plus budget derivation for the scheduler.
+
+    ``margin_c`` backs the derived budget off the exact limit so the
+    asymptotic approach never actually touches it (the Section 5 "margin
+    of safety" applied thermally).
+    """
+
+    def __init__(self, num_cores: int, params: ThermalParams | None = None,
+                 *, ambient_c: float = 25.0, margin_c: float = 3.0) -> None:
+        if num_cores < 1:
+            raise SimulationError("need at least one core")
+        check_non_negative(margin_c, "margin_c")
+        self.params = params or ThermalParams()
+        self.margin_c = margin_c
+        self.nodes = [
+            ThermalNode(self.params, ambient_c=ambient_c,
+                        temperature_c=ambient_c)
+            for _ in range(num_cores)
+        ]
+        #: History of (time, hottest temperature) observations.
+        self.history: list[tuple[float, float]] = []
+
+    def advance(self, now_s: float, dt_s: float,
+                core_powers_w: list[float]) -> None:
+        """Integrate all cores over ``dt_s`` at their current powers."""
+        if len(core_powers_w) != len(self.nodes):
+            raise SimulationError(
+                f"{len(core_powers_w)} powers for {len(self.nodes)} cores"
+            )
+        for node, power in zip(self.nodes, core_powers_w):
+            node.advance(dt_s, power)
+        self.history.append((now_s, self.hottest_c))
+
+    @property
+    def hottest_c(self) -> float:
+        """Temperature of the hottest core."""
+        return max(n.temperature_c for n in self.nodes)
+
+    @property
+    def any_over_limit(self) -> bool:
+        return any(n.over_limit for n in self.nodes)
+
+    def set_ambient(self, ambient_c: float) -> None:
+        """Propagate an ambient change (CRAC failure) to every core."""
+        for node in self.nodes:
+            node.set_ambient(ambient_c)
+
+    def warm_start(self, power_w_per_core: float) -> None:
+        """Initialise every core at its steady-state temperature for the
+        given power — how a machine that has been running for a while
+        looks when the scenario begins."""
+        for node in self.nodes:
+            node.temperature_c = self.params.steady_state_c(
+                power_w_per_core, node.ambient_c)
+
+    def cpu_budget_w(self) -> float:
+        """Aggregate processor budget sustainable at the current ambient.
+
+        Per-core sustainable power at (limit − margin), summed.  This is
+        the number a thermal trigger hands to
+        :meth:`repro.core.daemon.FvsstDaemon.set_power_limit`.
+        """
+        per_core = max(
+            0.0,
+            (self.params.t_limit_c - self.margin_c
+             - self.nodes[0].ambient_c) / self.params.r_th_k_per_w,
+        )
+        return per_core * len(self.nodes)

@@ -1,0 +1,115 @@
+"""Minimum-stable-voltage curves ``V(f)`` (Section 4.4).
+
+"At each available frequency, the minimum voltage necessary to reliably
+drive that frequency is selected."  Two realisations:
+
+* :class:`LinearVFCurve` — the standard first-order DVFS assumption that
+  minimum voltage grows affinely with frequency between two anchor points.
+* :class:`TableVFCurve` — explicit per-frequency voltage table, as shipped
+  by firmware; the paper notes the table may differ per processor under
+  process variation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PowerModelError
+from ..units import check_positive
+
+__all__ = ["VoltageFrequencyCurve", "LinearVFCurve", "TableVFCurve"]
+
+
+class VoltageFrequencyCurve(ABC):
+    """Abstract minimum-stable-voltage curve."""
+
+    @abstractmethod
+    def min_voltage(self, freq_hz: float) -> float:
+        """Minimum voltage (V) that reliably drives ``freq_hz``."""
+
+    def min_voltage_array(self, freqs_hz) -> np.ndarray:
+        """Vectorised :meth:`min_voltage` (subclasses may override)."""
+        return np.array([self.min_voltage(f) for f in np.asarray(freqs_hz, dtype=float)])
+
+
+@dataclass(frozen=True, slots=True)
+class LinearVFCurve(VoltageFrequencyCurve):
+    """Affine ``V(f)`` between ``(f_min, v_min)`` and ``(f_max, v_max)``.
+
+    Frequencies outside the anchor span are clamped, reflecting real parts:
+    below some floor the voltage cannot be lowered further, and the curve is
+    not defined above the maximum rated frequency.
+    """
+
+    f_min_hz: float
+    v_min: float
+    f_max_hz: float
+    v_max: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.f_min_hz, "f_min_hz")
+        check_positive(self.f_max_hz, "f_max_hz")
+        check_positive(self.v_min, "v_min")
+        check_positive(self.v_max, "v_max")
+        if self.f_min_hz >= self.f_max_hz:
+            raise PowerModelError("f_min must be below f_max")
+        if self.v_min > self.v_max:
+            raise PowerModelError("v_min must not exceed v_max")
+
+    def min_voltage(self, freq_hz: float) -> float:
+        check_positive(freq_hz, "freq_hz")
+        if freq_hz > self.f_max_hz * (1 + 1e-9):
+            raise PowerModelError(
+                f"frequency {freq_hz:.3e} Hz exceeds rated maximum {self.f_max_hz:.3e} Hz"
+            )
+        f = min(max(freq_hz, self.f_min_hz), self.f_max_hz)
+        span = self.f_max_hz - self.f_min_hz
+        t = (f - self.f_min_hz) / span
+        return self.v_min + t * (self.v_max - self.v_min)
+
+    def min_voltage_array(self, freqs_hz) -> np.ndarray:
+        f = np.asarray(freqs_hz, dtype=float)
+        if f.size and np.any(f > self.f_max_hz * (1 + 1e-9)):
+            raise PowerModelError("a frequency exceeds the rated maximum")
+        f = np.clip(f, self.f_min_hz, self.f_max_hz)
+        t = (f - self.f_min_hz) / (self.f_max_hz - self.f_min_hz)
+        return self.v_min + t * (self.v_max - self.v_min)
+
+
+@dataclass(frozen=True)
+class TableVFCurve(VoltageFrequencyCurve):
+    """Explicit firmware-style (frequency -> min voltage) table.
+
+    Exact frequencies look up directly; intermediate frequencies use the
+    voltage of the next table point *above* (a lower voltage might not be
+    stable), which is the conservative firmware behaviour.
+    """
+
+    points: tuple[tuple[float, float], ...] = field()
+
+    def __init__(self, points) -> None:
+        rows = sorted((float(f), float(v)) for f, v in dict(points).items()) \
+            if isinstance(points, dict) else sorted((float(f), float(v)) for f, v in points)
+        if len(rows) < 1:
+            raise PowerModelError("voltage table needs at least one point")
+        freqs = [f for f, _ in rows]
+        volts = [v for _, v in rows]
+        if any(f <= 0 for f in freqs) or any(v <= 0 for v in volts):
+            raise PowerModelError("table frequencies and voltages must be positive")
+        if len(set(freqs)) != len(freqs):
+            raise PowerModelError("duplicate frequencies in voltage table")
+        if any(b < a for a, b in zip(volts, volts[1:])):
+            raise PowerModelError("min voltage must be non-decreasing in frequency")
+        object.__setattr__(self, "points", tuple(rows))
+
+    def min_voltage(self, freq_hz: float) -> float:
+        check_positive(freq_hz, "freq_hz")
+        for f, v in self.points:
+            if freq_hz <= f * (1 + 1e-9):
+                return v
+        raise PowerModelError(
+            f"frequency {freq_hz:.3e} Hz above the top of the voltage table"
+        )

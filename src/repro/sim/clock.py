@@ -1,0 +1,50 @@
+"""Simulation time.
+
+A :class:`SimClock` is a monotone float; everything that needs "now" holds a
+reference to the clock rather than a copy of the value, so time flows from
+one place (the simulation driver).
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonically advancing simulation time in seconds."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        if start_s < 0.0:
+            raise SimulationError("simulation cannot start at negative time")
+        self._now_s = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time."""
+        return self._now_s
+
+    def advance_to(self, time_s: float) -> float:
+        """Move time forward to ``time_s``; returns the elapsed delta.
+
+        Zero-length advances are allowed (events at the current instant);
+        moving backwards is an error.
+        """
+        if time_s < self._now_s - 1e-12:
+            raise SimulationError(
+                f"clock cannot run backwards: {time_s} < {self._now_s}"
+            )
+        delta = max(0.0, time_s - self._now_s)
+        self._now_s = max(self._now_s, float(time_s))
+        return delta
+
+    def advance_by(self, delta_s: float) -> float:
+        """Move time forward by ``delta_s >= 0``; returns the new time."""
+        if delta_s < 0.0:
+            raise SimulationError(f"negative time step {delta_s}")
+        self._now_s += float(delta_s)
+        return self._now_s
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now_s:.6f}s)"

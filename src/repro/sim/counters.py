@@ -1,0 +1,193 @@
+"""Per-core performance counters and their (noisy) readers.
+
+The Power4+ "provides performance counters for cache and memory accesses"
+(Section 6); the prototype read them through a kernel interface every
+``t`` milliseconds.  A :class:`CounterBank` is the hardware-side cumulative
+register file; a :class:`CounterReader` belongs to the software side and
+produces interval deltas (:class:`CounterSample`), optionally corrupted by
+multiplicative read noise — one of the error sources behind Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CounterError
+from ..model.ipc import MemoryCounts
+from ..units import check_non_negative
+from .rng import make_rng
+
+__all__ = ["CounterBank", "CounterSnapshot", "CounterSample", "CounterReader"]
+
+_FIELDS = ("instructions", "cycles", "n_l2", "n_l3", "n_mem",
+           "l1_stall_cycles", "halted_cycles")
+
+
+@dataclass
+class CounterBank:
+    """Cumulative hardware counters of one core.
+
+    ``cycles`` counts *run* cycles (clock ticks while executing, at whatever
+    the effective frequency was); ``halted_cycles`` counts ticks spent
+    halted for cores that idle by halting (zero on a hot-idling Power4+).
+    """
+
+    instructions: float = 0.0
+    cycles: float = 0.0
+    n_l2: float = 0.0
+    n_l3: float = 0.0
+    n_mem: float = 0.0
+    l1_stall_cycles: float = 0.0
+    halted_cycles: float = 0.0
+
+    def add_execution(self, counts: MemoryCounts, cycles: float) -> None:
+        """Accumulate one executed slice (expected-value counters)."""
+        check_non_negative(cycles, "cycles")
+        self.instructions += counts.instructions
+        self.cycles += cycles
+        self.n_l2 += counts.n_l2
+        self.n_l3 += counts.n_l3
+        self.n_mem += counts.n_mem
+        self.l1_stall_cycles += counts.l1_stall_cycles
+
+    def add_halted(self, cycles: float) -> None:
+        """Accumulate halted ticks."""
+        check_non_negative(cycles, "cycles")
+        self.halted_cycles += cycles
+
+    def snapshot(self) -> "CounterSnapshot":
+        """An immutable copy of the current totals."""
+        return CounterSnapshot(**{f: getattr(self, f) for f in _FIELDS})
+
+
+@dataclass(frozen=True, slots=True)
+class CounterSnapshot:
+    """Immutable counter totals at one instant."""
+
+    instructions: float
+    cycles: float
+    n_l2: float
+    n_l3: float
+    n_mem: float
+    l1_stall_cycles: float
+    halted_cycles: float
+
+    def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
+        """Field-wise difference ``self - earlier``.
+
+        Raises :class:`CounterError` on negative deltas (counter rollback),
+        which would indicate a simulator bug.
+        """
+        values = {}
+        for f in _FIELDS:
+            d = getattr(self, f) - getattr(earlier, f)
+            if d < -1e-6:
+                raise CounterError(f"counter {f} went backwards by {-d}")
+            values[f] = max(0.0, d)
+        return CounterSnapshot(**values)
+
+
+@dataclass(frozen=True, slots=True)
+class CounterSample:
+    """One sampling interval as the daemon sees it."""
+
+    time_s: float
+    interval_s: float
+    instructions: float
+    cycles: float
+    n_l2: float
+    n_l3: float
+    n_mem: float
+    l1_stall_cycles: float
+    halted_cycles: float
+
+    @property
+    def ipc(self) -> float:
+        """Observed instructions per run cycle (0 for a fully halted interval)."""
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def effective_freq_hz(self) -> float:
+        """Average effective frequency over the interval, inferred the way
+        the daemon does it: run cycles divided by wall time."""
+        return self.cycles / self.interval_s if self.interval_s > 0 else 0.0
+
+    @property
+    def halted_fraction(self) -> float:
+        """Fraction of total ticks spent halted."""
+        total = self.cycles + self.halted_cycles
+        return self.halted_cycles / total if total > 0 else 0.0
+
+    def memory_counts(self) -> MemoryCounts:
+        """The subset the performance model consumes."""
+        return MemoryCounts(
+            instructions=self.instructions,
+            n_l2=self.n_l2,
+            n_l3=self.n_l3,
+            n_mem=self.n_mem,
+            l1_stall_cycles=self.l1_stall_cycles,
+        )
+
+
+class CounterReader:
+    """Delta-producing reader over a :class:`CounterBank`.
+
+    ``noise_sigma`` applies independent multiplicative Gaussian noise to
+    each delta field (clamped non-negative), modelling sampling skew and
+    multiplexed-counter estimation error on real hardware.
+    """
+
+    def __init__(self, bank: CounterBank, *, noise_sigma: float = 0.0,
+                 dropout_prob: float = 0.0,
+                 rng: np.random.Generator | int | None = None) -> None:
+        check_non_negative(noise_sigma, "noise_sigma")
+        if not 0.0 <= dropout_prob <= 1.0:
+            raise CounterError("dropout_prob must lie in [0, 1]")
+        self._bank = bank
+        self._noise_sigma = noise_sigma
+        #: Probability that a read fails outright (kernel interface busy,
+        #: counter multiplexing conflict): the sample comes back empty and
+        #: its events fold into the next successful read.
+        self._dropout_prob = dropout_prob
+        self._rng = make_rng(rng)
+        self._last = bank.snapshot()
+        self._last_time_s: float | None = None
+        #: Number of failed reads so far.
+        self.dropouts = 0
+
+    def sample(self, now_s: float) -> CounterSample:
+        """Read deltas since the previous sample (or since construction).
+
+        A dropped read returns an all-zero sample for the interval; the
+        unread events stay pending and appear in the next good read (the
+        cumulative registers are the source of truth).
+        """
+        check_non_negative(now_s, "now_s")
+        if self._dropout_prob > 0.0 and \
+                float(self._rng.uniform()) < self._dropout_prob:
+            # Neither the snapshot nor the timestamp advances: the missed
+            # events and their wall time both land in the next good read,
+            # keeping windowed aggregates exact.
+            self.dropouts += 1
+            return CounterSample(
+                time_s=now_s, interval_s=0.0,
+                **{f: 0.0 for f in _FIELDS},
+            )
+        snap = self._bank.snapshot()
+        delta = snap.delta(self._last)
+        if self._last_time_s is not None and now_s < self._last_time_s:
+            raise CounterError(
+                f"sample time went backwards: {now_s} < {self._last_time_s}"
+            )
+        interval = 0.0 if self._last_time_s is None else now_s - self._last_time_s
+        self._last = snap
+        self._last_time_s = now_s
+
+        values = {f: getattr(delta, f) for f in _FIELDS}
+        if self._noise_sigma > 0.0:
+            for f in _FIELDS:
+                noise = 1.0 + self._noise_sigma * float(self._rng.standard_normal())
+                values[f] = max(0.0, values[f] * noise)
+        return CounterSample(time_s=now_s, interval_s=interval, **values)

@@ -1,0 +1,140 @@
+"""The simulation loop.
+
+A :class:`Simulation` owns the clock and event queue and advances one or
+more machines between events.  Periodic activities (the daemon's counter
+sampling, its scheduling pass) register as self-rescheduling
+:class:`PeriodicTask` objects; one-off occurrences (a PSU failure at ``T0``,
+a curtailment request) schedule once.
+
+The loop guarantees machines never integrate across an event boundary, so
+frequency changes made inside callbacks take effect at exact simulation
+times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import SimulationError
+from ..units import check_non_negative, check_positive
+from .clock import SimClock
+from .events import Event, EventQueue
+from .machine import SMPMachine
+
+__all__ = ["Simulation", "PeriodicTask"]
+
+
+class PeriodicTask:
+    """A self-rescheduling periodic callback.
+
+    The callback may raise ``StopIteration`` to end the chain, or the owner
+    may call :meth:`cancel`.
+    """
+
+    def __init__(self, queue: EventQueue, period_s: float,
+                 callback: Callable[[float], None], first_time_s: float,
+                 name: str) -> None:
+        check_positive(period_s, "period_s")
+        self._queue = queue
+        self.period_s = period_s
+        self._callback = callback
+        self.name = name
+        self._cancelled = False
+        self._handle: Event = queue.schedule(first_time_s, self._fire, name=name)
+
+    def _fire(self, t: float) -> None:
+        if self._cancelled:
+            return
+        try:
+            self._callback(t)
+        except StopIteration:
+            self._cancelled = True
+            return
+        if not self._cancelled:
+            self._handle = self._queue.schedule(
+                t + self.period_s, self._fire, name=self.name
+            )
+
+    def cancel(self) -> None:
+        """Stop the chain; pending firing is skipped."""
+        self._cancelled = True
+        self._handle.cancel()
+
+    @property
+    def next_time_s(self) -> float | None:
+        """When the task will next fire (None once cancelled)."""
+        return None if self._cancelled else self._handle.time_s
+
+
+class Simulation:
+    """Event-driven driver over one or more machines."""
+
+    def __init__(self, machines: SMPMachine | Sequence[SMPMachine], *,
+                 start_s: float = 0.0) -> None:
+        if isinstance(machines, SMPMachine):
+            machines = [machines]
+        if not machines:
+            raise SimulationError("a simulation needs at least one machine")
+        self.machines: list[SMPMachine] = list(machines)
+        self.clock = SimClock(start_s)
+        self.events = EventQueue()
+
+    @property
+    def now_s(self) -> float:
+        return self.clock.now_s
+
+    # -- scheduling ------------------------------------------------------------------
+
+    def at(self, time_s: float, callback: Callable[[float], None], *,
+           name: str = "") -> Event:
+        """Schedule a one-off callback at absolute time ``time_s``."""
+        if time_s < self.now_s:
+            raise SimulationError(
+                f"cannot schedule at {time_s} (now is {self.now_s})"
+            )
+        return self.events.schedule(time_s, callback, name=name)
+
+    def after(self, delay_s: float, callback: Callable[[float], None], *,
+              name: str = "") -> Event:
+        """Schedule a one-off callback ``delay_s`` from now."""
+        check_non_negative(delay_s, "delay_s")
+        return self.at(self.now_s + delay_s, callback, name=name)
+
+    def every(self, period_s: float, callback: Callable[[float], None], *,
+              name: str = "", start_offset_s: float | None = None) -> PeriodicTask:
+        """Register a periodic callback.
+
+        The first firing is at ``now + (start_offset_s if given else
+        period_s)``; each firing reschedules the next.
+        """
+        offset = period_s if start_offset_s is None else start_offset_s
+        check_non_negative(offset, "start_offset_s")
+        return PeriodicTask(self.events, period_s, callback,
+                            self.now_s + offset, name)
+
+    # -- running ---------------------------------------------------------------------
+
+    def _advance_machines(self, dt: float) -> None:
+        for machine in self.machines:
+            machine.advance(dt)
+
+    def run_until(self, t_end_s: float) -> None:
+        """Advance simulation time to ``t_end_s``, firing events on the way."""
+        if t_end_s < self.now_s:
+            raise SimulationError(
+                f"cannot run to {t_end_s} (now is {self.now_s})"
+            )
+        while True:
+            next_event = self.events.next_time()
+            if next_event is None or next_event > t_end_s:
+                self._advance_machines(t_end_s - self.now_s)
+                self.clock.advance_to(t_end_s)
+                return
+            self._advance_machines(max(0.0, next_event - self.now_s))
+            self.clock.advance_to(max(next_event, self.now_s))
+            self.events.run_due(self.now_s)
+
+    def run_for(self, duration_s: float) -> None:
+        """Advance by ``duration_s``."""
+        check_non_negative(duration_s, "duration_s")
+        self.run_until(self.now_s + duration_s)

@@ -1,0 +1,83 @@
+"""A deterministic discrete-event queue.
+
+Events fire in (time, insertion-order) order, so simultaneous events run in
+the order they were scheduled — a property the scheduler-vs-trigger tests
+rely on.  Cancellation is supported by handle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordering key: (time, sequence number)."""
+
+    time_s: float
+    seq: int
+    callback: Callable[[float], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, time_s: float, callback: Callable[[float], None], *,
+                 name: str = "") -> Event:
+        """Schedule ``callback(fire_time)`` at ``time_s``; returns a handle."""
+        if not time_s >= 0.0:
+            raise SimulationError(f"cannot schedule at negative time {time_s}")
+        event = Event(time_s=time_s, seq=next(self._seq),
+                      callback=callback, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def next_time(self) -> float | None:
+        """Fire time of the earliest live event, or ``None`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time_s if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def pop_due(self, now_s: float) -> Event | None:
+        """Pop the earliest live event with ``time_s <= now_s`` (or None)."""
+        self._drop_cancelled()
+        if self._heap and self._heap[0].time_s <= now_s:
+            return heapq.heappop(self._heap)
+        return None
+
+    def run_due(self, now_s: float) -> int:
+        """Fire every live event due at or before ``now_s``; returns count.
+
+        Callbacks may schedule further events; newly scheduled events that
+        are already due fire in the same call.
+        """
+        fired = 0
+        while True:
+            event = self.pop_due(now_s)
+            if event is None:
+                return fired
+            event.callback(event.time_s)
+            fired += 1

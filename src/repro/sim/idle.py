@@ -1,0 +1,74 @@
+"""Idle behaviour and idle detection (Sections 5, 7.1).
+
+The Power4+ "idles hot": an empty run queue executes a tight CPU-bound loop
+with an observed IPC of about 1.3, which the predictor mistakes for
+demanding CPU-bound work and schedules at a high frequency.  Section 5
+proposes an idle signal from the OS/firmware that pins idle processors at
+the minimum frequency instead; Section 7.1 notes the prototype did *not*
+implement it.  Both behaviours are available here:
+
+* :class:`IdleStyle` selects how an empty core behaves (hot loop vs halt).
+* :class:`IdleDetector` delivers the enter/exit-idle signals to listeners
+  (the daemon) when enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from .. import constants
+from ..workloads.phase import Phase, idle_phase
+
+__all__ = ["IdleStyle", "IdleDetector", "HOT_IDLE_PHASE"]
+
+
+class IdleStyle(enum.Enum):
+    """What a core does with an empty run queue."""
+
+    #: Spin in the CPU-bound idle loop (the Power4+ behaviour).
+    HOT_LOOP = "hot_loop"
+    #: Halt, accumulating halted cycles (processors with a halt state;
+    #: Section 5 notes these need no idle indicator because the halted-cycle
+    #: counter reveals idleness).
+    HALT = "halt"
+
+
+#: The canonical hot idle loop phase (IPC ~1.3, Section 7.1).
+HOT_IDLE_PHASE: Phase = idle_phase(ipc=constants.IDLE_LOOP_IPC)
+
+
+class IdleDetector:
+    """Edge-triggered idle signalling from a core to subscribers.
+
+    The core calls :meth:`note_queue_length` whenever its run-queue length
+    changes; subscribers (the daemon) receive ``callback(core_id, is_idle)``
+    only on transitions.  A disabled detector (``enabled=False``, the
+    prototype's configuration) swallows all signals.
+    """
+
+    def __init__(self, core_id: int, *, enabled: bool = False) -> None:
+        self.core_id = core_id
+        self.enabled = enabled
+        self._is_idle: bool | None = None
+        self._listeners: list[Callable[[int, bool], None]] = []
+
+    def subscribe(self, callback: Callable[[int, bool], None]) -> None:
+        """Register for idle-transition signals."""
+        self._listeners.append(callback)
+
+    @property
+    def is_idle(self) -> bool:
+        """Last observed idleness (False before any observation)."""
+        return bool(self._is_idle)
+
+    def note_queue_length(self, runnable_jobs: int) -> None:
+        """Observe the current number of runnable jobs on the core."""
+        idle = runnable_jobs == 0
+        if idle == self._is_idle:
+            return
+        self._is_idle = idle
+        if not self.enabled:
+            return
+        for listener in self._listeners:
+            listener(self.core_id, idle)

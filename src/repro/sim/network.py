@@ -1,0 +1,57 @@
+"""A latency/cost model for cluster communication.
+
+The paper amortises "the overhead of ... the inter-processor communication
+required" by choosing a large scheduling period ``T`` (Section 5).  To make
+that trade-off measurable, the cluster coordinator routes its counter
+collections and frequency commands through a :class:`Network` that charges a
+base latency plus a per-byte cost and counts traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ClusterError
+from ..units import check_non_negative
+
+__all__ = ["NetworkConfig", "Network"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Latency parameters of the cluster interconnect."""
+
+    #: One-way base latency of any message (switch + stack), seconds.
+    base_latency_s: float = 100e-6
+    #: Additional seconds per payload byte (inverse bandwidth).
+    per_byte_s: float = 8e-9   # ~1 Gbit/s
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.base_latency_s, "base_latency_s")
+        check_non_negative(self.per_byte_s, "per_byte_s")
+
+
+@dataclass
+class Network:
+    """Message accounting plus deterministic delay computation."""
+
+    config: NetworkConfig = field(default_factory=NetworkConfig)
+    messages_sent: int = field(default=0, init=False)
+    bytes_sent: int = field(default=0, init=False)
+
+    def delay_for(self, payload_bytes: int) -> float:
+        """One-way delivery delay for a message of the given size."""
+        if payload_bytes < 0:
+            raise ClusterError("payload size cannot be negative")
+        return self.config.base_latency_s + self.config.per_byte_s * payload_bytes
+
+    def send(self, payload_bytes: int) -> float:
+        """Account one message; returns its delivery delay."""
+        delay = self.delay_for(payload_bytes)
+        self.messages_sent += 1
+        self.bytes_sent += payload_bytes
+        return delay
+
+    def round_trip_s(self, payload_bytes: int, reply_bytes: int = 64) -> float:
+        """Request/response delay (used for synchronous collections)."""
+        return self.send(payload_bytes) + self.send(reply_bytes)

@@ -1,0 +1,82 @@
+"""System power measurement.
+
+"The system uses power status and measurement data to determine the value
+of the limit and to monitor compliance with it" (Section 5).  The meter
+computes the instantaneous draw of a machine — per-core operating-point
+power from the frequency/power table (the paper's conservative upper bound,
+which ignores clock gating) plus fixed non-CPU power — and optionally adds
+measurement noise, since real power instrumentation is itself imperfect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..power.table import FrequencyPowerTable
+from ..units import check_non_negative
+from .core import SimulatedCore
+from .idle import IdleStyle
+from .rng import make_rng
+
+__all__ = ["PowerMeter"]
+
+
+class PowerMeter:
+    """Instantaneous power of a set of cores plus non-CPU overhead.
+
+    ``halted_idle_fraction`` scales a *halting* core's operating-point power
+    (the hot-idling Power4+ draws the full amount; a halting design draws a
+    fraction).  ``noise_sigma`` applies multiplicative Gaussian noise to
+    measured readings only — the true draw used for energy accounting and
+    supply stress is exact.
+    """
+
+    def __init__(self, table: FrequencyPowerTable, *,
+                 non_cpu_power_w: float = 0.0,
+                 halted_idle_fraction: float = 0.25,
+                 noise_sigma: float = 0.0,
+                 rng: np.random.Generator | int | None = None) -> None:
+        check_non_negative(non_cpu_power_w, "non_cpu_power_w")
+        check_non_negative(noise_sigma, "noise_sigma")
+        if not 0.0 <= halted_idle_fraction <= 1.0:
+            raise SimulationError("halted_idle_fraction must lie in [0, 1]")
+        self.table = table
+        self.non_cpu_power_w = non_cpu_power_w
+        self.halted_idle_fraction = halted_idle_fraction
+        self.noise_sigma = noise_sigma
+        self._rng = make_rng(rng)
+
+    def core_power_w(self, core: SimulatedCore, now_s: float) -> float:
+        """True instantaneous draw of one core."""
+        if core.offline:
+            return 0.0
+        freq = core.effective_frequency_hz(now_s)
+        power = self.table.power_at(self.table.nearest(freq))
+        power *= core.power_scale
+        if core.is_idle and core.config.idle_style is IdleStyle.HALT:
+            power *= self.halted_idle_fraction
+        return power
+
+    def cpu_power_w(self, cores: list[SimulatedCore], now_s: float) -> float:
+        """True aggregate processor draw."""
+        return sum(self.core_power_w(c, now_s) for c in cores)
+
+    def system_power_w(self, cores: list[SimulatedCore], now_s: float) -> float:
+        """True whole-system draw (CPUs + everything else)."""
+        return self.cpu_power_w(cores, now_s) + self.non_cpu_power_w
+
+    def measure_w(self, cores: list[SimulatedCore], now_s: float) -> float:
+        """A *measured* system reading (noisy if configured)."""
+        return self._noisy(self.system_power_w(cores, now_s))
+
+    def measure_cpu_w(self, cores: list[SimulatedCore], now_s: float) -> float:
+        """A *measured* aggregate processor reading (noisy if configured) —
+        what the Section 5 compliance feedback loop consumes."""
+        return self._noisy(self.cpu_power_w(cores, now_s))
+
+    def _noisy(self, true: float) -> float:
+        if self.noise_sigma <= 0.0:
+            return true
+        return max(0.0, true * (1.0 + self.noise_sigma
+                                * float(self._rng.standard_normal())))

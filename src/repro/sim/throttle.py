@@ -1,0 +1,83 @@
+"""The fetch-throttle actuator (Section 6).
+
+The prototype could not scale frequency or voltage on Power4+; it mimicked
+frequency scaling by fetch throttling — interspersing fetch cycles with dead
+cycles — "assuming throttling yields the same power and performance results
+that using different frequencies would, but ignores the settling time".
+
+The actuator therefore exposes a *requested* frequency and an *effective*
+frequency.  With ``settling_time_s = 0`` (the paper's assumption) they are
+equal; with a positive settling time the effective frequency lags each
+request by that long, which the failure-injection tests use to measure how
+settling corrupts counter-based prediction.
+"""
+
+from __future__ import annotations
+
+from ..errors import FrequencyError, SimulationError
+from ..units import check_non_negative, check_positive
+
+__all__ = ["ThrottleActuator"]
+
+
+class ThrottleActuator:
+    """Per-core frequency setter with optional settling delay."""
+
+    def __init__(self, initial_freq_hz: float, *,
+                 settling_time_s: float = 0.0) -> None:
+        check_positive(initial_freq_hz, "initial_freq_hz")
+        check_non_negative(settling_time_s, "settling_time_s")
+        self.settling_time_s = settling_time_s
+        self._current_hz = float(initial_freq_hz)
+        self._pending_hz: float | None = None
+        self._pending_at_s: float = 0.0
+        #: Number of actuations requested (for overhead accounting).
+        self.transitions = 0
+
+    @property
+    def requested_hz(self) -> float:
+        """The most recently requested frequency."""
+        return self._pending_hz if self._pending_hz is not None else self._current_hz
+
+    def set_frequency(self, freq_hz: float, now_s: float) -> None:
+        """Request a new frequency at simulation time ``now_s``."""
+        check_positive(freq_hz, "freq_hz")
+        check_non_negative(now_s, "now_s")
+        self._settle(now_s)
+        if freq_hz == self.requested_hz:
+            return
+        self.transitions += 1
+        if self.settling_time_s == 0.0:
+            self._current_hz = float(freq_hz)
+            self._pending_hz = None
+        else:
+            self._pending_hz = float(freq_hz)
+            self._pending_at_s = now_s + self.settling_time_s
+
+    def _settle(self, now_s: float) -> None:
+        if self._pending_hz is not None and now_s >= self._pending_at_s:
+            self._current_hz = self._pending_hz
+            self._pending_hz = None
+
+    def effective_hz(self, now_s: float) -> float:
+        """The frequency the core actually runs at, at time ``now_s``."""
+        self._settle(now_s)
+        return self._current_hz
+
+    def next_change_time(self, now_s: float) -> float | None:
+        """When the effective frequency will next change, if a request is
+        pending — the core slices its execution at this boundary."""
+        self._settle(now_s)
+        if self._pending_hz is None:
+            return None
+        if self._pending_at_s < now_s:
+            raise SimulationError("unsettled request in the past")
+        return self._pending_at_s
+
+    def validate_in(self, freqs_hz: tuple[float, ...]) -> None:
+        """Assert the current request is an allowed operating point."""
+        req = self.requested_hz
+        if not any(abs(req - f) <= 1e-6 * f for f in freqs_hz):
+            raise FrequencyError(
+                f"{req:.6g} Hz is not among the allowed operating points"
+            )

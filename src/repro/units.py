@@ -1,0 +1,141 @@
+"""Unit conventions and conversion helpers.
+
+Internal convention (used everywhere unless a name says otherwise):
+
+* frequency   — hertz (``float``), e.g. ``1.0e9`` for 1 GHz
+* time        — seconds
+* power       — watts
+* energy      — joules
+* voltage     — volts
+
+The paper quotes frequencies in MHz/GHz and memory latencies in cycles at the
+nominal 1 GHz; the helpers below convert between those presentations and the
+internal SI units.  Keeping conversions in one place avoids the classic
+mixed-unit bug where a latency in "cycles at nominal frequency" is multiplied
+by a frequency in MHz.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import UnitError
+
+__all__ = [
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "MS",
+    "US",
+    "NS",
+    "mhz",
+    "ghz",
+    "to_mhz",
+    "to_ghz",
+    "ms",
+    "us",
+    "ns",
+    "to_ms",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "approx_equal",
+]
+
+KHZ = 1.0e3
+MHZ = 1.0e6
+GHZ = 1.0e9
+
+MS = 1.0e-3
+US = 1.0e-6
+NS = 1.0e-9
+
+
+def mhz(value: float) -> float:
+    """Convert a frequency in megahertz to hertz."""
+    return float(value) * MHZ
+
+
+def ghz(value: float) -> float:
+    """Convert a frequency in gigahertz to hertz."""
+    return float(value) * GHZ
+
+
+def to_mhz(freq_hz: float) -> float:
+    """Convert a frequency in hertz to megahertz."""
+    return float(freq_hz) / MHZ
+
+
+def to_ghz(freq_hz: float) -> float:
+    """Convert a frequency in hertz to gigahertz."""
+    return float(freq_hz) / GHZ
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * MS
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * US
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return float(value) * NS
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return float(seconds) / MS
+
+
+def cycles_to_seconds(cycles: float, freq_hz: float) -> float:
+    """Wall-clock duration of ``cycles`` processor cycles at ``freq_hz``.
+
+    The paper reports memory latencies as cycle counts at the nominal 1 GHz;
+    dividing by the nominal frequency recovers the constant wall-clock service
+    time assumed by the model of Section 4.3.
+    """
+    if freq_hz <= 0:
+        raise UnitError(f"frequency must be positive, got {freq_hz!r}")
+    return float(cycles) / float(freq_hz)
+
+
+def seconds_to_cycles(seconds: float, freq_hz: float) -> float:
+    """Number of cycles at ``freq_hz`` spanned by a wall-clock duration."""
+    if freq_hz <= 0:
+        raise UnitError(f"frequency must be positive, got {freq_hz!r}")
+    return float(seconds) * float(freq_hz)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number > 0 and return it."""
+    v = float(value)
+    if not math.isfinite(v) or v <= 0:
+        raise UnitError(f"{name} must be a finite positive number, got {value!r}")
+    return v
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number >= 0 and return it."""
+    v = float(value)
+    if not math.isfinite(v) or v < 0:
+        raise UnitError(f"{name} must be a finite non-negative number, got {value!r}")
+    return v
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    v = float(value)
+    if not math.isfinite(v) or not 0.0 <= v <= 1.0:
+        raise UnitError(f"{name} must lie in [0, 1], got {value!r}")
+    return v
+
+
+def approx_equal(a: float, b: float, *, rel: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Tolerant float comparison used by schedule/frequency bookkeeping."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_tol)

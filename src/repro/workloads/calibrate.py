@@ -1,0 +1,99 @@
+"""Calibration utilities: placing workloads on the frequency ladder.
+
+The application models (and the worked example) are built by choosing each
+phase's core-to-memory cycle ratio ``x = c0/(m·f_max)`` so that its
+epsilon-constrained frequency lands on a chosen rung.  This module makes
+that inversion a first-class, tested operation instead of hand arithmetic
+(docs/MODEL.md §3 derives the band):
+
+a rung ``f`` (in units of ``f_max``) is epsilon-admissible iff
+
+    x < f·eps / (1 − eps − f)        for f < 1 − eps
+
+so the band of ratios whose *lowest admissible* rung is ``f`` is
+
+    threshold(next lower rung) <= x < threshold(f).
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..model.ipc import WorkloadSignature
+from ..power.table import FrequencyPowerTable
+from ..units import check_positive
+
+__all__ = [
+    "admissibility_threshold",
+    "ratio_band_for_rung",
+    "ratio_for_rung",
+    "signature_for_rung",
+]
+
+
+def admissibility_threshold(f_rel: float, epsilon: float) -> float:
+    """Largest ratio for which the rung at ``f_rel`` (relative to f_max)
+    is epsilon-admissible.
+
+    Returns ``inf`` for rungs at or above ``1 − epsilon`` (admissible for
+    every finite ratio) and for ``f_rel >= 1``.
+    """
+    check_positive(f_rel, "f_rel")
+    if not 0.0 < epsilon < 1.0:
+        raise WorkloadError("epsilon must lie in (0, 1)")
+    if f_rel >= 1.0 - epsilon:
+        return float("inf")
+    return f_rel * epsilon / (1.0 - epsilon - f_rel)
+
+
+def ratio_band_for_rung(table: FrequencyPowerTable, target_freq_hz: float,
+                        epsilon: float) -> tuple[float, float]:
+    """The half-open band ``[low, high)`` of ratios whose epsilon rung is
+    exactly ``target_freq_hz``.
+
+    ``low`` is 0 for the bottom rung; ``high`` is ``inf`` for the top.
+    Raises when the band is empty (the rung is never anyone's first
+    admissible choice at this epsilon — cannot happen on strictly
+    increasing ladders, but guarded for safety).
+    """
+    idx = table.index_of(target_freq_hz)
+    f_max = table.f_max_hz
+    high = admissibility_threshold(target_freq_hz / f_max, epsilon)
+    if idx == 0:
+        low = 0.0
+    else:
+        low = admissibility_threshold(table.freqs_hz[idx - 1] / f_max,
+                                      epsilon)
+    if not low < high:
+        raise WorkloadError(
+            f"no ratio makes {target_freq_hz:.3e} Hz the epsilon rung"
+        )
+    return low, high
+
+
+def ratio_for_rung(table: FrequencyPowerTable, target_freq_hz: float,
+                   epsilon: float) -> float:
+    """A representative ratio (geometric midpoint of the band) whose
+    epsilon-constrained frequency is ``target_freq_hz``.
+
+    For the top rung (band unbounded above) returns twice the lower edge;
+    for the bottom rung (band open at 0) returns half the upper edge.
+    """
+    low, high = ratio_band_for_rung(table, target_freq_hz, epsilon)
+    if high == float("inf"):
+        return 2.0 * low if low > 0 else 1.0
+    if low == 0.0:
+        return high / 2.0
+    return (low * high) ** 0.5
+
+
+def signature_for_rung(table: FrequencyPowerTable, target_freq_hz: float,
+                       epsilon: float, *,
+                       core_cpi: float = 0.65) -> WorkloadSignature:
+    """A workload signature whose epsilon rung on ``table`` is exactly
+    ``target_freq_hz`` — the building block of synthetic schedules."""
+    check_positive(core_cpi, "core_cpi")
+    ratio = ratio_for_rung(table, target_freq_hz, epsilon)
+    return WorkloadSignature(
+        core_cpi=core_cpi,
+        mem_time_per_instr_s=core_cpi / (ratio * table.f_max_hz),
+    )

@@ -1,0 +1,105 @@
+"""Seeded random workload generation.
+
+Experiments beyond the paper's fixed benchmarks (cluster sweeps, property
+tests, ablations) need populations of workloads with controlled diversity.
+The generator draws phases whose core-to-memory ratio is log-uniform over a
+configurable band — matching the observation of Section 4.2 that systems
+show a spread of memory intensities across processors — and assembles them
+into looping jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..units import check_positive
+from .job import Job, LoopMode
+from .phase import Phase
+from .profiles import PhaseSpec
+from ..model.latency import MemoryLatencyProfile, POWER4_LATENCIES
+
+__all__ = ["GeneratorSpec", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorSpec:
+    """Distribution parameters for random workloads.
+
+    ``ratio_low``/``ratio_high`` bound the log-uniform core-to-memory ratio
+    draw (0.05 ≈ saturates near 600 MHz, 10 ≈ nearly pure CPU);
+    ``phase_duration_s`` bounds the per-phase nominal duration draw.
+    """
+
+    ratio_low: float = 0.05
+    ratio_high: float = 10.0
+    phase_duration_low_s: float = 0.5
+    phase_duration_high_s: float = 3.0
+    phases_per_job_low: int = 2
+    phases_per_job_high: int = 6
+
+    def __post_init__(self) -> None:
+        check_positive(self.ratio_low, "ratio_low")
+        check_positive(self.ratio_high, "ratio_high")
+        check_positive(self.phase_duration_low_s, "phase_duration_low_s")
+        check_positive(self.phase_duration_high_s, "phase_duration_high_s")
+        if self.ratio_low >= self.ratio_high:
+            raise WorkloadError("ratio_low must be below ratio_high")
+        if self.phase_duration_low_s > self.phase_duration_high_s:
+            raise WorkloadError("phase duration bounds inverted")
+        if not 1 <= self.phases_per_job_low <= self.phases_per_job_high:
+            raise WorkloadError("phase count bounds invalid")
+
+
+class WorkloadGenerator:
+    """Deterministic (seeded) generator of random looping jobs."""
+
+    def __init__(self, seed: int, spec: GeneratorSpec | None = None, *,
+                 latencies: MemoryLatencyProfile = POWER4_LATENCIES,
+                 nominal_freq_hz: float = 1.0e9) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.spec = spec or GeneratorSpec()
+        self.latencies = latencies
+        self.nominal_freq_hz = nominal_freq_hz
+        self._counter = 0
+
+    def phase(self, *, name: str | None = None) -> Phase:
+        """Draw one random phase."""
+        s = self.spec
+        ratio = float(np.exp(self._rng.uniform(
+            np.log(s.ratio_low), np.log(s.ratio_high))))
+        duration = float(self._rng.uniform(
+            s.phase_duration_low_s, s.phase_duration_high_s))
+        # Memory-heavier phases lean toward DRAM, CPU-heavier toward L2.
+        dram_lean = 1.0 / (1.0 + ratio)
+        mem_share = 0.1 + 0.6 * dram_lean
+        l3_share = 0.25
+        l2_share = 1.0 - mem_share - l3_share
+        spec = PhaseSpec(
+            name=name or f"rand-phase-{self._counter}",
+            core_to_mem_ratio=ratio,
+            duration_at_nominal_s=duration,
+            l2_share=l2_share,
+            l3_share=l3_share,
+            mem_share=mem_share,
+        )
+        self._counter += 1
+        return spec.build(self.latencies, self.nominal_freq_hz)
+
+    def job(self, *, name: str | None = None, loop: bool = True) -> Job:
+        """Draw one random job of several phases."""
+        s = self.spec
+        n = int(self._rng.integers(s.phases_per_job_low,
+                                   s.phases_per_job_high + 1))
+        jobname = name or f"rand-job-{self._counter}"
+        phases = tuple(self.phase(name=f"{jobname}-p{i}") for i in range(n))
+        return Job(name=jobname, phases=phases,
+                   loop=LoopMode.LOOP if loop else LoopMode.ONCE)
+
+    def jobs(self, count: int, *, prefix: str = "rand", loop: bool = True) -> list[Job]:
+        """Draw ``count`` random jobs."""
+        if count < 1:
+            raise WorkloadError("count must be >= 1")
+        return [self.job(name=f"{prefix}-{i}", loop=loop) for i in range(count)]

@@ -1,0 +1,161 @@
+"""Jobs: phase sequences with execution progress.
+
+A :class:`Job` owns an ordered list of phases and a cursor (current phase,
+instructions completed within it).  The simulator core pulls work from the
+job in instruction quanta; the job reports phase boundaries so the core can
+re-evaluate characteristics mid-interval — the source of the
+phase-transition prediction error discussed with Table 2.
+
+Jobs either run **once** (completion time is the performance metric, as for
+the SPEC-style runs of Table 3) or **loop** forever (throughput over a fixed
+observation window, as for the synthetic benchmark figures).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import WorkloadError
+from ..units import check_positive
+from .phase import Phase
+
+__all__ = ["LoopMode", "JobState", "Job"]
+
+
+class LoopMode(enum.Enum):
+    """What the job does after its last phase."""
+
+    ONCE = "once"        #: complete after the final phase
+    LOOP = "loop"        #: restart from the first phase forever
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job."""
+
+    READY = "ready"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass
+class Job:
+    """A named sequence of phases plus execution progress.
+
+    The instruction cursor and aggregate statistics are mutated by the
+    simulator; phase definitions themselves are immutable.
+    """
+
+    name: str
+    phases: Sequence[Phase]
+    loop: LoopMode = LoopMode.ONCE
+    #: Index of the phase the cursor is in.
+    phase_index: int = field(default=0, init=False)
+    #: Instructions completed inside the current phase.
+    phase_progress: float = field(default=0.0, init=False)
+    #: Total instructions completed over the job's lifetime.
+    instructions_retired: float = field(default=0.0, init=False)
+    #: Number of times the job wrapped (LOOP mode).
+    iterations: int = field(default=0, init=False)
+    state: JobState = field(default=JobState.READY, init=False)
+    #: Simulation times of first dispatch and completion (ONCE mode).
+    started_at_s: float | None = field(default=None, init=False)
+    completed_at_s: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("job needs a non-empty name")
+        self.phases = tuple(self.phases)
+        if not self.phases:
+            raise WorkloadError(f"job {self.name!r} needs at least one phase")
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> float:
+        """Instructions in one pass over all phases."""
+        return sum(p.instructions for p in self.phases)
+
+    @property
+    def current_phase(self) -> Phase:
+        """The phase under the cursor.
+
+        Raises :class:`WorkloadError` on a completed job.
+        """
+        if self.state is JobState.COMPLETED:
+            raise WorkloadError(f"job {self.name!r} already completed")
+        return self.phases[self.phase_index]
+
+    @property
+    def remaining_in_phase(self) -> float:
+        """Instructions left in the current phase."""
+        return self.current_phase.instructions - self.phase_progress
+
+    @property
+    def done(self) -> bool:
+        return self.state is JobState.COMPLETED
+
+    def elapsed_s(self) -> float | None:
+        """Wall-clock run time (ONCE mode, after completion)."""
+        if self.started_at_s is None or self.completed_at_s is None:
+            return None
+        return self.completed_at_s - self.started_at_s
+
+    # -- execution ---------------------------------------------------------------
+
+    def mark_started(self, now_s: float) -> None:
+        """Record the first dispatch (idempotent)."""
+        if self.started_at_s is None:
+            self.started_at_s = now_s
+        if self.state is JobState.READY:
+            self.state = JobState.RUNNING
+
+    def retire(self, instructions: float, now_s: float) -> None:
+        """Advance the cursor by ``instructions`` (must not cross a phase
+        boundary — the core slices its work at boundaries so every slice has
+        stationary characteristics).
+        """
+        check_positive(instructions, "instructions")
+        if self.state is JobState.COMPLETED:
+            raise WorkloadError(f"retiring instructions on completed job {self.name!r}")
+        if instructions > self.remaining_in_phase * (1 + 1e-9):
+            raise WorkloadError(
+                f"slice of {instructions} instructions crosses a phase boundary "
+                f"({self.remaining_in_phase} left in {self.current_phase.name!r})"
+            )
+        self.phase_progress += instructions
+        self.instructions_retired += instructions
+        if self.phase_progress >= self.current_phase.instructions * (1 - 1e-12):
+            self._advance_phase(now_s)
+
+    def _advance_phase(self, now_s: float) -> None:
+        self.phase_progress = 0.0
+        if self.phase_index + 1 < len(self.phases):
+            self.phase_index += 1
+            return
+        if self.loop is LoopMode.LOOP:
+            self.phase_index = 0
+            self.iterations += 1
+            return
+        self.state = JobState.COMPLETED
+        self.completed_at_s = now_s
+
+    def reset(self) -> None:
+        """Rewind the job to its initial state (fresh run)."""
+        self.phase_index = 0
+        self.phase_progress = 0.0
+        self.instructions_retired = 0.0
+        self.iterations = 0
+        self.state = JobState.READY
+        self.started_at_s = None
+        self.completed_at_s = None
+
+    # -- construction helpers ------------------------------------------------------
+
+    @classmethod
+    def from_phases(cls, name: str, phases: Iterable[Phase], *,
+                    loop: bool = False) -> "Job":
+        """Convenience constructor with a boolean loop flag."""
+        return cls(name=name, phases=tuple(phases),
+                   loop=LoopMode.LOOP if loop else LoopMode.ONCE)

@@ -1,0 +1,163 @@
+"""The phase abstraction (Section 4.2).
+
+A phase is a stretch of execution with stationary per-instruction
+characteristics.  Its *ground truth* CPI at frequency ``f`` follows the same
+frequency-separable decomposition as the Section 4.3 model **plus** a
+component the predictor cannot see:
+
+    CPI_true(f) = 1/alpha + l1_stall + unmodeled_stall + m * f
+
+``unmodeled_stall`` stands for branch mispredictions, TLB walks and other
+non-memory stalls; the paper's Table 2 discussion names exactly this ("the
+predictor currently does not account for non-memory stalls") as the bias in
+its predictions, so the simulator must be able to generate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import WorkloadError
+from ..model.ipc import MemoryCounts, WorkloadSignature
+from ..model.latency import MemoryLatencyProfile
+from ..units import check_non_negative, check_positive
+
+__all__ = ["Phase", "IDLE_PHASE_NAME", "idle_phase"]
+
+#: Reserved name for the hot-idle loop phase.
+IDLE_PHASE_NAME = "__idle__"
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """A stationary stretch of execution.
+
+    Attributes
+    ----------
+    name:
+        Label for logs and traces.
+    instructions:
+        Phase length in instructions (wall-clock length then depends on the
+        frequency it runs at).
+    alpha:
+        Ideal stall-free IPC of this phase on this core.
+    l1_stall_cycles_per_instr:
+        L1-hit stall cycles per instruction (frequency-independent cycles).
+    n_l2_per_instr, n_l3_per_instr, n_mem_per_instr:
+        Accesses serviced by L2 / L3 / DRAM, per instruction.
+    unmodeled_stall_cycles_per_instr:
+        Frequency-independent stall cycles invisible to the performance
+        counters the predictor reads (the predictor's bias source).
+    """
+
+    name: str
+    instructions: float
+    alpha: float
+    l1_stall_cycles_per_instr: float = 0.0
+    n_l2_per_instr: float = 0.0
+    n_l3_per_instr: float = 0.0
+    n_mem_per_instr: float = 0.0
+    unmodeled_stall_cycles_per_instr: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("phase needs a non-empty name")
+        check_positive(self.instructions, "instructions")
+        check_positive(self.alpha, "alpha")
+        check_non_negative(self.l1_stall_cycles_per_instr, "l1_stall_cycles_per_instr")
+        check_non_negative(self.n_l2_per_instr, "n_l2_per_instr")
+        check_non_negative(self.n_l3_per_instr, "n_l3_per_instr")
+        check_non_negative(self.n_mem_per_instr, "n_mem_per_instr")
+        check_non_negative(
+            self.unmodeled_stall_cycles_per_instr, "unmodeled_stall_cycles_per_instr"
+        )
+
+    # -- ground truth ---------------------------------------------------------
+
+    def true_signature(self, latencies: MemoryLatencyProfile) -> WorkloadSignature:
+        """Ground-truth frequency-separable signature of this phase."""
+        core_cpi = (
+            1.0 / self.alpha
+            + self.l1_stall_cycles_per_instr
+            + self.unmodeled_stall_cycles_per_instr
+        )
+        mem_time = (
+            self.n_l2_per_instr * latencies.t_l2_s
+            + self.n_l3_per_instr * latencies.t_l3_s
+            + self.n_mem_per_instr * latencies.t_mem_s
+        )
+        return WorkloadSignature(core_cpi=core_cpi, mem_time_per_instr_s=mem_time)
+
+    def true_cpi(self, latencies: MemoryLatencyProfile, freq_hz: float,
+                 *, latency_scale: float = 1.0) -> float:
+        """Ground-truth CPI at ``freq_hz``.
+
+        ``latency_scale`` lets the simulator jitter effective memory service
+        times around the nominal profile (another predictor error source).
+        """
+        check_positive(latency_scale, "latency_scale")
+        sig = self.true_signature(latencies)
+        return sig.core_cpi + sig.mem_time_per_instr_s * latency_scale * freq_hz
+
+    def true_ipc(self, latencies: MemoryLatencyProfile, freq_hz: float,
+                 *, latency_scale: float = 1.0) -> float:
+        """Ground-truth IPC at ``freq_hz``."""
+        return 1.0 / self.true_cpi(latencies, freq_hz, latency_scale=latency_scale)
+
+    def throughput(self, latencies: MemoryLatencyProfile, freq_hz: float,
+                   *, latency_scale: float = 1.0) -> float:
+        """Ground-truth instructions/second at ``freq_hz``."""
+        check_positive(freq_hz, "freq_hz")
+        return freq_hz / self.true_cpi(latencies, freq_hz, latency_scale=latency_scale)
+
+    # -- counter generation -----------------------------------------------------
+
+    def counts_for(self, instructions: float) -> MemoryCounts:
+        """Expected counter deltas for executing ``instructions`` of this phase.
+
+        The L1 stall counter is visible to the predictor; the unmodeled
+        stall cycles are, by definition, not counted anywhere.
+        """
+        check_non_negative(instructions, "instructions")
+        return MemoryCounts(
+            instructions=instructions,
+            n_l2=self.n_l2_per_instr * instructions,
+            n_l3=self.n_l3_per_instr * instructions,
+            n_mem=self.n_mem_per_instr * instructions,
+            l1_stall_cycles=self.l1_stall_cycles_per_instr * instructions,
+        )
+
+    # -- derivation --------------------------------------------------------------
+
+    def with_instructions(self, instructions: float) -> "Phase":
+        """Same characteristics, different length."""
+        return replace(self, instructions=instructions)
+
+    def scaled_memory(self, factor: float) -> "Phase":
+        """Same phase with all memory access rates scaled by ``factor``."""
+        check_positive(factor, "factor")
+        return replace(
+            self,
+            n_l2_per_instr=self.n_l2_per_instr * factor,
+            n_l3_per_instr=self.n_l3_per_instr * factor,
+            n_mem_per_instr=self.n_mem_per_instr * factor,
+        )
+
+    @property
+    def is_idle(self) -> bool:
+        return self.name == IDLE_PHASE_NAME
+
+
+def idle_phase(*, ipc: float = 1.3, instructions: float = 1e9) -> Phase:
+    """The Power4+ "hot" idle loop: a tight CPU-bound spin (Section 7.1).
+
+    Its observed IPC (~1.3) makes an idle processor look like attractive
+    CPU-bound work to the predictor — the pathology that motivates explicit
+    idle detection in Section 5.
+    """
+    check_positive(ipc, "ipc")
+    return Phase(
+        name=IDLE_PHASE_NAME,
+        instructions=instructions,
+        alpha=ipc,
+    )

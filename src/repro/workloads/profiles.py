@@ -1,0 +1,270 @@
+"""Models of the paper's real applications (Section 7.3).
+
+The paper evaluated gzip and gap (SPEC CPU2000, CPU-intensive) and mcf (SPEC
+CPU2000) and health (Olden), both memory-intensive.  We cannot run SPEC
+binaries on real hardware, so each application is modelled as a looping
+pattern of phases whose *core-to-memory cycle ratio* ``x = c0 / (m * 1 GHz)``
+is placed to reproduce the published behaviour under the paper's own
+performance model:
+
+* With ``epsilon = 0.04`` and the 50 MHz ladder, a phase with ratio ``x``
+  desires the lowest frequency ``f`` satisfying ``x < f*eps/(1 - eps - f)``
+  (in GHz units); the boundaries are 3.8 → 1000 MHz, 0.6 → 950 MHz, 0.309 →
+  900 MHz, 0.2 → 850 MHz, 0.143 → 800 MHz, 0.108 → 750 MHz, 0.084 → 700 MHz,
+  0.067 → 650 MHz, ...
+* gzip/gap therefore mix mostly-pure-CPU phases (time split between 1000 and
+  950 MHz, Figure 8) with a small memory tail; mcf/health put most of their
+  time in phases desiring 650 MHz, with shorter build/init phases higher.
+
+The mixes below reproduce Table 3's energy column closely (e.g. mcf ≈ 0.46
+vs the paper's 0.43 at 140 W) and the 75 W performance column (mcf ≈ 0.99).
+The 35 W performance losses of the *memory-bound* applications come out
+smaller than the paper's measurements (≈0.94 vs 0.81 for mcf): under the
+constant-latency linear CPI model a phase saturated at 650 MHz cannot lose
+19% at 500 MHz — the paper's own predictor would say the same, and its
+Table 2/footnote-1 discussion acknowledges the model underestimates losses
+below saturation.  EXPERIMENTS.md records this divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..model.latency import MemoryLatencyProfile, POWER4_LATENCIES
+from ..units import check_positive
+from .job import Job, LoopMode
+from .phase import Phase
+
+__all__ = [
+    "PhaseSpec",
+    "BenchmarkProfile",
+    "gzip_profile",
+    "gap_profile",
+    "mcf_profile",
+    "health_profile",
+    "profile_by_name",
+    "ALL_PROFILES",
+]
+
+#: Ideal IPC used by all application models (Power4+-class core).
+_APP_ALPHA = 2.0
+#: L1-hit stall cycles per instruction.
+_APP_L1_STALL = 0.10
+#: Unmodeled (non-memory) stall cycles per instruction.
+_APP_UNMODELED = 0.05
+#: Frequency-independent cycles per instruction implied by the above.
+_APP_CORE_CPI = 1.0 / _APP_ALPHA + _APP_L1_STALL + _APP_UNMODELED
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSpec:
+    """One phase of an application model.
+
+    ``core_to_mem_ratio`` is ``x`` above (``float('inf')`` for a pure-CPU
+    phase); ``duration_at_nominal_s`` is the phase's wall-clock length when
+    run at the nominal 1 GHz; the l2/l3/mem shares split the memory cycles
+    across hierarchy levels (they must sum to 1 when ``x`` is finite).
+    """
+
+    name: str
+    core_to_mem_ratio: float
+    duration_at_nominal_s: float
+    l2_share: float = 0.6
+    l3_share: float = 0.25
+    mem_share: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.core_to_mem_ratio != float("inf"):
+            check_positive(self.core_to_mem_ratio, "core_to_mem_ratio")
+        check_positive(self.duration_at_nominal_s, "duration_at_nominal_s")
+        if self.core_to_mem_ratio != float("inf"):
+            total = self.l2_share + self.l3_share + self.mem_share
+            if abs(total - 1.0) > 1e-9:
+                raise WorkloadError(
+                    f"phase {self.name!r}: hierarchy shares sum to {total}, not 1"
+                )
+
+    def build(self, latencies: MemoryLatencyProfile,
+              nominal_freq_hz: float) -> Phase:
+        """Materialise the spec as a :class:`Phase` with concrete rates."""
+        if self.core_to_mem_ratio == float("inf"):
+            mem_cpi_nominal = 0.0
+        else:
+            mem_cpi_nominal = _APP_CORE_CPI / self.core_to_mem_ratio
+        # Split the nominal memory cycles across levels, then convert each
+        # level's cycle share into an access rate via its latency in cycles
+        # at the nominal frequency.
+        n_l2 = n_l3 = n_mem = 0.0
+        if mem_cpi_nominal > 0.0:
+            n_l2 = self.l2_share * mem_cpi_nominal / (latencies.t_l2_s * nominal_freq_hz)
+            n_l3 = self.l3_share * mem_cpi_nominal / (latencies.t_l3_s * nominal_freq_hz)
+            n_mem = self.mem_share * mem_cpi_nominal / (latencies.t_mem_s * nominal_freq_hz)
+        proto = Phase(
+            name=self.name,
+            instructions=1.0,
+            alpha=_APP_ALPHA,
+            l1_stall_cycles_per_instr=_APP_L1_STALL,
+            n_l2_per_instr=n_l2,
+            n_l3_per_instr=n_l3,
+            n_mem_per_instr=n_mem,
+            unmodeled_stall_cycles_per_instr=_APP_UNMODELED,
+        )
+        instructions = self.duration_at_nominal_s * proto.throughput(
+            latencies, nominal_freq_hz
+        )
+        return proto.with_instructions(instructions)
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """A named application model: a setup phase plus a repeating body."""
+
+    name: str
+    description: str
+    setup: tuple[PhaseSpec, ...]
+    body: tuple[PhaseSpec, ...]
+    body_repeats: int = 8
+
+    def job(self, *, latencies: MemoryLatencyProfile = POWER4_LATENCIES,
+            nominal_freq_hz: float = 1.0e9, loop: bool = False,
+            body_repeats: int | None = None) -> Job:
+        """Materialise the profile as a runnable job.
+
+        ONCE mode (default) runs setup then ``body_repeats`` copies of the
+        body — the Table 3 configuration.  LOOP mode repeats the body
+        forever for open-ended time-series experiments (Figures 8–10).
+        """
+        reps = self.body_repeats if body_repeats is None else body_repeats
+        if reps < 1:
+            raise WorkloadError("body_repeats must be >= 1")
+        specs: list[PhaseSpec] = []
+        if not loop:
+            specs.extend(self.setup)
+        specs.extend(list(self.body) * reps)
+        phases = tuple(s.build(latencies, nominal_freq_hz) for s in specs)
+        return Job(name=self.name, phases=phases,
+                   loop=LoopMode.LOOP if loop else LoopMode.ONCE)
+
+    def nominal_duration_s(self, *, body_repeats: int | None = None) -> float:
+        """Wall-clock length of one ONCE run at the nominal frequency."""
+        reps = self.body_repeats if body_repeats is None else body_repeats
+        return (
+            sum(s.duration_at_nominal_s for s in self.setup)
+            + reps * sum(s.duration_at_nominal_s for s in self.body)
+        )
+
+
+def gzip_profile() -> BenchmarkProfile:
+    """SPEC CPU2000 gzip: CPU-bound compression with a small memory tail.
+
+    Time at the nominal frequency splits ≈55% pure-CPU Huffman coding
+    (desires 1000 MHz), ≈38% match-finding with light L2 traffic (desires
+    950 MHz) and ≈7% window flushes (desires 900 MHz) — reproducing the
+    Figure 8 residency ("primarily between 1000 MHz and 950 MHz"), Table 3's
+    0.94 energy ratio and ≈0.79 performance at the 75 W cap.
+    """
+    return BenchmarkProfile(
+        name="gzip",
+        description="SPEC CPU2000 gzip model (CPU-intensive)",
+        setup=(PhaseSpec("gzip-load", 0.35, 0.30, l2_share=0.3,
+                         l3_share=0.3, mem_share=0.4),),
+        body=(
+            PhaseSpec("gzip-huffman", float("inf"), 1.10),
+            PhaseSpec("gzip-match", 2.0, 0.76, l2_share=0.8,
+                      l3_share=0.15, mem_share=0.05),
+            PhaseSpec("gzip-flush", 0.45, 0.14, l2_share=0.5,
+                      l3_share=0.3, mem_share=0.2),
+        ),
+    )
+
+
+def gap_profile() -> BenchmarkProfile:
+    """SPEC CPU2000 gap: interpreter with garbage-collection sweeps.
+
+    ≈30% pure interpreter dispatch (1000 MHz), ≈45% workspace collection
+    (950 MHz), ≈15% bignum arithmetic (900 MHz) and ≈10% list scans
+    (850 MHz) — giving Table 3's 0.88 energy ratio and ≈0.8 performance at
+    75 W, with the Figure 9 desired-frequency wander below the 750 MHz cap.
+    """
+    return BenchmarkProfile(
+        name="gap",
+        description="SPEC CPU2000 gap model (CPU-intensive)",
+        setup=(PhaseSpec("gap-read", 0.4, 0.25, l2_share=0.4,
+                         l3_share=0.3, mem_share=0.3),),
+        body=(
+            PhaseSpec("gap-interp", float("inf"), 0.60),
+            PhaseSpec("gap-collect", 1.5, 0.90, l2_share=0.7,
+                      l3_share=0.2, mem_share=0.1),
+            PhaseSpec("gap-bignum", 0.5, 0.30, l2_share=0.6,
+                      l3_share=0.25, mem_share=0.15),
+            PhaseSpec("gap-scan", 0.10, 0.20, l2_share=0.4,
+                      l3_share=0.3, mem_share=0.3),
+        ),
+    )
+
+
+def mcf_profile() -> BenchmarkProfile:
+    """SPEC CPU2000 mcf: pointer-chasing network simplex.
+
+    ≈72% of nominal time in the simplex refinement (desires 650 MHz — the
+    Figure 8 "majority of execution at 650 MHz"), ≈20% in basis rebuilds
+    (750 MHz) and ≈8% in CPU-bound pricing (950 MHz): Table 3's 0.43-class
+    energy ratio and ≈0.99 performance at the 75 W cap.
+    """
+    return BenchmarkProfile(
+        name="mcf",
+        description="SPEC CPU2000 mcf model (memory-intensive)",
+        setup=(PhaseSpec("mcf-parse", 1.5, 0.25, l2_share=0.5,
+                         l3_share=0.3, mem_share=0.2),),
+        body=(
+            PhaseSpec("mcf-refine", 0.075, 2.10, l2_share=0.10,
+                      l3_share=0.25, mem_share=0.65),
+            PhaseSpec("mcf-rebuild", 0.12, 0.45, l2_share=0.15,
+                      l3_share=0.30, mem_share=0.55),
+            PhaseSpec("mcf-price", 1.5, 0.15, l2_share=0.7,
+                      l3_share=0.2, mem_share=0.1),
+        ),
+    )
+
+
+def health_profile() -> BenchmarkProfile:
+    """Olden health: linked-list hospital simulation.
+
+    ≈78% list traversal (650 MHz), ≈14% patient insertion (800 MHz), ≈8%
+    CPU-bound setup per timestep (950 MHz).
+    """
+    return BenchmarkProfile(
+        name="health",
+        description="Olden health model (memory-intensive)",
+        setup=(PhaseSpec("health-build", 0.09, 0.30, l2_share=0.1,
+                         l3_share=0.2, mem_share=0.7),),
+        body=(
+            PhaseSpec("health-traverse", 0.07, 2.20, l2_share=0.08,
+                      l3_share=0.22, mem_share=0.70),
+            PhaseSpec("health-insert", 0.17, 0.30, l2_share=0.2,
+                      l3_share=0.3, mem_share=0.5),
+            PhaseSpec("health-setup", 2.5, 0.15, l2_share=0.6,
+                      l3_share=0.25, mem_share=0.15),
+        ),
+    )
+
+
+def _all_profiles() -> dict[str, BenchmarkProfile]:
+    return {p.name: p for p in (
+        gzip_profile(), gap_profile(), mcf_profile(), health_profile()
+    )}
+
+
+#: All four application models, keyed by name.
+ALL_PROFILES: dict[str, BenchmarkProfile] = _all_profiles()
+
+
+def profile_by_name(name: str) -> BenchmarkProfile:
+    """Look up one of the four models; raises on unknown names."""
+    try:
+        return ALL_PROFILES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; available: {sorted(ALL_PROFILES)}"
+        ) from None

@@ -1,0 +1,184 @@
+"""Open-loop server workloads: request arrivals, queueing, latency.
+
+Section 3.1 contrasts fvsst with Elnozahy et al.'s demand-driven DVS for
+web server farms.  To run that comparison, this module generates the
+missing workload class: requests arriving over time (Poisson, with a
+time-varying rate for diurnal load), each a small ONCE job enqueued on a
+processor.  When the queue drains the processor idles — hot, on a Power4+
+— so the idle-detection machinery and the utilization governor both get
+exercised on their home turf.
+
+Latency is measured per request (completion minus arrival), giving the
+metric demand-driven schemes optimise and power-capping schemes risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..units import check_non_negative, check_positive
+from .job import Job
+from .phase import Phase
+
+if TYPE_CHECKING:  # imported lazily to avoid a workloads <-> sim cycle
+    from ..sim.driver import Simulation
+    from ..sim.machine import SMPMachine
+
+__all__ = ["RequestSpec", "RequestRecord", "ServerSource",
+           "constant_rate", "diurnal_rate"]
+
+
+@dataclass(frozen=True, slots=True)
+class RequestSpec:
+    """Shape of one request's computation.
+
+    Defaults model a dynamic web request: ~2M instructions, moderately
+    memory-bound (session/state lookups).
+    """
+
+    name: str = "request"
+    instructions: float = 2e6
+    alpha: float = 2.0
+    l1_stall_cycles_per_instr: float = 0.1
+    n_l2_per_instr: float = 0.01
+    n_l3_per_instr: float = 0.001
+    n_mem_per_instr: float = 0.001
+    unmodeled_stall_cycles_per_instr: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive(self.instructions, "instructions")
+
+    def job(self, index: int) -> Job:
+        phase = Phase(
+            name=self.name,
+            instructions=self.instructions,
+            alpha=self.alpha,
+            l1_stall_cycles_per_instr=self.l1_stall_cycles_per_instr,
+            n_l2_per_instr=self.n_l2_per_instr,
+            n_l3_per_instr=self.n_l3_per_instr,
+            n_mem_per_instr=self.n_mem_per_instr,
+            unmodeled_stall_cycles_per_instr=(
+                self.unmodeled_stall_cycles_per_instr),
+        )
+        return Job(name=f"{self.name}-{index}", phases=(phase,))
+
+
+@dataclass
+class RequestRecord:
+    """Book-keeping for one issued request."""
+
+    job: Job
+    arrival_s: float
+
+    @property
+    def completed(self) -> bool:
+        return self.job.done
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.job.completed_at_s is None:
+            return None
+        return self.job.completed_at_s - self.arrival_s
+
+
+def constant_rate(rate_per_s: float) -> Callable[[float], float]:
+    """A constant arrival-rate function."""
+    check_non_negative(rate_per_s, "rate_per_s")
+    return lambda t: rate_per_s
+
+
+def diurnal_rate(low_per_s: float, high_per_s: float,
+                 period_s: float) -> Callable[[float], float]:
+    """Sinusoidal load between ``low`` and ``high`` with the given period —
+    a compressed diurnal cycle for simulation."""
+    check_non_negative(low_per_s, "low_per_s")
+    check_positive(period_s, "period_s")
+    if high_per_s < low_per_s:
+        raise WorkloadError("high rate below low rate")
+    mid = 0.5 * (low_per_s + high_per_s)
+    amp = 0.5 * (high_per_s - low_per_s)
+
+    def rate(t: float) -> float:
+        return mid - amp * np.cos(2 * np.pi * t / period_s)
+
+    return rate
+
+
+class ServerSource:
+    """Poisson request arrivals onto one processor of a machine.
+
+    Uses thinning against ``max_rate`` so time-varying rates stay exact:
+    candidate arrivals are drawn at the peak rate and accepted with
+    probability ``rate(t) / max_rate``.
+    """
+
+    def __init__(self, machine: "SMPMachine", core_index: int, *,
+                 rate_per_s: Callable[[float], float],
+                 max_rate_per_s: float,
+                 spec: RequestSpec | None = None,
+                 rng: np.random.Generator | int | None = None) -> None:
+        check_positive(max_rate_per_s, "max_rate_per_s")
+        self.machine = machine
+        self.core_index = core_index
+        self.rate = rate_per_s
+        self.max_rate = max_rate_per_s
+        self.spec = spec or RequestSpec()
+        self._rng = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        self.records: list[RequestRecord] = []
+        self._count = 0
+        self._sim: "Simulation | None" = None
+
+    def attach(self, sim: "Simulation") -> None:
+        """Start the arrival process."""
+        if self._sim is not None:
+            raise WorkloadError("server source already attached")
+        self._sim = sim
+        self._schedule_next(sim.now_s)
+
+    def _schedule_next(self, now_s: float) -> None:
+        gap = float(self._rng.exponential(1.0 / self.max_rate))
+        self._sim.at(now_s + gap, self._on_candidate, name="request-arrival")
+
+    def _on_candidate(self, t: float) -> None:
+        rate_now = self.rate(t)
+        if rate_now > self.max_rate * (1 + 1e-9):
+            raise WorkloadError(
+                f"rate {rate_now}/s exceeds declared max {self.max_rate}/s"
+            )
+        if self._rng.uniform() <= rate_now / self.max_rate:
+            job = self.spec.job(self._count)
+            self._count += 1
+            self.machine.assign(self.core_index, job)
+            self.records.append(RequestRecord(job=job, arrival_s=t))
+        self._schedule_next(t)
+
+    # -- metrics -------------------------------------------------------------------
+
+    @property
+    def issued(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    def latencies_s(self) -> np.ndarray:
+        """Latencies of completed requests, in arrival order."""
+        return np.array([r.latency_s for r in self.records if r.completed])
+
+    def latency_percentile_s(self, pct: float) -> float:
+        lats = self.latencies_s()
+        if lats.size == 0:
+            raise WorkloadError("no completed requests to score")
+        return float(np.percentile(lats, pct))
+
+    def mean_latency_s(self) -> float:
+        lats = self.latencies_s()
+        if lats.size == 0:
+            raise WorkloadError("no completed requests to score")
+        return float(lats.mean())

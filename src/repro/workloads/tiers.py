@@ -1,0 +1,135 @@
+"""Tiered cluster workloads (Section 4.2).
+
+"The tendency to assign work in a cluster by tiers where some machines run
+the web server, some the processing logic and some the database accentuates
+the level of diversity and stabilizes the phenomenon over time."  The tier
+models here create exactly that stable diversity for the cluster
+experiments: web-tier nodes are moderately CPU-bound with request bursts,
+application-tier nodes nearly pure CPU, database-tier nodes memory-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..model.latency import MemoryLatencyProfile, POWER4_LATENCIES
+from .job import Job, LoopMode
+from .profiles import PhaseSpec
+
+__all__ = [
+    "Tier",
+    "TIER_WEB",
+    "TIER_APP",
+    "TIER_DB",
+    "tier_job",
+    "tiered_cluster_assignment",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Tier:
+    """A cluster tier: a name and its repeating phase pattern."""
+
+    name: str
+    description: str
+    body: tuple[PhaseSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise WorkloadError(f"tier {self.name!r} needs at least one phase")
+
+
+#: Web tier: parsing/serialisation bursts (CPU) against cache lookups.
+TIER_WEB = Tier(
+    name="web",
+    description="HTTP front end: protocol handling with session-cache misses",
+    body=(
+        PhaseSpec("web-parse", 3.0, 0.40, l2_share=0.7, l3_share=0.2,
+                  mem_share=0.1),
+        PhaseSpec("web-session", 0.35, 0.25, l2_share=0.3, l3_share=0.3,
+                  mem_share=0.4),
+        PhaseSpec("web-render", 1.2, 0.35, l2_share=0.6, l3_share=0.25,
+                  mem_share=0.15),
+    ),
+)
+
+#: Application tier: business logic, nearly pure CPU.
+TIER_APP = Tier(
+    name="app",
+    description="processing logic: computation-dominated",
+    body=(
+        PhaseSpec("app-compute", float("inf"), 0.80),
+        PhaseSpec("app-marshal", 1.8, 0.20, l2_share=0.7, l3_share=0.2,
+                  mem_share=0.1),
+    ),
+)
+
+#: Database tier: index walks and buffer-pool misses, memory-bound.
+TIER_DB = Tier(
+    name="db",
+    description="database: pointer-heavy index traversal",
+    body=(
+        PhaseSpec("db-scan", 0.08, 1.20, l2_share=0.1, l3_share=0.25,
+                  mem_share=0.65),
+        PhaseSpec("db-join", 0.15, 0.40, l2_share=0.2, l3_share=0.3,
+                  mem_share=0.5),
+        PhaseSpec("db-plan", 2.0, 0.15, l2_share=0.7, l3_share=0.2,
+                  mem_share=0.1),
+    ),
+)
+
+_TIERS = {t.name: t for t in (TIER_WEB, TIER_APP, TIER_DB)}
+
+
+def tier_job(tier: Tier | str, *, name: str | None = None,
+             latencies: MemoryLatencyProfile = POWER4_LATENCIES,
+             nominal_freq_hz: float = 1.0e9) -> Job:
+    """A looping job executing one tier's phase pattern."""
+    if isinstance(tier, str):
+        try:
+            tier = _TIERS[tier]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown tier {tier!r}; available: {sorted(_TIERS)}"
+            ) from None
+    phases = tuple(s.build(latencies, nominal_freq_hz) for s in tier.body)
+    return Job(name=name or f"{tier.name}-tier", phases=phases,
+               loop=LoopMode.LOOP)
+
+
+def tiered_cluster_assignment(
+    nodes: int,
+    procs_per_node: int,
+    *,
+    web_nodes: int | None = None,
+    app_nodes: int | None = None,
+    latencies: MemoryLatencyProfile = POWER4_LATENCIES,
+    nominal_freq_hz: float = 1.0e9,
+) -> list[list[Job]]:
+    """Assign tiers to a cluster the way sites typically do (Section 4.2).
+
+    The first ``web_nodes`` nodes run the web tier, the next ``app_nodes``
+    the application tier, and the remainder the database tier.  Defaults
+    split the cluster roughly 1/3 : 1/3 : 1/3.  Every processor of a node
+    runs its node's tier (one looping job per processor).
+
+    Returns one list of jobs per node.
+    """
+    if nodes < 1 or procs_per_node < 1:
+        raise WorkloadError("need at least one node and one processor")
+    web = nodes // 3 if web_nodes is None else web_nodes
+    app = nodes // 3 if app_nodes is None else app_nodes
+    if web < 0 or app < 0 or web + app > nodes:
+        raise WorkloadError(
+            f"tier split ({web} web + {app} app) exceeds {nodes} nodes"
+        )
+    assignment: list[list[Job]] = []
+    for n in range(nodes):
+        tier = TIER_WEB if n < web else TIER_APP if n < web + app else TIER_DB
+        assignment.append([
+            tier_job(tier, name=f"{tier.name}-n{n}p{p}",
+                     latencies=latencies, nominal_freq_hz=nominal_freq_hz)
+            for p in range(procs_per_node)
+        ])
+    return assignment

@@ -1,0 +1,127 @@
+"""Phase-trace record/replay.
+
+The fvsst prototype "generates both scheduling and performance counter data
+logs ... for monitoring and data analysis" (Section 6).  This module is the
+workload-side counterpart: a :class:`PhaseTrace` serialises the phase
+structure a job executed so a run can be replayed exactly (e.g. to compare
+governors on identical work) or archived alongside experiment results.
+
+Traces serialise to plain JSON-compatible dictionaries — no pickle, so they
+are safe to exchange and diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import WorkloadError
+from .job import Job, LoopMode
+from .phase import Phase
+
+__all__ = ["TraceRecord", "PhaseTrace", "record_trace", "replay_trace"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One phase occurrence in a trace."""
+
+    name: str
+    instructions: float
+    alpha: float
+    l1_stall_cycles_per_instr: float
+    n_l2_per_instr: float
+    n_l3_per_instr: float
+    n_mem_per_instr: float
+    unmodeled_stall_cycles_per_instr: float
+
+    @classmethod
+    def from_phase(cls, phase: Phase) -> "TraceRecord":
+        return cls(
+            name=phase.name,
+            instructions=phase.instructions,
+            alpha=phase.alpha,
+            l1_stall_cycles_per_instr=phase.l1_stall_cycles_per_instr,
+            n_l2_per_instr=phase.n_l2_per_instr,
+            n_l3_per_instr=phase.n_l3_per_instr,
+            n_mem_per_instr=phase.n_mem_per_instr,
+            unmodeled_stall_cycles_per_instr=phase.unmodeled_stall_cycles_per_instr,
+        )
+
+    def to_phase(self) -> Phase:
+        return Phase(
+            name=self.name,
+            instructions=self.instructions,
+            alpha=self.alpha,
+            l1_stall_cycles_per_instr=self.l1_stall_cycles_per_instr,
+            n_l2_per_instr=self.n_l2_per_instr,
+            n_l3_per_instr=self.n_l3_per_instr,
+            n_mem_per_instr=self.n_mem_per_instr,
+            unmodeled_stall_cycles_per_instr=self.unmodeled_stall_cycles_per_instr,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseTrace:
+    """A serialisable job description."""
+
+    job_name: str
+    loop: bool
+    records: tuple[TraceRecord, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "version": _FORMAT_VERSION,
+            "job_name": self.job_name,
+            "loop": self.loop,
+            "records": [asdict(r) for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseTrace":
+        version = data.get("version")
+        if version != _FORMAT_VERSION:
+            raise WorkloadError(f"unsupported trace version {version!r}")
+        try:
+            records = tuple(TraceRecord(**r) for r in data["records"])
+            return cls(job_name=data["job_name"], loop=bool(data["loop"]),
+                       records=records)
+        except (KeyError, TypeError) as exc:
+            raise WorkloadError(f"malformed trace: {exc}") from exc
+
+    def dump(self, path: str | Path) -> None:
+        """Write the trace as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PhaseTrace":
+        """Read a JSON trace."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise WorkloadError(f"cannot load trace from {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def record_trace(job: Job) -> PhaseTrace:
+    """Capture a job's phase structure as a trace."""
+    return PhaseTrace(
+        job_name=job.name,
+        loop=job.loop is LoopMode.LOOP,
+        records=tuple(TraceRecord.from_phase(p) for p in job.phases),
+    )
+
+
+def replay_trace(trace: PhaseTrace, *, name: str | None = None) -> Job:
+    """Rebuild a fresh (unstarted) job from a trace."""
+    if not trace.records:
+        raise WorkloadError("trace has no phase records")
+    return Job(
+        name=name or trace.job_name,
+        phases=tuple(r.to_phase() for r in trace.records),
+        loop=LoopMode.LOOP if trace.loop else LoopMode.ONCE,
+    )

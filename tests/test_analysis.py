@@ -1,0 +1,160 @@
+"""Analysis: metrics, step series, table rendering, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    mean_absolute_deviation,
+    normalized_performance,
+    performance_loss_fraction,
+    throughput_of_job,
+)
+from repro.analysis.report import ExperimentResult, SeriesResult, TableResult
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.timeseries import StepSeries, moving_average, resample_step
+from repro.errors import ExperimentError
+from repro.workloads.job import Job
+from repro.workloads.phase import Phase
+
+
+class TestMetrics:
+    def test_throughput_of_completed_job(self):
+        j = Job(name="j", phases=(Phase(name="p", instructions=1e6,
+                                        alpha=1.0),))
+        j.mark_started(1.0)
+        j.retire(1e6, 2.0)
+        assert throughput_of_job(j) == pytest.approx(1e6)
+
+    def test_throughput_of_running_job_rejected(self):
+        j = Job(name="j", phases=(Phase(name="p", instructions=1e6,
+                                        alpha=1.0),))
+        with pytest.raises(ExperimentError):
+            throughput_of_job(j)
+
+    def test_normalised_performance(self):
+        assert normalized_performance(80.0, 100.0) == pytest.approx(0.8)
+        assert performance_loss_fraction(80.0, 100.0) == pytest.approx(0.2)
+
+    def test_mean_absolute_deviation(self):
+        assert mean_absolute_deviation([1.0, 2.0], [1.1, 1.8]) == \
+            pytest.approx(0.15)
+
+    def test_mad_shape_mismatch(self):
+        with pytest.raises(ExperimentError):
+            mean_absolute_deviation([1.0], [1.0, 2.0])
+
+    def test_mad_empty(self):
+        with pytest.raises(ExperimentError):
+            mean_absolute_deviation([], [])
+
+
+class TestStepSeries:
+    SERIES = StepSeries(np.array([1.0, 2.0, 4.0]),
+                        np.array([10.0, 20.0, 5.0]))
+
+    def test_right_continuous_evaluation(self):
+        assert self.SERIES.at(1.0) == 10.0
+        assert self.SERIES.at(1.99) == 10.0
+        assert self.SERIES.at(2.0) == 20.0
+        assert self.SERIES.at(100.0) == 5.0
+
+    def test_before_start_uses_first_value(self):
+        assert self.SERIES.at(0.0) == 10.0
+
+    def test_integral(self):
+        # [1,2): 10, [2,4): 20, [4,5): 5 -> 10 + 40 + 5 = 55.
+        assert self.SERIES.integral(1.0, 5.0) == pytest.approx(55.0)
+
+    def test_mean(self):
+        assert self.SERIES.mean(1.0, 5.0) == pytest.approx(55.0 / 4.0)
+
+    def test_residency(self):
+        res = self.SERIES.residency(1.0, 5.0)
+        assert res[10.0] == pytest.approx(0.25)
+        assert res[20.0] == pytest.approx(0.50)
+        assert res[5.0] == pytest.approx(0.25)
+        assert sum(res.values()) == pytest.approx(1.0)
+
+    def test_resample(self):
+        grid = np.array([1.5, 2.5, 4.5])
+        np.testing.assert_allclose(resample_step(self.SERIES, grid),
+                                   [10.0, 20.0, 5.0])
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            StepSeries(np.array([2.0, 1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ExperimentError):
+            StepSeries(np.array([]), np.array([]))
+        with pytest.raises(ExperimentError):
+            self.SERIES.integral(5.0, 1.0)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        v = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(moving_average(v, 1), v)
+
+    def test_constant_preserved(self):
+        v = np.full(10, 7.0)
+        np.testing.assert_allclose(moving_average(v, 3), v)
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=100)
+        assert moving_average(v, 9).std() < v.std()
+
+    def test_bad_window(self):
+        with pytest.raises(ExperimentError):
+            moving_average(np.array([1.0]), 0)
+
+
+class TestRendering:
+    def test_table_alignment_and_rows(self):
+        text = render_table(("a", "bb"), [(1, 2.5), (10, 0.125)],
+                            title="T", precision=2)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "0.12" in lines[-1]
+
+    def test_row_width_checked(self):
+        with pytest.raises(ExperimentError):
+            render_table(("a",), [(1, 2)])
+
+    def test_series_rendering(self):
+        text = render_series("x", ["y1", "y2"], [1, 2],
+                             [[0.1, 0.2], [0.3, 0.4]])
+        assert "y1" in text and "0.4" in text
+
+    def test_series_length_checked(self):
+        with pytest.raises(ExperimentError):
+            render_series("x", ["y"], [1, 2], [[0.1]])
+
+
+class TestReportObjects:
+    def test_table_result_column(self):
+        t = TableResult(headers=("a", "b"), rows=((1, 2), (3, 4)))
+        assert t.column("b") == [2, 4]
+        with pytest.raises(ExperimentError):
+            t.column("z")
+
+    def test_series_result_access(self):
+        s = SeriesResult(x_label="x", x=(1, 2),
+                         series={"y": (0.1, 0.2)})
+        assert s.y("y") == (0.1, 0.2)
+        with pytest.raises(ExperimentError):
+            s.y("nope")
+
+    def test_experiment_render_contains_everything(self):
+        r = ExperimentResult(
+            experiment_id="test",
+            description="demo",
+            tables=[TableResult(headers=("a",), rows=((1,),), title="tbl")],
+            series=[SeriesResult(x_label="x", x=(1,),
+                                 series={"y": (2.0,)}, title="ser")],
+            scalars={"k": 3.0},
+            notes=["a note"],
+        )
+        text = r.render()
+        for needle in ("== test", "tbl", "ser", "k = 3.000", "a note"):
+            assert needle in text

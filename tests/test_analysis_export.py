@@ -1,0 +1,92 @@
+"""Result export/import round trips."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_csv,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.analysis.report import ExperimentResult, SeriesResult, TableResult
+from repro.errors import ExperimentError
+
+
+def demo_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="demo",
+        description="round-trip demo",
+        tables=[TableResult(
+            title="T", headers=("a", "b"), rows=((1, 2.5), ("x", 4)),
+        )],
+        series=[SeriesResult(
+            title="S", x_label="t", x=(0.0, 1.0),
+            series={"y1": (1.0, 2.0), "y2": (3.0, 4.0)},
+        )],
+        scalars={"k": 1.25},
+        notes=["note one"],
+    )
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self):
+        original = demo_result()
+        rebuilt = result_from_dict(result_to_dict(original))
+        assert rebuilt.experiment_id == original.experiment_id
+        assert rebuilt.tables[0].headers == original.tables[0].headers
+        assert rebuilt.series[0].series == original.series[0].series
+        assert rebuilt.scalars == original.scalars
+        assert rebuilt.notes == original.notes
+
+    def test_file_round_trip(self, tmp_path):
+        path = save_result(demo_result(), tmp_path / "sub" / "demo.json")
+        assert path.exists()
+        rebuilt = load_result(path)
+        assert rebuilt.render() == demo_result().render()
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ExperimentError):
+            result_from_dict({"version": 99})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ExperimentError):
+            result_from_dict({"version": 1, "experiment_id": "x"})
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_result(tmp_path / "nope.json")
+
+
+class TestCsvExport:
+    def test_files_written_for_every_artifact(self, tmp_path):
+        written = export_csv(demo_result(), tmp_path)
+        assert len(written) == 3   # table + series + scalars
+        assert all(p.exists() for p in written)
+
+    def test_table_csv_content(self, tmp_path):
+        written = export_csv(demo_result(), tmp_path)
+        table_file = next(p for p in written if "_T" in p.name
+                          and "scalars" not in p.name and "_S" not in p.name)
+        with table_file.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_series_csv_aligns_columns(self, tmp_path):
+        written = export_csv(demo_result(), tmp_path)
+        series_file = next(p for p in written if "_S" in p.name)
+        with series_file.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["t", "y1", "y2"]
+        assert rows[2] == ["1.0", "2.0", "4.0"]
+
+    def test_real_experiment_round_trip(self, tmp_path):
+        from repro.experiments import run_experiment
+        result = run_experiment("table1")
+        path = save_result(result, tmp_path / "table1.json")
+        rebuilt = load_result(path)
+        assert rebuilt.tables[0].column("Power (W)") == \
+            result.tables[0].column("Power (W)")

@@ -1,0 +1,165 @@
+"""Calibration utilities and phase detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.phases import detect_phases, phase_summary
+from repro.core.scheduler import FrequencyVoltageScheduler
+from repro.errors import ExperimentError, WorkloadError
+from repro.power.table import POWER4_TABLE, WORKED_EXAMPLE_TABLE
+from repro.units import ghz, mhz
+from repro.workloads.calibrate import (
+    admissibility_threshold,
+    ratio_band_for_rung,
+    ratio_for_rung,
+    signature_for_rung,
+)
+
+
+class TestAdmissibilityThreshold:
+    def test_matches_hand_derivation(self):
+        # docs/MODEL.md: at eps=0.04, f=0.65 -> 0.65*0.04/0.31.
+        assert admissibility_threshold(0.65, 0.04) == pytest.approx(
+            0.65 * 0.04 / 0.31)
+
+    def test_infinite_above_one_minus_eps(self):
+        assert admissibility_threshold(0.97, 0.04) == float("inf")
+        assert admissibility_threshold(0.96, 0.04) == float("inf")
+
+    def test_monotone_in_frequency(self):
+        ts = [admissibility_threshold(f, 0.04)
+              for f in (0.3, 0.5, 0.7, 0.9)]
+        assert ts == sorted(ts)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(WorkloadError):
+            admissibility_threshold(0.5, 0.0)
+
+
+class TestRatioForRung:
+    @pytest.mark.parametrize("target_mhz", [250, 500, 650, 750, 900, 950,
+                                            1000])
+    def test_round_trip_through_the_scheduler(self, target_mhz):
+        """The calibrated ratio's epsilon rung is exactly the target."""
+        eps = 0.04
+        sig = signature_for_rung(POWER4_TABLE, mhz(target_mhz), eps)
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=eps)
+        f, _loss = sched.epsilon_constrained(sig)
+        assert f == mhz(target_mhz)
+
+    @pytest.mark.parametrize("target_ghz", [0.6, 0.7, 0.8, 0.9, 1.0])
+    def test_round_trip_on_worked_example_ladder(self, target_ghz):
+        eps = 0.03
+        sig = signature_for_rung(WORKED_EXAMPLE_TABLE, ghz(target_ghz), eps)
+        sched = FrequencyVoltageScheduler(WORKED_EXAMPLE_TABLE, epsilon=eps)
+        f, _loss = sched.epsilon_constrained(sig)
+        assert f == ghz(target_ghz)
+
+    @given(eps=st.floats(0.01, 0.2),
+           idx=st.integers(0, 15))
+    @settings(max_examples=60)
+    def test_round_trip_property(self, eps, idx):
+        target = POWER4_TABLE.freqs_hz[idx]
+        try:
+            sig = signature_for_rung(POWER4_TABLE, target, eps)
+        except WorkloadError:
+            return  # empty band: legitimately impossible at this epsilon
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=eps)
+        f, _ = sched.epsilon_constrained(sig)
+        assert f == target
+
+    def test_band_edges_ordered(self):
+        low, high = ratio_band_for_rung(POWER4_TABLE, mhz(650), 0.04)
+        assert 0 < low < high < float("inf")
+
+    def test_bottom_rung_band_starts_at_zero(self):
+        low, high = ratio_band_for_rung(POWER4_TABLE, mhz(250), 0.04)
+        assert low == 0.0 and high > 0
+
+    def test_top_rung_band_unbounded(self):
+        low, high = ratio_band_for_rung(POWER4_TABLE, ghz(1.0), 0.04)
+        assert high == float("inf")
+        assert ratio_for_rung(POWER4_TABLE, ghz(1.0), 0.04) > low
+
+
+class TestPhaseDetection:
+    def _square_wave(self, hi=1.2, lo=0.1, samples=20, reps=3):
+        t, v = [], []
+        k = 0
+        for _ in range(reps):
+            for level in (hi, lo):
+                for _ in range(samples):
+                    t.append(k * 0.1)
+                    v.append(level)
+                    k += 1
+        return np.array(t), np.array(v)
+
+    def test_square_wave_segmentation(self):
+        t, v = self._square_wave()
+        segments = detect_phases(t, v)
+        assert len(segments) == 6
+        means = [round(s.mean_ipc, 1) for s in segments]
+        assert means == [1.2, 0.1, 1.2, 0.1, 1.2, 0.1]
+
+    def test_noise_does_not_fragment(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(100) * 0.1
+        v = 1.0 + 0.02 * rng.standard_normal(100)
+        segments = detect_phases(t, v, rel_change=0.3)
+        assert len(segments) == 1
+
+    def test_min_dwell_suppresses_single_spikes(self):
+        t = np.arange(20) * 0.1
+        v = np.ones(20)
+        v[7] = 5.0   # one-sample outlier
+        segments = detect_phases(t, v, rel_change=0.3, min_samples=3)
+        # The spike opens one short segment which the dwell closes after
+        # min_samples; the series never fragments beyond that.
+        assert len(segments) <= 3
+        assert max(s.samples for s in segments) >= 7
+
+    def test_summary_statistics(self):
+        t, v = self._square_wave()
+        stats = phase_summary(detect_phases(t, v))
+        assert stats["num_phases"] == 6
+        assert stats["ipc_spread"] == pytest.approx(1.1, abs=0.01)
+        assert stats["min_duration_s"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            detect_phases([], [])
+        with pytest.raises(ExperimentError):
+            detect_phases([1.0], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            phase_summary([])
+
+    def test_detects_fig5_phases_from_a_real_log(self):
+        """End to end: the daemon's own log segments into the benchmark's
+        two phases."""
+        from repro.core.daemon import DaemonConfig, FvsstDaemon, OverheadModel
+        from repro.sim.driver import Simulation
+        from repro.workloads.synthetic import two_phase_benchmark
+        from tests.conftest import make_machine
+
+        m = make_machine(1, seed=2)
+        m.assign(0, two_phase_benchmark(
+            1.0, 0.2, duration_a_s=1.0, duration_b_s=1.0,
+            include_init_exit=False).job(loop=True))
+        d = FvsstDaemon(m, DaemonConfig(
+            counter_noise_sigma=0.0,
+            overhead=OverheadModel(enabled=False)), seed=3)
+        sim = Simulation(m)
+        d.attach(sim)
+        sim.run_for(4.0)
+        t, ipc = d.log.ipc_series(0, 0)
+        segments = detect_phases(t, ipc, rel_change=0.5, min_samples=5)
+        stats = phase_summary(segments)
+        # ~4 alternations, with short transition slivers at entry into the
+        # memory phase (the scheduler's one-period lag) allowed.
+        assert 3 <= stats["num_phases"] <= 8
+        assert stats["ipc_spread"] > 0.5          # CPU vs memory phase
+        # The two long phases dominate the timeline.
+        long = sorted((s.duration_s for s in segments), reverse=True)
+        assert sum(long[:4]) > 0.8 * (t[-1] - t[0])

@@ -1,0 +1,178 @@
+"""Cluster protocol, agents, and the global coordinator."""
+
+import pytest
+
+from repro.cluster.agent import NodeAgent
+from repro.cluster.coordinator import ClusterCoordinator, CoordinatorConfig
+from repro.cluster.protocol import (
+    FrequencyCommand,
+    NodeReport,
+    ProcReport,
+    message_size_bytes,
+)
+from repro.errors import ClusterError
+from repro.sim.cluster import Cluster
+from repro.sim.core import CoreConfig
+from repro.sim.driver import Simulation
+from repro.sim.machine import MachineConfig
+from repro.sim.node import ClusterNode
+from repro.units import ghz, mhz
+from repro.workloads.tiers import tiered_cluster_assignment
+
+
+def proc_report(proc=0, instr=1e6) -> ProcReport:
+    return ProcReport(proc_id=proc, instructions=instr, cycles=1e6,
+                      n_l2=0, n_l3=0, n_mem=0, l1_stall_cycles=0,
+                      halted_cycles=0, interval_s=0.1, idle_signaled=False)
+
+
+def quiet_cluster(nodes=2, procs=2, seed=0) -> Cluster:
+    return Cluster.homogeneous(
+        nodes,
+        machine_config=MachineConfig(
+            num_cores=procs,
+            core_config=CoreConfig(latency_jitter_sigma=0.0),
+        ),
+        seed=seed,
+    )
+
+
+class TestProtocol:
+    def test_report_size_scales_with_procs(self):
+        one = NodeReport(node_id=0, time_s=0.0, procs=(proc_report(0),))
+        two = NodeReport(node_id=0, time_s=0.0,
+                         procs=(proc_report(0), proc_report(1)))
+        assert message_size_bytes(two) > message_size_bytes(one)
+
+    def test_duplicate_procs_rejected(self):
+        with pytest.raises(ClusterError):
+            NodeReport(node_id=0, time_s=0.0,
+                       procs=(proc_report(0), proc_report(0)))
+
+    def test_command_vector_lengths_checked(self):
+        with pytest.raises(ClusterError):
+            FrequencyCommand(node_id=0, time_s=0.0,
+                             freqs_hz=(ghz(1.0),), voltages=(1.3, 1.2))
+
+    def test_unknown_message_type(self):
+        with pytest.raises(ClusterError):
+            message_size_bytes("junk")  # type: ignore[arg-type]
+
+
+class TestNodeAgent:
+    def test_report_aggregates_window_and_clears(self):
+        cluster = quiet_cluster(nodes=1)
+        node = cluster.nodes[0]
+        agent = NodeAgent(node, counter_noise_sigma=0.0, seed=1)
+        sim = Simulation(cluster.machines)
+        agent.attach(sim)
+        sim.run_for(0.1)
+        report = agent.make_report(sim.now_s)
+        assert len(report.procs) == 2
+        assert report.procs[0].instructions > 0
+        empty = agent.make_report(sim.now_s)
+        assert empty.procs[0].instructions == 0.0
+
+    def test_apply_command_sets_frequencies(self):
+        cluster = quiet_cluster(nodes=1)
+        agent = NodeAgent(cluster.nodes[0], seed=1)
+        command = FrequencyCommand(node_id=0, time_s=0.0,
+                                   freqs_hz=(mhz(650), mhz(500)),
+                                   voltages=(1.0, 0.9))
+        agent.apply_command(command, 0.0)
+        assert cluster.nodes[0].machine.frequency_vector_hz() == [
+            mhz(650), mhz(500)
+        ]
+
+    def test_misrouted_command_rejected(self):
+        cluster = quiet_cluster(nodes=1)
+        agent = NodeAgent(cluster.nodes[0], seed=1)
+        command = FrequencyCommand(node_id=7, time_s=0.0,
+                                   freqs_hz=(ghz(1.0), ghz(1.0)),
+                                   voltages=(1.3, 1.3))
+        with pytest.raises(ClusterError):
+            agent.apply_command(command, 0.0)
+
+    def test_wrong_width_command_rejected(self):
+        cluster = quiet_cluster(nodes=1)
+        agent = NodeAgent(cluster.nodes[0], seed=1)
+        command = FrequencyCommand(node_id=0, time_s=0.0,
+                                   freqs_hz=(ghz(1.0),), voltages=(1.3,))
+        with pytest.raises(ClusterError):
+            agent.apply_command(command, 0.0)
+
+    def test_double_attach_rejected(self):
+        cluster = quiet_cluster(nodes=1)
+        agent = NodeAgent(cluster.nodes[0], seed=1)
+        sim = Simulation(cluster.machines)
+        agent.attach(sim)
+        with pytest.raises(ClusterError):
+            agent.attach(sim)
+
+
+class TestCoordinator:
+    def _run(self, budget, *, seconds=1.0, nodes=2, procs=2):
+        cluster = quiet_cluster(nodes=nodes, procs=procs)
+        cluster.assign_all(tiered_cluster_assignment(
+            nodes, procs, web_nodes=0, app_nodes=1))
+        coord = ClusterCoordinator(
+            cluster,
+            CoordinatorConfig(power_limit_w=budget, counter_noise_sigma=0.0),
+            seed=5,
+        )
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(seconds)
+        return cluster, coord, sim
+
+    def test_diversity_visible_in_schedule(self):
+        cluster, coord, _sim = self._run(None)
+        # app node stays fast, db node saturates low.
+        app = cluster.nodes[0].machine.frequency_vector_hz()
+        db = cluster.nodes[1].machine.frequency_vector_hz()
+        assert min(app) >= mhz(900)
+        assert max(db) <= mhz(750)
+
+    def test_global_budget_respected(self):
+        budget = 300.0
+        cluster, coord, _sim = self._run(budget, seconds=2.0)
+        assert coord.last_schedule.total_power_w <= budget
+        assert cluster.cpu_power_w() <= budget + 1e-9
+
+    def test_commands_arrive_with_network_delay(self):
+        cluster = quiet_cluster(nodes=1)
+        coord = ClusterCoordinator(
+            cluster, CoordinatorConfig(counter_noise_sigma=0.0), seed=5)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(0.1)   # global pass fires at t = 0.1
+        schedule = coord.last_schedule
+        assert schedule is not None
+        # The command applies strictly after the pass time.
+        base = cluster.network.config.base_latency_s
+        assert cluster.network.messages_sent >= 3
+        assert base > 0
+
+    def test_limit_trigger_runs_immediate_pass(self):
+        cluster, coord, sim = self._run(None, seconds=0.5)
+        before = cluster.cpu_power_w()
+        coord.set_power_limit(300.0, sim.now_s)
+        sim.run_for(0.01)  # let delayed commands land
+        assert cluster.cpu_power_w() <= 300.0 < before
+
+    def test_log_covers_every_processor(self):
+        cluster, coord, _sim = self._run(None)
+        procs = {(e.node_id, e.proc_id) for e in coord.log.schedule_entries}
+        assert procs == {(n, p) for n in range(2) for p in range(2)}
+
+    def test_double_attach_rejected(self):
+        cluster = quiet_cluster(nodes=1)
+        coord = ClusterCoordinator(cluster, seed=5)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        with pytest.raises(ClusterError):
+            coord.attach(sim)
+
+    def test_t_less_than_sample_rejected(self):
+        with pytest.raises(ClusterError):
+            CoordinatorConfig(sample_period_s=0.1, schedule_period_s=0.05)

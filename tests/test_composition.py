@@ -1,0 +1,92 @@
+"""Scheduler composition and cross-seed robustness.
+
+The scheduler variants were designed to compose: per-processor power
+tables (``power_for``) are orthogonal to nested budgets
+(``schedule_nested``) and to the continuous step-1 replacement
+(``epsilon_constrained``).  These tests pin the compositions, and a
+cross-seed sweep pins the headline experiment shapes against seed luck.
+"""
+
+import pytest
+
+from repro.cluster.nested import NestedBudgetScheduler
+from repro.core.continuous import ContinuousFrequencyScheduler
+from repro.core.hetero import HeterogeneousScheduler
+from repro.core.scheduler import ProcessorView
+from repro.experiments import run_experiment
+from repro.model.ipc import WorkloadSignature
+from repro.power.table import POWER4_TABLE
+from repro.units import ghz, mhz
+
+
+def sig(ratio: float) -> WorkloadSignature:
+    return WorkloadSignature(core_cpi=0.65,
+                             mem_time_per_instr_s=0.65 / ratio / ghz(1.0))
+
+
+class HeteroNestedScheduler(NestedBudgetScheduler, HeterogeneousScheduler):
+    """Nested budgets over corner-lot parts: pure composition."""
+
+
+class ContinuousHeteroScheduler(ContinuousFrequencyScheduler,
+                                HeterogeneousScheduler):
+    """f_ideal step 1 over corner-lot parts."""
+
+
+class TestSchedulerComposition:
+    def test_hetero_nested_respects_both_dimensions(self):
+        sched = HeteroNestedScheduler(POWER4_TABLE, epsilon=0.04)
+        sched.set_processor_table(0, 0, POWER4_TABLE.scaled_power(1.5))
+        views = [
+            ProcessorView(node_id=0, proc_id=0, signature=sig(10.0)),
+            ProcessorView(node_id=0, proc_id=1, signature=sig(10.0)),
+            ProcessorView(node_id=1, proc_id=0, signature=sig(10.0)),
+        ]
+        schedule = sched.schedule_nested(views, 400.0, {0: 250.0})
+        # Node 0's limit accounts for the leaky part's true draw.
+        assert sched.node_power_w(schedule, 0) <= 250.0
+        assert schedule.total_power_w <= 400.0
+        leaky = schedule.assignment_for(0, 0)
+        assert leaky.power_w == pytest.approx(
+            1.5 * POWER4_TABLE.power_at(leaky.freq_hz))
+
+    def test_continuous_hetero_composes(self):
+        sched = ContinuousHeteroScheduler(POWER4_TABLE, epsilon=0.04)
+        sched.set_processor_table(0, 1, POWER4_TABLE.scaled_power(1.3))
+        views = [
+            ProcessorView(node_id=0, proc_id=0, signature=sig(0.075)),
+            ProcessorView(node_id=0, proc_id=1, signature=sig(0.075)),
+        ]
+        schedule = sched.schedule(views, power_limit_w=120.0)
+        # Step 1 from the continuous form (650 rung for this ratio)...
+        assert all(a.eps_freq_hz == mhz(650)
+                   for a in schedule.assignments)
+        # ...step 2 against per-part power.
+        assert schedule.total_power_w <= 120.0
+        assert schedule.assignment_for(0, 1).power_w == pytest.approx(
+            1.3 * POWER4_TABLE.power_at(
+                schedule.assignment_for(0, 1).freq_hz))
+
+
+class TestCrossSeedRobustness:
+    """Headline shapes must not be artifacts of the default seed."""
+
+    @pytest.mark.parametrize("seed", [7, 1234, 987654])
+    def test_table3_ordering_across_seeds(self, seed):
+        r = run_experiment("table3", seed=seed, fast=True)
+        rows = {row[0]: dict(zip(r.tables[0].headers[1:], row[1:]))
+                for row in r.tables[0].rows}
+        assert rows["Perf @ 35W"]["mcf"] > rows["Perf @ 35W"]["gzip"]
+        assert rows["Energy @ 140W"]["mcf"] < rows["Energy @ 140W"]["gzip"]
+
+    @pytest.mark.parametrize("seed", [11, 4242])
+    def test_policy_comparison_across_seeds(self, seed):
+        r = run_experiment("ablation_policies", seed=seed, fast=True)
+        rows = {row[0]: row[1] for row in r.tables[0].rows}
+        assert rows["fvsst"] > rows["uniform"]
+
+    @pytest.mark.parametrize("seed", [3, 5150])
+    def test_worked_example_seed_independent(self, seed):
+        # Fully deterministic: identical output for any seed.
+        r = run_experiment("worked_example", seed=seed)
+        assert r.scalars["t0_total_power_w"] == 289.0

@@ -1,0 +1,84 @@
+"""The platform constants must encode the paper's published values."""
+
+import pytest
+
+from repro import constants
+
+
+class TestLatencies:
+    def test_l1_is_the_quoted_midpoint(self):
+        assert constants.L1_LATENCY_CYCLES == 4.5
+
+    def test_published_cycle_counts(self):
+        assert constants.L2_LATENCY_CYCLES == 15.0
+        assert constants.L3_LATENCY_CYCLES == 113.0
+        assert constants.MEM_LATENCY_CYCLES == 393.0
+
+    def test_cycles_at_nominal_equal_seconds_in_ns(self):
+        # At the nominal 1 GHz, N cycles == N nanoseconds.
+        assert constants.L2_LATENCY_S == pytest.approx(15e-9)
+        assert constants.MEM_LATENCY_S == pytest.approx(393e-9)
+
+
+class TestPowerTable:
+    def test_sixteen_points(self):
+        assert len(constants.POWER4_POWER_TABLE_W) == 16
+
+    def test_published_endpoints(self):
+        assert constants.POWER4_POWER_TABLE_W[250] == 9.0
+        assert constants.POWER4_POWER_TABLE_W[1000] == 140.0
+
+    def test_spot_values_from_table1(self):
+        assert constants.POWER4_POWER_TABLE_W[500] == 35.0
+        assert constants.POWER4_POWER_TABLE_W[650] == 57.0
+        assert constants.POWER4_POWER_TABLE_W[750] == 75.0
+        assert constants.POWER4_POWER_TABLE_W[900] == 109.0
+
+    def test_50mhz_ladder(self):
+        freqs = constants.POWER4_FREQUENCIES_MHZ
+        assert freqs[0] == 250 and freqs[-1] == 1000
+        assert all(b - a == 50 for a, b in zip(freqs, freqs[1:]))
+
+    def test_table_is_readonly(self):
+        with pytest.raises(TypeError):
+            constants.POWER4_POWER_TABLE_W[250] = 1.0  # type: ignore[index]
+
+    def test_worked_example_ladder(self):
+        assert constants.SCHEDULER_FREQUENCIES_MHZ == (600, 700, 800, 900,
+                                                       1000)
+
+
+class TestMotivatingExample:
+    def test_non_cpu_power(self):
+        # 746 W system minus four 140 W CPUs.
+        assert constants.NON_CPU_POWER_W == pytest.approx(186.0)
+
+    def test_cpu_fraction_consistent(self):
+        cpu = 4 * 140.0
+        assert cpu / constants.SYSTEM_TOTAL_POWER_W == pytest.approx(
+            constants.CPU_POWER_FRACTION, abs=0.01
+        )
+
+    def test_example_budget_is_294(self):
+        # 480 W surviving supply minus non-CPU power = the Section 5 budget.
+        assert constants.EXAMPLE_CPU_BUDGET_W == pytest.approx(294.0)
+
+
+class TestSchedulerDefaults:
+    def test_periods_match_section8(self):
+        assert constants.DEFAULT_DISPATCH_PERIOD_S == pytest.approx(0.010)
+        assert constants.DEFAULT_SCHEDULE_PERIOD_S == pytest.approx(0.100)
+
+    def test_t_is_ten_times_t(self):
+        ratio = (constants.DEFAULT_SCHEDULE_PERIOD_S
+                 / constants.DEFAULT_DISPATCH_PERIOD_S)
+        assert ratio == pytest.approx(10.0)
+
+    def test_idle_loop_ipc(self):
+        assert constants.IDLE_LOOP_IPC == pytest.approx(1.3)
+
+    def test_epsilon_usable_on_the_ladder(self):
+        # One 50 MHz step from 1000 MHz costs a pure-CPU workload 5%;
+        # epsilon must sit below that for the top step to be sticky and
+        # above zero to admit any reduction at all.
+        assert 0.0 < constants.DEFAULT_EPSILON < 0.05

@@ -1,0 +1,132 @@
+"""Job migration support and the consolidation governor."""
+
+import pytest
+
+from repro.core.consolidation import ConsolidationGovernor
+from repro.errors import SimulationError
+from repro.experiments import run_experiment
+from repro.sim.core import CoreConfig
+from repro.sim.driver import Simulation
+from repro.sim.machine import MachineConfig, SMPMachine
+from repro.units import ghz
+from repro.workloads.profiles import profile_by_name
+
+
+def machine(num_cores=4, seed=0) -> SMPMachine:
+    return SMPMachine(MachineConfig(
+        num_cores=num_cores,
+        core_config=CoreConfig(latency_jitter_sigma=0.0),
+    ), seed=seed)
+
+
+class TestMigrationPrimitive:
+    def test_migrate_moves_the_job(self):
+        m = machine(2)
+        job = profile_by_name("gzip").job(loop=True)
+        m.assign(0, job)
+        m.migrate(job, 0, 1)
+        assert m.core(0).dispatcher.runnable == 0
+        assert m.core(1).dispatcher.jobs == (job,)
+
+    def test_job_continues_after_migration(self):
+        m = machine(2)
+        job = profile_by_name("mcf").job(loop=True)
+        m.assign(0, job)
+        sim = Simulation(m)
+        sim.run_for(0.5)
+        before = job.instructions_retired
+        sim.at(0.5, lambda t: m.migrate(job, 0, 1))
+        sim.run_for(0.5)
+        assert job.instructions_retired > before
+
+    def test_migration_cost_stalls_destination(self):
+        m = machine(2)
+        job = profile_by_name("gzip").job(loop=True)
+        m.assign(0, job)
+        m.migrate(job, 0, 1, cost_s=0.01)
+        sim = Simulation(m)
+        sim.run_for(0.1)
+        assert m.core(1).overhead_executed_s == pytest.approx(0.01)
+
+    def test_self_migration_rejected(self):
+        m = machine(2)
+        job = profile_by_name("gzip").job(loop=True)
+        m.assign(0, job)
+        with pytest.raises(SimulationError):
+            m.migrate(job, 0, 0)
+
+    def test_migrating_unqueued_job_rejected(self):
+        m = machine(2)
+        job = profile_by_name("gzip").job(loop=True)
+        with pytest.raises(SimulationError):
+            m.migrate(job, 0, 1)
+
+    def test_remove_current_job_resets_quantum(self):
+        m = machine(1)
+        a = profile_by_name("gzip").job(loop=True)
+        b = profile_by_name("mcf").job(loop=True)
+        m.assign(0, a)
+        m.assign(0, b)
+        dispatcher = m.core(0).dispatcher
+        dispatcher.remove_job(a)
+        assert dispatcher.current_job() is b
+        assert dispatcher.slice_limit_s() == float("inf")
+
+
+class TestConsolidationGovernor:
+    def _loaded(self, budget, seed=0):
+        m = machine(4, seed=seed)
+        for i, app in enumerate(("gzip", "gap", "mcf", "health")):
+            m.assign(i, profile_by_name(app).job(loop=True))
+        g = ConsolidationGovernor(m, power_limit_w=budget)
+        sim = Simulation(m)
+        g.attach(sim)
+        return m, g, sim
+
+    def test_packs_onto_budgeted_cores(self):
+        m, g, sim = self._loaded(294.0)
+        assert g.online_count == 2
+        sim.run_for(1.0)
+        queues = [c.dispatcher.runnable for c in m.cores]
+        assert queues == [2, 2, 0, 0]
+        assert m.cpu_power_w() <= 294.0
+
+    def test_all_jobs_keep_progressing(self):
+        m, g, sim = self._loaded(294.0)
+        sim.run_for(2.0)
+        for core in m.cores[:2]:
+            for job in core.dispatcher.jobs:
+                assert job.instructions_retired > 0
+
+    def test_online_cores_run_full_speed(self):
+        m, g, sim = self._loaded(294.0)
+        assert m.core(0).frequency_setting_hz == ghz(1.0)
+        assert m.core(1).frequency_setting_hz == ghz(1.0)
+
+    def test_budget_relax_brings_cores_back(self):
+        m, g, sim = self._loaded(150.0)
+        assert g.online_count == 1
+        g.set_power_limit(None, sim.now_s)
+        assert g.online_count == 4
+        sim.run_for(1.0)
+        # Load re-spread: nobody holds more than one job for long.
+        assert max(c.dispatcher.runnable for c in m.cores) == 1
+
+    def test_at_least_one_core_stays_online(self):
+        m, g, sim = self._loaded(50.0)   # below one core at f_max
+        assert g.online_count == 1
+
+    def test_migrations_counted_and_stable(self):
+        m, g, sim = self._loaded(294.0)
+        initial = g.migrations
+        assert initial >= 2
+        sim.run_for(3.0)   # several rebalance periods
+        assert g.migrations == initial   # stable placement, no churn
+
+
+class TestMigrationExperiment:
+    def test_fvsst_wins_under_budget_ties_unconstrained(self):
+        r = run_experiment("migration", fast=True)
+        assert 0.9 < r.scalars["advantage@560"] < 1.1
+        assert r.scalars["advantage@294"] > 1.4
+        assert r.scalars["advantage@150"] > 1.8

@@ -1,0 +1,116 @@
+"""Counter-driven predictors."""
+
+import pytest
+
+from repro.core.predictor import AlphaPredictor, CounterPredictor
+from repro.model.latency import POWER4_LATENCIES
+from repro.sim.counters import CounterSample
+from repro.units import ghz, mhz
+from repro.workloads.phase import Phase
+from repro.workloads.synthetic import synthetic_phase
+
+
+def sample_for(phase: Phase, freq_hz: float, interval_s: float = 0.1,
+               latency_scale: float = 1.0) -> CounterSample:
+    """Exact counter sample for running ``phase`` an interval at ``freq_hz``."""
+    throughput = phase.throughput(POWER4_LATENCIES, freq_hz,
+                                  latency_scale=latency_scale)
+    instr = throughput * interval_s
+    counts = phase.counts_for(instr)
+    return CounterSample(
+        time_s=interval_s, interval_s=interval_s,
+        instructions=counts.instructions,
+        cycles=freq_hz * interval_s,
+        n_l2=counts.n_l2, n_l3=counts.n_l3, n_mem=counts.n_mem,
+        l1_stall_cycles=counts.l1_stall_cycles, halted_cycles=0.0,
+    )
+
+
+class TestCounterPredictor:
+    PREDICTOR = CounterPredictor(POWER4_LATENCIES)
+
+    @pytest.mark.parametrize("intensity", [1.0, 0.75, 0.5, 0.2, 0.0])
+    def test_exact_under_stationarity(self, intensity):
+        # Observation at 1 GHz predicts the truth at 650 MHz exactly,
+        # including the unmodeled stall (folded into the observed CPI).
+        phase = synthetic_phase(intensity, instructions=1e9)
+        sample = sample_for(phase, ghz(1.0))
+        predicted = self.PREDICTOR.predict_ipc(sample, mhz(650))
+        truth = phase.true_ipc(POWER4_LATENCIES, mhz(650))
+        assert predicted == pytest.approx(truth, rel=1e-9)
+
+    def test_prediction_upward_in_frequency_too(self):
+        phase = synthetic_phase(0.5, instructions=1e9)
+        sample = sample_for(phase, mhz(500))
+        predicted = self.PREDICTOR.predict_ipc(sample, ghz(1.0))
+        truth = phase.true_ipc(POWER4_LATENCIES, ghz(1.0))
+        assert predicted == pytest.approx(truth, rel=1e-9)
+
+    def test_latency_jitter_induces_bounded_error(self):
+        phase = synthetic_phase(0.2, instructions=1e9)
+        sample = sample_for(phase, ghz(1.0), latency_scale=1.1)
+        predicted = self.PREDICTOR.predict_ipc(sample, mhz(650))
+        truth = phase.true_ipc(POWER4_LATENCIES, mhz(650))
+        assert predicted != pytest.approx(truth, rel=1e-6)
+        assert predicted == pytest.approx(truth, rel=0.15)
+
+    def test_thin_window_returns_none(self):
+        sample = CounterSample(time_s=0.1, interval_s=0.1, instructions=10,
+                               cycles=100, n_l2=0, n_l3=0, n_mem=0,
+                               l1_stall_cycles=0, halted_cycles=0)
+        assert self.PREDICTOR.signature_from_sample(sample) is None
+
+    def test_zero_interval_returns_none(self):
+        sample = CounterSample(time_s=0.0, interval_s=0.0, instructions=1e6,
+                               cycles=1e6, n_l2=0, n_l3=0, n_mem=0,
+                               l1_stall_cycles=0, halted_cycles=0)
+        assert self.PREDICTOR.signature_from_sample(sample) is None
+
+    def test_core_cpi_clamped_positive_under_noise(self):
+        # Memory counters so inflated that naive c0 would go negative.
+        sample = CounterSample(time_s=0.1, interval_s=0.1, instructions=1e6,
+                               cycles=1e6, n_l2=0, n_l3=0, n_mem=1e5,
+                               l1_stall_cycles=0, halted_cycles=0)
+        sig = self.PREDICTOR.signature_from_sample(sample)
+        assert sig is not None and sig.core_cpi > 0
+
+
+class TestAlphaPredictor:
+    def test_unbiased_when_alpha_matches_and_no_unmodeled(self):
+        phase = Phase(name="clean", instructions=1e9, alpha=2.0,
+                      l1_stall_cycles_per_instr=0.1, n_mem_per_instr=0.01)
+        predictor = AlphaPredictor(POWER4_LATENCIES, alpha=2.0)
+        sample = sample_for(phase, ghz(1.0))
+        predicted = predictor.predict_ipc(sample, mhz(650))
+        assert predicted == pytest.approx(
+            phase.true_ipc(POWER4_LATENCIES, mhz(650)), rel=1e-9
+        )
+
+    def test_biased_by_unmodeled_stalls(self):
+        # The Section 8.1 bias: non-memory stalls it cannot see.
+        phase = synthetic_phase(0.75, instructions=1e9)
+        assert phase.unmodeled_stall_cycles_per_instr > 0
+        predictor = AlphaPredictor(POWER4_LATENCIES, alpha=phase.alpha)
+        sample = sample_for(phase, ghz(1.0))
+        predicted = predictor.predict_ipc(sample, mhz(650))
+        truth = phase.true_ipc(POWER4_LATENCIES, mhz(650))
+        assert predicted > truth  # optimistic: ignores the extra stalls
+
+    def test_counter_predictor_beats_alpha_predictor(self):
+        phase = synthetic_phase(0.75, instructions=1e9)
+        sample = sample_for(phase, ghz(1.0))
+        truth = phase.true_ipc(POWER4_LATENCIES, mhz(650))
+        err_counter = abs(
+            CounterPredictor(POWER4_LATENCIES).predict_ipc(sample, mhz(650))
+            - truth)
+        err_alpha = abs(
+            AlphaPredictor(POWER4_LATENCIES, alpha=phase.alpha)
+            .predict_ipc(sample, mhz(650)) - truth)
+        assert err_counter < err_alpha
+
+    def test_thin_window_returns_none(self):
+        predictor = AlphaPredictor(POWER4_LATENCIES, alpha=2.0)
+        sample = CounterSample(time_s=0.1, interval_s=0.1, instructions=10,
+                               cycles=100, n_l2=0, n_l3=0, n_mem=0,
+                               l1_stall_cycles=0, halted_cycles=0)
+        assert predictor.signature_from_sample(sample) is None

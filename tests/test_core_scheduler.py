@@ -1,0 +1,210 @@
+"""The Figure 3 scheduling algorithm."""
+
+import pytest
+
+from repro.errors import InfeasibleBudgetError, SchedulingError
+from repro.core.scheduler import FrequencyVoltageScheduler, ProcessorView
+from repro.model.ipc import WorkloadSignature
+from repro.power.table import POWER4_TABLE, WORKED_EXAMPLE_TABLE
+from repro.units import ghz, mhz
+
+
+def sig(ratio: float, core_cpi: float = 0.65) -> WorkloadSignature:
+    """Signature with core-to-memory cycle ratio ``ratio`` at 1 GHz."""
+    return WorkloadSignature(core_cpi=core_cpi,
+                             mem_time_per_instr_s=core_cpi / ratio / ghz(1.0))
+
+
+def view(proc: int, signature=None, idle=False) -> ProcessorView:
+    return ProcessorView(node_id=0, proc_id=proc, signature=signature,
+                         idle_signaled=idle)
+
+
+class TestStep1EpsilonConstrained:
+    SCHED = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+
+    def test_pure_cpu_stays_at_fmax(self):
+        pure = WorkloadSignature(core_cpi=0.65, mem_time_per_instr_s=0.0)
+        f, loss = self.SCHED.epsilon_constrained(pure)
+        assert f == ghz(1.0) and loss == 0.0
+
+    @pytest.mark.parametrize("ratio,expected_mhz", [
+        (10.0, 1000),   # above the 3.8 boundary
+        (2.0, 950),
+        (0.45, 900),
+        (0.25, 850),
+        (0.17, 800),
+        (0.12, 750),
+        (0.09, 700),
+        (0.075, 650),
+        (0.06, 600),
+    ])
+    def test_ratio_maps_to_expected_rung(self, ratio, expected_mhz):
+        f, loss = self.SCHED.epsilon_constrained(sig(ratio))
+        assert f == mhz(expected_mhz)
+        assert loss < 0.04
+
+    def test_unknown_workload_gets_fmax(self):
+        f, loss = self.SCHED.epsilon_constrained(None)
+        assert f == ghz(1.0) and loss == 0.0
+
+    def test_loss_at_chosen_rung_below_epsilon(self):
+        for ratio in (5.0, 1.0, 0.3, 0.1, 0.05):
+            f, loss = self.SCHED.epsilon_constrained(sig(ratio))
+            assert loss < self.SCHED.epsilon
+            lower = POWER4_TABLE.next_lower(f)
+            if lower is not None:
+                assert self.SCHED.predicted_loss(sig(ratio), lower) >= \
+                    self.SCHED.epsilon
+
+
+class TestScheduleUnconstrained:
+    def test_each_processor_gets_its_eps_frequency(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        schedule = sched.schedule([
+            view(0, sig(10.0)), view(1, sig(0.075)), view(2, None),
+        ])
+        assert schedule.frequency_vector_hz() == [ghz(1.0), mhz(650),
+                                                  ghz(1.0)]
+        assert schedule.budget_met
+        assert not schedule.infeasible
+
+    def test_idle_signal_pins_to_floor(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        schedule = sched.schedule([view(0, sig(10.0), idle=True)])
+        assert schedule.frequency_vector_hz() == [mhz(250)]
+        assert schedule.assignments[0].predicted_loss == 0.0
+
+    def test_total_power_is_sum_of_table_entries(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        schedule = sched.schedule([view(0, sig(0.075)), view(1, sig(0.075))])
+        assert schedule.total_power_w == pytest.approx(2 * 57.0)
+
+    def test_duplicate_views_rejected(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE)
+        with pytest.raises(SchedulingError):
+            sched.schedule([view(0), view(0)])
+
+    def test_empty_views_rejected(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE)
+        with pytest.raises(SchedulingError):
+            sched.schedule([])
+
+
+class TestStep2PowerPass:
+    def test_budget_enforced(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [view(i, sig(10.0)) for i in range(4)]   # all want 1000
+        schedule = sched.schedule(views, power_limit_w=294.0)
+        assert schedule.total_power_w <= 294.0
+        assert schedule.budget_met
+
+    def test_memory_bound_reduced_first(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [view(0, sig(10.0)), view(1, sig(0.075))]
+        # Budget forcing exactly one step somewhere: 140+57=197 -> 190.
+        schedule = sched.schedule(views, power_limit_w=190.0)
+        a0 = schedule.assignment_for(0, 0)
+        a1 = schedule.assignment_for(0, 1)
+        assert a0.freq_hz == ghz(1.0)          # CPU-bound untouched
+        assert a1.freq_hz < mhz(650)           # memory-bound paid
+
+    def test_idle_processors_drained_before_busy(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [view(0, sig(10.0)), view(1, sig(10.0), idle=True)]
+        schedule = sched.schedule(views, power_limit_w=160.0)
+        assert schedule.assignment_for(0, 1).freq_hz == mhz(250)
+        assert schedule.assignment_for(0, 0).freq_hz == ghz(1.0)
+
+    def test_eps_frequency_preserved_in_assignments(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [view(0, sig(10.0))]
+        schedule = sched.schedule(views, power_limit_w=75.0)
+        a = schedule.assignments[0]
+        assert a.eps_freq_hz == ghz(1.0)       # desired
+        assert a.freq_hz == mhz(750)           # cap-bound actual
+
+    def test_infeasible_raises_when_asked(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [view(i, sig(10.0)) for i in range(4)]
+        with pytest.raises(InfeasibleBudgetError) as err:
+            sched.schedule(views, power_limit_w=30.0, on_infeasible="raise")
+        assert err.value.floor_power_w == pytest.approx(4 * 9.0)
+        assert err.value.limit_w == 30.0
+
+    def test_infeasible_floor_mode_flags(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [view(i, sig(10.0)) for i in range(4)]
+        schedule = sched.schedule(views, power_limit_w=30.0)
+        assert schedule.infeasible
+        assert not schedule.budget_met
+        assert schedule.frequency_vector_hz() == [mhz(250)] * 4
+
+    def test_greedy_prefers_smallest_loss_at_f_less(self):
+        # Paper's selection metric: smallest PerfLoss(f_max, f_less).
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [view(0, sig(0.075)), view(1, sig(0.4))]
+        # eps: [650 (57 W), 900 (109 W)] = 166 W; force one step: 160 W.
+        schedule = sched.schedule(views, power_limit_w=160.0)
+        # The paper's metric picks whichever f_less loss is smaller;
+        # verify via predicted_loss rather than hard-coding.
+        loss0 = sched.predicted_loss(sig(0.075), mhz(600))
+        loss1 = sched.predicted_loss(sig(0.4), mhz(850))
+        reduced = schedule.assignment_for(0, 0 if loss0 < loss1 else 1)
+        kept = schedule.assignment_for(0, 1 if loss0 < loss1 else 0)
+        assert reduced.freq_hz < reduced.eps_freq_hz
+        assert kept.freq_hz == kept.eps_freq_hz
+
+
+class TestWorkedExampleVectors:
+    """The Section 5 arithmetic on the 5-point ladder (epsilon = 3%)."""
+
+    RATIOS_T0 = (0.45, 0.07, 0.12, 0.12)
+    RATIOS_T1 = (0.04, 0.07, 0.12, 0.12)
+
+    def _schedule(self, ratios):
+        sched = FrequencyVoltageScheduler(WORKED_EXAMPLE_TABLE, epsilon=0.03)
+        views = [view(i, sig(r)) for i, r in enumerate(ratios)]
+        return sched.schedule(views, power_limit_w=294.0,
+                              on_infeasible="raise")
+
+    def test_t0_eps_vector(self):
+        s = self._schedule(self.RATIOS_T0)
+        assert s.eps_frequency_vector_hz() == [ghz(1.0), ghz(0.7),
+                                               ghz(0.8), ghz(0.8)]
+
+    def test_t0_actual_vector_and_power(self):
+        s = self._schedule(self.RATIOS_T0)
+        assert s.frequency_vector_hz() == [ghz(0.9), ghz(0.6), ghz(0.7),
+                                           ghz(0.7)]
+        assert s.power_vector_w() == [109.0, 48.0, 66.0, 66.0]
+        assert s.total_power_w == pytest.approx(289.0)
+
+    def test_t1_all_at_eps_frequency(self):
+        s = self._schedule(self.RATIOS_T1)
+        assert s.frequency_vector_hz() == s.eps_frequency_vector_hz() == [
+            ghz(0.6), ghz(0.7), ghz(0.8), ghz(0.8)
+        ]
+        assert s.total_power_w == pytest.approx(282.0)
+
+    def test_t1_losses_within_epsilon(self):
+        s = self._schedule(self.RATIOS_T1)
+        assert all(loss < 0.03 for loss in s.loss_vector())
+
+
+class TestVoltages:
+    def test_voltage_monotone_in_frequency(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        schedule = sched.schedule(
+            [view(0, sig(10.0)), view(1, sig(0.075))]
+        )
+        a_fast = schedule.assignment_for(0, 0)
+        a_slow = schedule.assignment_for(0, 1)
+        assert a_fast.voltage > a_slow.voltage
+        assert a_fast.voltage <= 1.3 + 1e-9
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(Exception):
+            FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.0)
+        with pytest.raises(SchedulingError):
+            FrequencyVoltageScheduler(POWER4_TABLE, epsilon=1.0)

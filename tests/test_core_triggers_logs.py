@@ -1,0 +1,149 @@
+"""Trigger bus and fvsst logs."""
+
+import numpy as np
+import pytest
+
+from repro.core.logs import CounterLogEntry, FvsstLog, ScheduleLogEntry
+from repro.core.triggers import IdleTransition, PowerLimitChange, TriggerBus
+from repro.errors import ExperimentError, SchedulingError
+from repro.sim.counters import CounterSample
+from repro.units import ghz, mhz
+
+
+class TestTriggerBus:
+    def test_publish_to_subscribers(self):
+        bus = TriggerBus()
+        got = []
+        bus.subscribe(PowerLimitChange, got.append)
+        trigger = PowerLimitChange(time_s=1.0, new_limit_w=294.0)
+        assert bus.publish(trigger) == 1
+        assert got == [trigger]
+        assert bus.history == [trigger]
+
+    def test_types_are_routed_separately(self):
+        bus = TriggerBus()
+        limits, idles = [], []
+        bus.subscribe(PowerLimitChange, limits.append)
+        bus.subscribe(IdleTransition, idles.append)
+        bus.publish(IdleTransition(time_s=0.0, node_id=0, proc_id=1,
+                                   is_idle=True))
+        assert len(limits) == 0 and len(idles) == 1
+
+    def test_none_limit_lifts(self):
+        t = PowerLimitChange(time_s=0.0, new_limit_w=None)
+        assert t.new_limit_w is None
+
+    def test_unknown_type_rejected(self):
+        bus = TriggerBus()
+        with pytest.raises(SchedulingError):
+            bus.subscribe(str, lambda t: None)
+        with pytest.raises(SchedulingError):
+            bus.publish("not a trigger")  # type: ignore[arg-type]
+
+
+def sample(instr=1e6, cycles=1e6, t=0.0, interval=0.01) -> CounterSample:
+    return CounterSample(time_s=t, interval_s=interval, instructions=instr,
+                         cycles=cycles, n_l2=0, n_l3=0, n_mem=0,
+                         l1_stall_cycles=0, halted_cycles=0)
+
+
+def sched_entry(t, freq, eps=None, predicted_ipc=1.0, proc=0):
+    return ScheduleLogEntry(
+        time_s=t, node_id=0, proc_id=proc, freq_hz=freq,
+        eps_freq_hz=eps if eps is not None else freq, voltage=1.3,
+        power_w=100.0, predicted_loss=0.0, predicted_ipc=predicted_ipc,
+        power_limit_w=None, infeasible=False,
+    )
+
+
+class TestFvsstLogSeries:
+    def test_ipc_series(self):
+        log = FvsstLog()
+        for i in range(3):
+            log.record_sample(CounterLogEntry(
+                time_s=0.01 * (i + 1), node_id=0, proc_id=0,
+                sample=sample(instr=(i + 1) * 1e5, cycles=1e6),
+            ))
+        t, ipc = log.ipc_series(0, 0)
+        np.testing.assert_allclose(ipc, [0.1, 0.2, 0.3])
+        assert t[0] == pytest.approx(0.01)
+
+    def test_frequency_series_actual_vs_desired(self):
+        log = FvsstLog()
+        log.record_schedule(sched_entry(0.1, mhz(750), eps=mhz(900)))
+        log.record_schedule(sched_entry(0.2, mhz(750), eps=mhz(850)))
+        _, actual = log.frequency_series(0, 0)
+        _, desired = log.frequency_series(0, 0, desired=True)
+        np.testing.assert_allclose(actual, [mhz(750), mhz(750)])
+        np.testing.assert_allclose(desired, [mhz(900), mhz(850)])
+
+    def test_power_series_sums_processors(self):
+        log = FvsstLog()
+        log.record_schedule(sched_entry(0.1, ghz(1.0), proc=0))
+        log.record_schedule(sched_entry(0.1, ghz(1.0), proc=1))
+        t, p = log.power_series()
+        assert list(t) == [0.1]
+        assert p[0] == pytest.approx(200.0)
+
+    def test_per_processor_filtering(self):
+        log = FvsstLog()
+        log.record_schedule(sched_entry(0.1, ghz(1.0), proc=0))
+        log.record_schedule(sched_entry(0.1, mhz(650), proc=1))
+        assert len(log.schedules_of(0, 0)) == 1
+        assert log.schedules_of(0, 1)[0].freq_hz == mhz(650)
+
+
+class TestResidency:
+    def test_fractions_sum_to_one(self):
+        log = FvsstLog()
+        for t, f in [(0.1, mhz(650)), (0.2, mhz(650)), (0.3, ghz(1.0)),
+                     (0.4, mhz(650))]:
+            log.record_schedule(sched_entry(t, f))
+        res = log.frequency_residency(0, 0)
+        assert sum(res.values()) == pytest.approx(1.0)
+        assert res[mhz(650)] == pytest.approx(0.75)
+
+    def test_empty_residency_raises(self):
+        with pytest.raises(ExperimentError):
+            FvsstLog().frequency_residency(0, 0)
+
+
+class TestPredictionScoring:
+    def _log_with_pairs(self):
+        log = FvsstLog()
+        # Decision at t=0.1 predicting IPC 1.0; window samples measure 0.8.
+        log.record_schedule(sched_entry(0.1, ghz(1.0), predicted_ipc=1.0))
+        log.record_sample(CounterLogEntry(
+            time_s=0.15, node_id=0, proc_id=0,
+            sample=sample(instr=8e5, cycles=1e6)))
+        log.record_schedule(sched_entry(0.2, ghz(1.0), predicted_ipc=0.5))
+        log.record_sample(CounterLogEntry(
+            time_s=0.25, node_id=0, proc_id=0,
+            sample=sample(instr=5e5, cycles=1e6)))
+        return log
+
+    def test_pairs_align_decisions_with_following_window(self):
+        pairs = self._log_with_pairs().prediction_pairs(0, 0)
+        assert len(pairs) == 2
+        assert pairs[0][1] == 1.0 and pairs[0][2] == pytest.approx(0.8)
+        assert pairs[1][1] == 0.5 and pairs[1][2] == pytest.approx(0.5)
+
+    def test_deviation_is_mean_absolute(self):
+        log = self._log_with_pairs()
+        assert log.ipc_deviation(0, 0) == pytest.approx((0.2 + 0.0) / 2)
+
+    def test_edge_skipping(self):
+        log = self._log_with_pairs()
+        assert log.ipc_deviation(0, 0, skip_head=1) == pytest.approx(0.0)
+        assert log.ipc_deviation(0, 0, skip_tail=1) == pytest.approx(0.2)
+
+    def test_all_skipped_raises(self):
+        with pytest.raises(ExperimentError):
+            self._log_with_pairs().ipc_deviation(0, 0, skip_head=5)
+
+    def test_none_predictions_excluded(self):
+        log = FvsstLog()
+        log.record_schedule(sched_entry(0.1, ghz(1.0), predicted_ipc=None))
+        log.record_sample(CounterLogEntry(
+            time_s=0.15, node_id=0, proc_id=0, sample=sample()))
+        assert log.prediction_pairs(0, 0) == []

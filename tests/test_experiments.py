@@ -1,0 +1,292 @@
+"""The experiment harness: every artifact regenerates with the right shape.
+
+Fast mode keeps runtimes test-suite friendly; shapes (who wins, ordering,
+crossovers) are asserted, not absolute values.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import REGISTRY, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        required = {"table1", "table2", "table3", "fig1", "fig4", "fig5",
+                    "fig6", "fig7", "fig8", "fig9", "fig10",
+                    "worked_example"}
+        assert required <= set(REGISTRY)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("table99")
+
+
+class TestTable1:
+    def test_matches_paper_table(self):
+        r = run_experiment("table1")
+        table = r.tables[0]
+        freqs = table.column("Frequency (MHz)")
+        powers = table.column("Power (W)")
+        assert freqs[0] == 250 and powers[0] == 9.0
+        assert freqs[-1] == 1000 and powers[-1] == 140.0
+        assert r.scalars["fit_max_rel_error"] < 0.12
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table2", fast=True)
+
+    def test_idle_cpus_have_small_deviation(self, result):
+        table = result.tables[0]
+        for cpu in ("CPU0", "CPU1", "CPU2"):
+            assert all(v < 0.05 for v in table.column(cpu))
+
+    def test_star_column_removes_edge_error(self, result):
+        table = result.tables[0]
+        cpu3 = table.column("CPU3")
+        starred = table.column("CPU3*")
+        assert all(s <= c for s, c in zip(starred, cpu3))
+        assert all(s < 0.05 for s in starred)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table3", fast=True)
+
+    def _row(self, result, label):
+        table = result.tables[0]
+        for row in table.rows:
+            if row[0] == label:
+                return dict(zip(table.headers[1:], row[1:]))
+        raise AssertionError(f"no row {label}")
+
+    def test_memory_bound_wins_at_every_cap(self, result):
+        for cap in (75, 35):
+            row = self._row(result, f"Perf @ {cap}W")
+            assert row["mcf"] > row["gzip"]
+            assert row["health"] > row["gap"]
+
+    def test_memory_bound_unhurt_at_75w(self, result):
+        row = self._row(result, "Perf @ 75W")
+        assert row["mcf"] >= 0.95 and row["health"] >= 0.95
+        assert row["gzip"] <= 0.88 and row["gap"] <= 0.90
+
+    def test_cpu_bound_halved_at_35w(self, result):
+        row = self._row(result, "Perf @ 35W")
+        assert 0.45 <= row["gzip"] <= 0.70
+        assert 0.45 <= row["gap"] <= 0.72
+
+    def test_memory_bound_energy_savings_even_uncapped(self, result):
+        row = self._row(result, "Energy @ 140W")
+        assert row["mcf"] < 0.65 and row["health"] < 0.65
+        assert row["gzip"] > 0.85   # CPU-bound saves little uncapped
+
+    def test_energy_monotone_in_cap(self, result):
+        for app in ("gzip", "gap", "mcf", "health"):
+            energies = [self._row(result, f"Energy @ {c}W")[app]
+                        for c in (140, 75, 35)]
+            assert energies[0] >= energies[1] >= energies[2]
+
+
+class TestFig1:
+    def test_saturation_ordering(self):
+        r = run_experiment("fig1")
+        fig = r.series[0]
+        # At 500 MHz, the memory-heavy curve retains most of its
+        # normalised throughput while the pure CPU curve is at 0.5.
+        idx = fig.x.index(500)
+        # "100%" still has a residual memory trickle, so it sits just
+        # above the perfectly linear 0.5.
+        assert fig.y("cpu=100%")[idx] == pytest.approx(0.52, abs=0.04)
+        assert fig.y("cpu=0%")[idx] > 0.95
+        # Monotone family: heavier memory -> flatter curve.
+        order = [fig.y(f"cpu={p}%")[idx] for p in (100, 75, 50, 25, 0)]
+        assert order == sorted(order)
+
+    def test_saturation_frequencies_reported(self):
+        r = run_experiment("fig1")
+        assert any(k.startswith("f_sat") for k in r.scalars)
+
+
+class TestFig4:
+    def test_overhead_bounded(self):
+        r = run_experiment("fig4", fast=True)
+        assert r.scalars["max_impact_fraction"] < 0.08
+        impacts = r.series[0].y("throughput_impact_fraction")
+        assert all(v > -0.02 for v in impacts)
+
+
+class TestFig5:
+    def test_frequency_tracks_ipc(self):
+        r = run_experiment("fig5", fast=True)
+        assert (r.scalars["mean_freq_high_ipc_mhz"]
+                > r.scalars["mean_freq_low_ipc_mhz"] + 100)
+
+
+class TestFig6:
+    def test_memory_phase_flat_cpu_phase_degrades(self):
+        r = run_experiment("fig6", fast=True)
+        assert r.scalars["mem_phase_at_min_cap"] > 0.95
+        assert r.scalars["cpu_phase_at_min_cap"] < 0.75
+        cpu_curve = r.series[0].y("cpu_phase_normalised")
+        assert list(cpu_curve) == sorted(cpu_curve, reverse=True)
+
+
+class TestFig7:
+    def test_progressive_clipping(self):
+        r = run_experiment("fig7", fast=True)
+        p100 = r.series[0].y("phase100_normalised")
+        p75 = r.series[0].y("phase75_normalised")
+        # At 75 W only the 100% phase suffers; at 35 W both phases pin
+        # at the power-constrained frequency (the 75% phase loses only a
+        # little there because it is nearly saturated at 500 MHz).
+        assert p100[1] < 0.9 and p75[1] > 0.9
+        assert p100[2] < p100[1]
+        assert p75[2] < 1.0
+        modes = {row[0]: (row[1], row[2]) for row in r.tables[0].rows}
+        assert modes[35] == (500, 500)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig8", fast=True)
+
+    def test_modal_frequencies(self, result):
+        s = result.scalars
+        assert s["gzip@1000_modal_mhz"] >= 950
+        assert s["gzip@750_modal_mhz"] == 750
+        assert s["gzip@500_modal_mhz"] == 500
+        assert s["mcf@1000_modal_mhz"] == 650
+        assert s["mcf@750_modal_mhz"] == 650   # unaffected by the cap
+        assert s["mcf@500_modal_mhz"] == 500
+
+    def test_residency_fractions_sum_to_one(self, result):
+        for table in result.tables:
+            by_cap: dict[int, float] = {}
+            for cap, _freq, share in table.rows:
+                by_cap[cap] = by_cap.get(cap, 0.0) + share
+            for total in by_cap.values():
+                assert total == pytest.approx(1.0, abs=0.02)
+
+
+class TestFig9And10:
+    def test_actual_never_exceeds_cap(self):
+        r = run_experiment("fig9", fast=True)
+        assert r.scalars["max_actual_mhz"] <= 750
+        assert r.scalars["fraction_cap_binding"] > 0.5
+
+    def test_zoom_is_a_slice(self):
+        full = run_experiment("fig9", fast=True)
+        zoom = run_experiment("fig10", fast=True)
+        assert len(zoom.series[0].x) < len(full.series[0].x)
+        assert zoom.scalars["max_actual_mhz"] <= 750
+
+
+class TestWorkedExample:
+    def test_power_totals(self):
+        r = run_experiment("worked_example")
+        assert r.scalars["t0_total_power_w"] == pytest.approx(289.0)
+        assert r.scalars["t1_total_power_w"] == pytest.approx(282.0)
+
+    def test_t0_vectors(self):
+        r = run_experiment("worked_example")
+        t0 = r.tables[0]
+        assert t0.column("eps_freq_ghz") == [1.0, 0.7, 0.8, 0.8]
+        assert t0.column("actual_freq_ghz") == [0.9, 0.6, 0.7, 0.7]
+        assert t0.column("power_w") == [109.0, 48.0, 66.0, 66.0]
+
+
+class TestFailover:
+    def test_fvsst_prevents_cascade(self):
+        r = run_experiment("failover", fast=True)
+        assert r.scalars["fvsst_response_s"] < r.scalars["deadline_s"]
+        rows = {row[0]: row for row in r.tables[0].rows}
+        assert rows["fvsst"][2] == 0    # cascades
+        assert rows["none"][2] >= 1
+
+
+class TestClusterCap:
+    def test_fvsst_beats_uniform_at_equal_budget(self):
+        r = run_experiment("cluster_cap", fast=True)
+        assert (r.scalars["fvsst_norm_throughput"]
+                > r.scalars["uniform_norm_throughput"])
+
+
+class TestAblations:
+    def test_epsilon_sweep_tradeoff(self):
+        r = run_experiment("ablation_epsilon", fast=True)
+        perf = r.tables[0].column("norm_performance")
+        energy = r.tables[0].column("norm_energy")
+        assert energy[0] > energy[-1]     # bigger eps, less energy
+        assert perf[0] > perf[-1]         # ... and less performance
+
+    def test_predictor_variant_ordering(self):
+        r = run_experiment("ablation_predictor")
+        err_counter = r.tables[0].column("err_counter")
+        err_alpha = r.tables[0].column("err_alpha")
+        assert all(c <= a + 1e-12 for c, a in zip(err_counter, err_alpha))
+        assert all(r.tables[0].column("covers_latency_variation"))
+
+    def test_policy_comparison_fvsst_wins(self):
+        r = run_experiment("ablation_policies", fast=True)
+        rows = {row[0]: row[1] for row in r.tables[0].rows}
+        assert rows["fvsst"] > rows["uniform"]
+        assert rows["fvsst"] > rows["powerdown"]
+
+
+class TestThermal:
+    def test_fvsst_respects_junction_limit(self):
+        r = run_experiment("thermal", fast=True)
+        rows = {row[0]: row for row in r.tables[0].rows}
+        limit = rows["fvsst"][2]
+        assert rows["fvsst"][1] <= limit            # peak under limit
+        assert rows["fvsst"][3] == 0.0              # never over
+        assert rows["none"][1] > rows["fvsst"][1]   # unmanaged runs hotter
+
+    def test_managed_power_reduced(self):
+        r = run_experiment("thermal", fast=True)
+        rows = {row[0]: row for row in r.tables[0].rows}
+        assert rows["fvsst"][4] < rows["none"][4]
+
+
+class TestServerDemand:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("server_demand", fast=True)
+
+    def test_fvsst_saves_energy_at_similar_latency(self, result):
+        rows = {row[0]: row for row in result.tables[0].rows}
+        assert rows["fvsst"][1] < 0.8                 # energy saved
+        assert rows["fvsst"][2] < 2 * rows["none"][2]  # latency comparable
+
+    def test_hot_idle_pathology(self, result):
+        # Without idle detection on a hot-idling part, savings vanish.
+        assert result.scalars["hot_noidle_norm_energy"] > 0.9
+
+    def test_utilization_trades_latency_for_energy(self, result):
+        rows = {row[0]: row for row in result.tables[0].rows}
+        assert rows["utilization"][1] < rows["fvsst"][1]
+        assert rows["utilization"][2] > rows["fvsst"][2]
+
+
+class TestDaemonDesignAblation:
+    def test_multithreaded_reduces_bench_core_overhead(self):
+        r = run_experiment("ablation_daemon", fast=True)
+        rows = {row[0]: row for row in r.tables[0].rows}
+        single = rows["single-threaded"]
+        multi = rows["multi-threaded"]
+        assert multi[3] < single[3]        # stolen on bench core
+        assert multi[1] <= single[1] + 1e-3  # throughput impact
+
+
+class TestResponseTime:
+    def test_trigger_beats_timer_beats_deadline(self):
+        r = run_experiment("response_time", fast=True)
+        assert r.scalars["trigger_response_s"] < 0.05
+        assert r.scalars["cluster_response_s"] < 0.1
+        worst = r.scalars["worst_timer_response_s"]
+        assert 0.5 < worst <= 1.0   # T = 1 s discovery grazes DeltaT

@@ -1,0 +1,200 @@
+"""Failure injection: degraded inputs must degrade gracefully, not crash."""
+
+import pytest
+
+from repro.core.daemon import DaemonConfig, FvsstDaemon, OverheadModel
+from repro.core.predictor import CounterPredictor
+from repro.sim.counters import CounterReader
+from repro.model.latency import POWER4_LATENCIES
+from repro.sim.core import CoreConfig
+from repro.sim.driver import Simulation
+from repro.sim.machine import MachineConfig, SMPMachine
+from repro.units import ghz, mhz
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.synthetic import two_phase_benchmark
+
+
+def build(num_cores=1, *, jitter=0.0, settling=0.0, seed=0) -> SMPMachine:
+    return SMPMachine(MachineConfig(
+        num_cores=num_cores,
+        core_config=CoreConfig(latency_jitter_sigma=jitter,
+                               settling_time_s=settling),
+    ), seed=seed)
+
+
+def run_daemon(machine, *, noise=0.0, seconds=3.0, seed=1,
+               **daemon_kwargs) -> FvsstDaemon:
+    d = FvsstDaemon(machine, DaemonConfig(
+        counter_noise_sigma=noise,
+        overhead=OverheadModel(enabled=False), **daemon_kwargs), seed=seed)
+    sim = Simulation(machine)
+    d.attach(sim)
+    sim.run_for(seconds)
+    return d
+
+
+class TestCounterNoise:
+    @pytest.mark.parametrize("noise", [0.01, 0.05, 0.2])
+    def test_daemon_survives_and_stays_on_ladder(self, noise):
+        m = build()
+        m.assign(0, profile_by_name("mcf").job(loop=True))
+        d = run_daemon(m, noise=noise)
+        for entry in d.log.schedules_of(0, 0):
+            assert entry.freq_hz in m.table
+
+    def test_noise_degrades_but_does_not_destroy_accuracy(self):
+        def deviation(noise):
+            m = build(seed=42)
+            m.assign(0, profile_by_name("mcf").job(loop=True))
+            d = run_daemon(m, noise=noise, seed=43)
+            return d.log.ipc_deviation(0, 0)
+
+        clean, noisy = deviation(0.0), deviation(0.1)
+        assert noisy > clean
+        assert noisy < 0.5
+
+    def test_extreme_noise_still_yields_schedules(self):
+        m = build()
+        m.assign(0, profile_by_name("gzip").job(loop=True))
+        d = run_daemon(m, noise=1.0)
+        assert d.last_schedule is not None
+
+
+class TestLatencyJitter:
+    def test_jitter_widens_prediction_error(self):
+        def deviation(jitter, seed):
+            m = build(jitter=jitter, seed=seed)
+            m.assign(0, profile_by_name("mcf").job(loop=True))
+            d = run_daemon(m, seed=seed + 1)
+            return d.log.ipc_deviation(0, 0)
+
+        calm = deviation(0.0, 50)
+        rough = deviation(0.10, 50)
+        assert rough > calm
+
+    def test_heavy_jitter_keeps_budget_compliance(self):
+        m = build(num_cores=2, jitter=0.15, seed=3)
+        m.assign(0, profile_by_name("gzip").job(loop=True))
+        m.assign(1, profile_by_name("mcf").job(loop=True))
+        run_daemon(m, power_limit_w=200.0, seconds=2.0)
+        # Scheduled (table) power always within the budget.
+        assert m.cpu_power_w() <= 200.0 + 1e-9
+
+
+class TestThrottleSettling:
+    def test_settling_delay_tolerated(self):
+        m = build(settling=0.002, seed=4)
+        m.assign(0, two_phase_benchmark(
+            1.0, 0.2, include_init_exit=False).job(loop=True))
+        d = run_daemon(m, seconds=4.0)
+        # Tracking still works: both ends of the ladder visited.
+        res = d.log.frequency_residency(0, 0)
+        assert max(res) >= mhz(950)
+        assert min(res) <= mhz(500)
+
+    def test_effective_frequency_lags_requests(self):
+        m = build(settling=0.05)
+        core = m.core(0)
+        core.set_frequency(mhz(500), 0.0)
+        assert core.effective_frequency_hz(0.01) == ghz(1.0)
+        assert core.effective_frequency_hz(0.06) == mhz(500)
+
+
+class TestDegenerateWindows:
+    def test_predictor_handles_empty_windows(self):
+        predictor = CounterPredictor(POWER4_LATENCIES)
+        from repro.sim.counters import CounterSample
+        empty = CounterSample(time_s=1.0, interval_s=0.1, instructions=0,
+                              cycles=0, n_l2=0, n_l3=0, n_mem=0,
+                              l1_stall_cycles=0, halted_cycles=1e8)
+        assert predictor.signature_from_sample(empty) is None
+
+    def test_daemon_with_offline_core_keeps_running(self):
+        m = build(num_cores=2)
+        m.assign(0, profile_by_name("gzip").job(loop=True))
+        m.core(1).offline = True
+        d = run_daemon(m, seconds=1.0)
+        assert d.last_schedule is not None
+        # Offline core produced no counters; conservative f_max assigned.
+        assert d.last_schedule.assignment_for(0, 1).freq_hz == ghz(1.0)
+
+    def test_trigger_storm_is_stable(self):
+        """Many limit changes in one window must not corrupt state."""
+        m = build(num_cores=2)
+        m.assign(0, profile_by_name("mcf").job(loop=True))
+        d = FvsstDaemon(m, DaemonConfig(
+            counter_noise_sigma=0.0, overhead=OverheadModel(enabled=False)),
+            seed=9)
+        sim = Simulation(m)
+        d.attach(sim)
+        sim.run_for(0.5)
+        for i, limit in enumerate((100.0, 250.0, 60.0, None, 150.0)):
+            d.set_power_limit(limit, sim.now_s)
+        sim.run_for(0.5)
+        assert d.power_limit_w == 150.0
+        assert m.cpu_power_w() <= 150.0 + 1e-9
+
+
+class TestCounterDropouts:
+    def test_dropout_returns_empty_sample_and_defers_events(self):
+        from repro.model.ipc import MemoryCounts
+        from repro.sim.counters import CounterBank
+
+        bank = CounterBank()
+        reader = CounterReader(bank, dropout_prob=1.0, rng=1)
+        bank.add_execution(MemoryCounts(instructions=100), cycles=200)
+        dropped = reader.sample(0.01)
+        assert dropped.instructions == 0.0 and dropped.interval_s == 0.0
+        assert reader.dropouts == 1
+        # Recover: next good read carries both intervals' events and time.
+        reader._dropout_prob = 0.0
+        bank.add_execution(MemoryCounts(instructions=50), cycles=100)
+        good = reader.sample(0.02)
+        assert good.instructions == pytest.approx(150)
+        assert good.cycles == pytest.approx(300)
+
+    def test_dropout_probability_validated(self):
+        from repro.errors import CounterError
+        from repro.sim.counters import CounterBank
+
+        with pytest.raises(CounterError):
+            CounterReader(CounterBank(), dropout_prob=1.0 + 1e-9)
+
+    @pytest.mark.parametrize("prob", [0.1, 0.5])
+    def test_daemon_tolerates_dropouts(self, prob):
+        from repro.sim.counters import CounterReader as Reader
+
+        m = build()
+        m.assign(0, profile_by_name("mcf").job(loop=True))
+        d = FvsstDaemon(m, DaemonConfig(
+            counter_noise_sigma=0.0,
+            overhead=OverheadModel(enabled=False)), seed=2)
+        # Replace the daemon's readers with faulty ones.
+        d.readers = [Reader(core.counters, dropout_prob=prob, rng=3 + i)
+                     for i, core in enumerate(m.cores)]
+        sim = Simulation(m)
+        d.attach(sim)
+        sim.run_for(3.0)
+        assert d.last_schedule is not None
+        assert d.readers[0].dropouts > 0
+        # Scheduling still converges on the saturation rung.
+        res = d.log.frequency_residency(0, 0)
+        assert max(res, key=res.get) == mhz(650)
+
+    def test_total_dropout_falls_back_to_cached_views(self):
+        from repro.sim.counters import CounterReader as Reader
+
+        m = build()
+        m.assign(0, profile_by_name("gzip").job(loop=True))
+        d = FvsstDaemon(m, DaemonConfig(
+            counter_noise_sigma=0.0,
+            overhead=OverheadModel(enabled=False)), seed=4)
+        sim = Simulation(m)
+        d.attach(sim)
+        sim.run_for(0.5)          # healthy start: views cached
+        healthy = m.core(0).frequency_setting_hz
+        d.readers = [Reader(core.counters, dropout_prob=1.0, rng=9)
+                     for core in m.cores]
+        sim.run_for(0.5)          # counters now dark
+        # The daemon keeps operating on its last knowledge.
+        assert m.core(0).frequency_setting_hz == healthy

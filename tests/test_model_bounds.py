@@ -1,0 +1,84 @@
+"""The footnote-1 best/worst-case latency bound predictor."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.bounds import (
+    LatencyBounds,
+    PredictionInterval,
+    predict_ipc_bounds,
+)
+from repro.model.ipc import MemoryCounts, predict_ipc
+from repro.model.latency import POWER4_LATENCIES
+from repro.units import ghz
+
+COUNTS = MemoryCounts(instructions=1e6, n_l2=5e3, n_l3=1e3, n_mem=2e3,
+                      l1_stall_cycles=1e5)
+
+
+class TestLatencyBounds:
+    def test_from_nominal_symmetric(self):
+        bounds = LatencyBounds.from_nominal(POWER4_LATENCIES, spread=0.2)
+        assert bounds.best.t_mem_s == pytest.approx(
+            0.8 * POWER4_LATENCIES.t_mem_s
+        )
+        assert bounds.worst.t_mem_s == pytest.approx(
+            1.2 * POWER4_LATENCIES.t_mem_s
+        )
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            LatencyBounds(best=POWER4_LATENCIES.scaled(1.5),
+                          worst=POWER4_LATENCIES)
+
+    @pytest.mark.parametrize("spread", [0.0, 1.0, 1.5])
+    def test_bad_spread_rejected(self, spread):
+        with pytest.raises(Exception):
+            LatencyBounds.from_nominal(POWER4_LATENCIES, spread=spread)
+
+
+class TestPredictionInterval:
+    def test_ordering_enforced(self):
+        with pytest.raises(ModelError):
+            PredictionInterval(low=1.0, high=0.5)
+
+    def test_midpoint_and_width(self):
+        iv = PredictionInterval(low=0.4, high=0.8)
+        assert iv.midpoint == pytest.approx(0.6)
+        assert iv.width == pytest.approx(0.4)
+        assert iv.contains(0.5) and not iv.contains(0.9)
+
+
+class TestPredictIpcBounds:
+    def test_interval_brackets_nominal_prediction(self):
+        bounds = LatencyBounds.from_nominal(POWER4_LATENCIES, spread=0.3)
+        f = ghz(0.65)
+        iv = predict_ipc_bounds(COUNTS, bounds, f, alpha=2.0)
+        nominal = predict_ipc(COUNTS, POWER4_LATENCIES, f, alpha=2.0)
+        assert iv.low < nominal < iv.high
+
+    def test_interval_brackets_any_profile_inside(self):
+        bounds = LatencyBounds.from_nominal(POWER4_LATENCIES, spread=0.3)
+        f = ghz(0.8)
+        iv = predict_ipc_bounds(COUNTS, bounds, f, alpha=2.0)
+        for scale in (0.75, 0.9, 1.0, 1.15, 1.29):
+            inside = predict_ipc(COUNTS, POWER4_LATENCIES.scaled(scale), f,
+                                 alpha=2.0)
+            assert iv.contains(inside)
+
+    def test_wider_spread_wider_interval(self):
+        f = ghz(0.5)
+        narrow = predict_ipc_bounds(
+            COUNTS, LatencyBounds.from_nominal(POWER4_LATENCIES, spread=0.1),
+            f, alpha=2.0)
+        wide = predict_ipc_bounds(
+            COUNTS, LatencyBounds.from_nominal(POWER4_LATENCIES, spread=0.4),
+            f, alpha=2.0)
+        assert wide.width > narrow.width
+
+    def test_interval_collapses_for_cpu_bound_work(self):
+        # With no memory accesses, latency uncertainty is irrelevant.
+        cpu_counts = MemoryCounts(instructions=1e6)
+        bounds = LatencyBounds.from_nominal(POWER4_LATENCIES, spread=0.5)
+        iv = predict_ipc_bounds(cpu_counts, bounds, ghz(1.0), alpha=2.0)
+        assert iv.width == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,120 @@
+"""The Section 4.3 CPI/IPC projection equations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.ipc import (
+    MemoryCounts,
+    WorkloadSignature,
+    predict_cpi,
+    predict_ipc,
+    signature_from_counts,
+)
+from repro.units import ghz
+
+
+class TestMemoryCounts:
+    def test_addition_is_fieldwise(self):
+        a = MemoryCounts(instructions=10, n_l2=1, n_l3=2, n_mem=3,
+                         l1_stall_cycles=4)
+        b = MemoryCounts(instructions=20, n_l2=2, n_l3=3, n_mem=4,
+                         l1_stall_cycles=5)
+        c = a + b
+        assert c.instructions == 30
+        assert c.n_l2 == 3 and c.n_l3 == 5 and c.n_mem == 7
+        assert c.l1_stall_cycles == 9
+
+    def test_memory_time_weights_levels(self, latencies):
+        counts = MemoryCounts(instructions=1, n_l2=1, n_l3=1, n_mem=1)
+        expected = (latencies.t_l2_s + latencies.t_l3_s + latencies.t_mem_s)
+        assert counts.memory_time_s(latencies) == pytest.approx(expected)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(Exception):
+            MemoryCounts(instructions=-1)
+
+
+class TestWorkloadSignature:
+    def test_cpi_is_affine_in_frequency(self):
+        sig = WorkloadSignature(core_cpi=1.0, mem_time_per_instr_s=2e-9)
+        assert sig.cpi(ghz(1.0)) == pytest.approx(3.0)
+        assert sig.cpi(ghz(0.5)) == pytest.approx(2.0)
+
+    def test_ipc_is_reciprocal_cpi(self):
+        sig = WorkloadSignature(core_cpi=0.8, mem_time_per_instr_s=1e-9)
+        f = ghz(0.75)
+        assert sig.ipc(f) == pytest.approx(1.0 / sig.cpi(f))
+
+    def test_pure_cpu_ipc_is_frequency_invariant(self):
+        sig = WorkloadSignature(core_cpi=0.5, mem_time_per_instr_s=0.0)
+        assert sig.ipc(ghz(0.25)) == sig.ipc(ghz(1.0)) == pytest.approx(2.0)
+        assert sig.is_memory_free
+
+    def test_ipc_decreases_with_frequency_when_memory_bound(self):
+        sig = WorkloadSignature(core_cpi=1.0, mem_time_per_instr_s=5e-9)
+        ipcs = [sig.ipc(f) for f in (ghz(0.25), ghz(0.5), ghz(1.0))]
+        assert ipcs[0] > ipcs[1] > ipcs[2]
+
+    def test_ipc_array_matches_scalar(self):
+        sig = WorkloadSignature(core_cpi=0.9, mem_time_per_instr_s=3e-9)
+        freqs = np.array([ghz(0.25), ghz(0.6), ghz(1.0)])
+        np.testing.assert_allclose(
+            sig.ipc_array(freqs), [sig.ipc(f) for f in freqs]
+        )
+
+    def test_ipc_array_rejects_nonpositive(self):
+        sig = WorkloadSignature(core_cpi=0.9, mem_time_per_instr_s=3e-9)
+        with pytest.raises(ModelError):
+            sig.ipc_array(np.array([1e9, -1.0]))
+
+    def test_nonpositive_core_cpi_rejected(self):
+        with pytest.raises(Exception):
+            WorkloadSignature(core_cpi=0.0, mem_time_per_instr_s=1e-9)
+
+
+class TestSignatureFromCounts:
+    def test_paper_equation_structure(self, latencies):
+        # CPI(f) = 1/alpha + S_L1/I + (sum N_i T_i / I) * f
+        counts = MemoryCounts(instructions=1000, n_l2=10, n_l3=5, n_mem=2,
+                              l1_stall_cycles=100)
+        sig = signature_from_counts(counts, latencies, alpha=2.0)
+        assert sig.core_cpi == pytest.approx(0.5 + 0.1)
+        expected_m = (10 * latencies.t_l2_s + 5 * latencies.t_l3_s
+                      + 2 * latencies.t_mem_s) / 1000
+        assert sig.mem_time_per_instr_s == pytest.approx(expected_m)
+
+    def test_zero_instructions_rejected(self, latencies):
+        with pytest.raises(ModelError):
+            signature_from_counts(MemoryCounts(instructions=0), latencies,
+                                  alpha=2.0)
+
+    def test_predict_ipc_consistent_with_signature(self, latencies):
+        counts = MemoryCounts(instructions=1e6, n_l2=2000, n_mem=500)
+        sig = signature_from_counts(counts, latencies, alpha=1.5)
+        f = ghz(0.8)
+        assert predict_ipc(counts, latencies, f, alpha=1.5) == pytest.approx(
+            sig.ipc(f)
+        )
+        assert predict_cpi(counts, latencies, f, alpha=1.5) == pytest.approx(
+            sig.cpi(f)
+        )
+
+    def test_memory_heavy_counts_give_lower_projected_ipc(self, latencies):
+        light = MemoryCounts(instructions=1e6, n_mem=100)
+        heavy = MemoryCounts(instructions=1e6, n_mem=100000)
+        f = ghz(1.0)
+        assert (predict_ipc(light, latencies, f, alpha=2.0)
+                > predict_ipc(heavy, latencies, f, alpha=2.0))
+
+    def test_projection_at_observation_frequency_recovers_observed(self, latencies):
+        # Projecting at the frequency the counts were gathered at must give
+        # back the IPC those counts imply.
+        counts = MemoryCounts(instructions=1e6, n_l2=5e3, n_l3=1e3,
+                              n_mem=2e3, l1_stall_cycles=5e4)
+        sig = signature_from_counts(counts, latencies, alpha=2.0)
+        f_obs = ghz(1.0)
+        implied_cycles = sig.cpi(f_obs) * counts.instructions
+        ipc_observed = counts.instructions / implied_cycles
+        assert predict_ipc(counts, latencies, f_obs, alpha=2.0) == \
+            pytest.approx(ipc_observed)

@@ -1,0 +1,56 @@
+"""Memory latency profiles."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.latency import POWER4_LATENCIES, MemoryLatencyProfile
+from repro.units import ghz, ns
+
+
+class TestProfileValidation:
+    def test_power4_profile_values(self):
+        assert POWER4_LATENCIES.t_l2_s == pytest.approx(ns(15))
+        assert POWER4_LATENCIES.t_l3_s == pytest.approx(ns(113))
+        assert POWER4_LATENCIES.t_mem_s == pytest.approx(ns(393))
+        assert POWER4_LATENCIES.l1_latency_cycles == 4.5
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ModelError):
+            MemoryLatencyProfile(t_l2_s=ns(100), t_l3_s=ns(50),
+                                 t_mem_s=ns(400))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(Exception):
+            MemoryLatencyProfile(t_l2_s=0.0, t_l3_s=ns(113), t_mem_s=ns(393))
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            POWER4_LATENCIES.t_l2_s = 1.0  # type: ignore[misc]
+
+
+class TestScaled:
+    def test_scaling_multiplies_offcore_only(self):
+        scaled = POWER4_LATENCIES.scaled(2.0)
+        assert scaled.t_l2_s == pytest.approx(2 * POWER4_LATENCIES.t_l2_s)
+        assert scaled.t_mem_s == pytest.approx(2 * POWER4_LATENCIES.t_mem_s)
+        assert scaled.l1_latency_cycles == POWER4_LATENCIES.l1_latency_cycles
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(Exception):
+            POWER4_LATENCIES.scaled(0.0)
+
+
+class TestCyclesAt:
+    def test_nominal_recovers_published_cycles(self):
+        l2, l3, mem = POWER4_LATENCIES.cycles_at(ghz(1.0))
+        assert l2 == pytest.approx(15)
+        assert l3 == pytest.approx(113)
+        assert mem == pytest.approx(393)
+
+    def test_half_clock_halves_cycle_cost(self):
+        # This IS the saturation mechanism: constant wall time, fewer
+        # cycles at a slower clock.
+        l2_full, _, mem_full = POWER4_LATENCIES.cycles_at(ghz(1.0))
+        l2_half, _, mem_half = POWER4_LATENCIES.cycles_at(ghz(0.5))
+        assert l2_half == pytest.approx(l2_full / 2)
+        assert mem_half == pytest.approx(mem_full / 2)

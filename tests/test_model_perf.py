@@ -1,0 +1,99 @@
+"""Perf, PerfLoss and saturation (Sections 4.1, 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.ipc import WorkloadSignature
+from repro.model.perf import (
+    perf,
+    perf_at_frequencies,
+    perf_loss,
+    saturation_frequency,
+)
+from repro.units import ghz
+
+
+class TestPerf:
+    def test_perf_is_ipc_times_frequency(self, mem_signature):
+        f = ghz(0.65)
+        assert perf(mem_signature, f) == pytest.approx(
+            mem_signature.ipc(f) * f
+        )
+
+    def test_pure_cpu_perf_linear_in_frequency(self):
+        sig = WorkloadSignature(core_cpi=1.0, mem_time_per_instr_s=0.0)
+        assert perf(sig, ghz(0.5)) == pytest.approx(0.5 * perf(sig, ghz(1.0)))
+
+    def test_memory_bound_perf_sublinear(self, mem_signature):
+        # Doubling frequency must less-than-double throughput.
+        assert perf(mem_signature, ghz(1.0)) < 2 * perf(mem_signature,
+                                                        ghz(0.5))
+
+    def test_perf_saturates_at_reciprocal_memory_time(self):
+        sig = WorkloadSignature(core_cpi=1.0, mem_time_per_instr_s=50e-9)
+        asymptote = 1.0 / sig.mem_time_per_instr_s
+        assert perf(sig, ghz(100.0)) < asymptote
+        assert perf(sig, ghz(100.0)) == pytest.approx(asymptote, rel=0.01)
+
+    def test_vectorised_matches_scalar(self, mem_signature):
+        freqs = np.array([ghz(0.25), ghz(0.5), ghz(1.0)])
+        np.testing.assert_allclose(
+            perf_at_frequencies(mem_signature, freqs),
+            [perf(mem_signature, f) for f in freqs],
+        )
+
+
+class TestPerfLoss:
+    def test_zero_at_reference(self, mem_signature):
+        assert perf_loss(mem_signature, ghz(1.0), ghz(1.0)) == pytest.approx(0)
+
+    def test_positive_for_slower_candidate(self, mem_signature):
+        assert perf_loss(mem_signature, ghz(1.0), ghz(0.5)) > 0
+
+    def test_negative_for_faster_candidate(self, mem_signature):
+        assert perf_loss(mem_signature, ghz(0.5), ghz(1.0)) < 0
+
+    def test_pure_cpu_loss_is_frequency_ratio(self):
+        sig = WorkloadSignature(core_cpi=1.0, mem_time_per_instr_s=0.0)
+        assert perf_loss(sig, ghz(1.0), ghz(0.75)) == pytest.approx(0.25)
+
+    def test_memory_bound_loses_less_than_cpu_bound(self, cpu_signature,
+                                                    mem_signature):
+        f_ref, f = ghz(1.0), ghz(0.65)
+        assert perf_loss(mem_signature, f_ref, f) < perf_loss(
+            cpu_signature, f_ref, f
+        )
+
+    def test_loss_bounded_above_by_one(self, cpu_signature):
+        assert perf_loss(cpu_signature, ghz(1.0), ghz(0.001)) < 1.0
+
+    def test_loss_monotone_in_candidate(self, mem_signature):
+        losses = [perf_loss(mem_signature, ghz(1.0), ghz(g))
+                  for g in (0.9, 0.7, 0.5, 0.3)]
+        assert losses == sorted(losses)
+
+
+class TestSaturationFrequency:
+    def test_memory_free_has_none(self):
+        sig = WorkloadSignature(core_cpi=1.0, mem_time_per_instr_s=0.0)
+        with pytest.raises(ModelError):
+            saturation_frequency(sig)
+
+    def test_zero_budget_rejected(self, mem_signature):
+        with pytest.raises(ModelError):
+            saturation_frequency(mem_signature, loss_budget=0.0)
+
+    def test_at_saturation_loss_equals_budget(self, mem_signature):
+        budget = 0.05
+        f_sat = saturation_frequency(mem_signature, loss_budget=budget)
+        asymptote = 1.0 / mem_signature.mem_time_per_instr_s
+        assert perf(mem_signature, f_sat) == pytest.approx(
+            (1 - budget) * asymptote
+        )
+
+    def test_heavier_memory_saturates_earlier(self):
+        light = WorkloadSignature(core_cpi=1.0, mem_time_per_instr_s=1e-9)
+        heavy = WorkloadSignature(core_cpi=1.0, mem_time_per_instr_s=10e-9)
+        assert (saturation_frequency(heavy, loss_budget=0.05)
+                < saturation_frequency(light, loss_budget=0.05))

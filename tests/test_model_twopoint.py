@@ -1,0 +1,72 @@
+"""The two-frequency calibration approach (footnote 1, first variant)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.ipc import WorkloadSignature
+from repro.model.twopoint import calibrate_two_point
+from repro.units import ghz
+
+
+def observe(sig: WorkloadSignature, f: float) -> float:
+    return sig.ipc(f)
+
+
+class TestCalibration:
+    def test_exact_recovery_from_two_clean_samples(self, mem_signature):
+        f1, f2 = ghz(1.0), ghz(0.6)
+        cal = calibrate_two_point(f1, observe(mem_signature, f1),
+                                  f2, observe(mem_signature, f2))
+        assert cal.signature.core_cpi == pytest.approx(
+            mem_signature.core_cpi
+        )
+        assert cal.signature.mem_time_per_instr_s == pytest.approx(
+            mem_signature.mem_time_per_instr_s
+        )
+
+    def test_recovered_signature_predicts_third_point(self, mem_signature):
+        f1, f2, f3 = ghz(1.0), ghz(0.7), ghz(0.4)
+        cal = calibrate_two_point(f1, observe(mem_signature, f1),
+                                  f2, observe(mem_signature, f2))
+        assert cal.signature.ipc(f3) == pytest.approx(
+            mem_signature.ipc(f3)
+        )
+        assert cal.residual_at(f3, observe(mem_signature, f3)) == \
+            pytest.approx(0.0, abs=1e-12)
+
+    def test_pure_cpu_recovers_zero_memory(self):
+        sig = WorkloadSignature(core_cpi=0.8, mem_time_per_instr_s=0.0)
+        cal = calibrate_two_point(ghz(1.0), observe(sig, ghz(1.0)),
+                                  ghz(0.5), observe(sig, ghz(0.5)))
+        assert cal.signature.mem_time_per_instr_s == pytest.approx(0.0,
+                                                                   abs=1e-18)
+
+    def test_residual_flags_nonstationary_workload(self, mem_signature,
+                                                   cpu_signature):
+        # Calibrate on the memory workload, score a sample from the CPU one.
+        cal = calibrate_two_point(
+            ghz(1.0), observe(mem_signature, ghz(1.0)),
+            ghz(0.6), observe(mem_signature, ghz(0.6)),
+        )
+        assert cal.residual_at(ghz(0.8), observe(cpu_signature, ghz(0.8))) \
+            > 0.1
+
+
+class TestRejection:
+    def test_too_close_frequencies(self, mem_signature):
+        with pytest.raises(ModelError, match="too close"):
+            calibrate_two_point(ghz(1.0), 0.5, ghz(1.0) * (1 + 1e-9), 0.5)
+
+    def test_ipc_rising_with_frequency_rejected(self):
+        # Higher IPC at the higher frequency means the workload changed.
+        with pytest.raises(ModelError, match="changed"):
+            calibrate_two_point(ghz(1.0), 0.9, ghz(0.5), 0.5)
+
+    def test_inconsistent_core_cpi_rejected(self):
+        # Two observations implying negative frequency-independent cycles.
+        with pytest.raises(ModelError):
+            calibrate_two_point(ghz(1.0), 2.0, ghz(0.5), 100.0)
+
+    def test_nonpositive_inputs_rejected(self):
+        with pytest.raises(Exception):
+            calibrate_two_point(ghz(1.0), 0.0, ghz(0.5), 0.5)

@@ -1,0 +1,68 @@
+"""The CMOS power equation (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power.cmos import CmosPowerModel
+from repro.units import ghz
+
+
+class TestPowerEquation:
+    def test_total_is_active_plus_static(self):
+        m = CmosPowerModel(capacitance_f=60e-9, leakage_s=2.0)
+        f, v = ghz(1.0), 1.3
+        assert m.power_w(f, v) == pytest.approx(
+            m.active_power_w(f, v) + m.static_power_w(v)
+        )
+
+    def test_active_power_linear_in_frequency(self):
+        m = CmosPowerModel(capacitance_f=60e-9)
+        assert m.active_power_w(ghz(1.0), 1.3) == pytest.approx(
+            2 * m.active_power_w(ghz(0.5), 1.3)
+        )
+
+    def test_power_quadratic_in_voltage(self):
+        m = CmosPowerModel(capacitance_f=60e-9, leakage_s=1.0)
+        assert m.power_w(ghz(1.0), 1.2) == pytest.approx(
+            4 * m.power_w(ghz(1.0), 0.6)
+        )
+
+    def test_static_power_frequency_independent(self):
+        m = CmosPowerModel(capacitance_f=60e-9, leakage_s=3.0)
+        assert m.static_power_w(1.0) == pytest.approx(3.0)
+
+    def test_zero_leakage_allowed(self):
+        m = CmosPowerModel(capacitance_f=60e-9)
+        assert m.static_power_w(1.3) == 0.0
+
+    def test_nonpositive_capacitance_rejected(self):
+        with pytest.raises(Exception):
+            CmosPowerModel(capacitance_f=0.0)
+
+    def test_plausible_power4_magnitude(self):
+        # C sized to give ~140 W at 1 GHz / 1.3 V.
+        c = 140.0 / (1.3 ** 2 * ghz(1.0))
+        m = CmosPowerModel(capacitance_f=c)
+        assert m.power_w(ghz(1.0), 1.3) == pytest.approx(140.0)
+
+
+class TestVectorised:
+    def test_matches_scalar(self):
+        m = CmosPowerModel(capacitance_f=60e-9, leakage_s=1.5)
+        f = np.array([ghz(0.25), ghz(0.5), ghz(1.0)])
+        v = np.array([0.8, 1.0, 1.3])
+        np.testing.assert_allclose(
+            m.power_array_w(f, v),
+            [m.power_w(fi, vi) for fi, vi in zip(f, v)],
+        )
+
+    def test_shape_mismatch_rejected(self):
+        m = CmosPowerModel(capacitance_f=60e-9)
+        with pytest.raises(PowerModelError):
+            m.power_array_w(np.array([1e9, 2e9]), np.array([1.0]))
+
+    def test_nonpositive_entries_rejected(self):
+        m = CmosPowerModel(capacitance_f=60e-9)
+        with pytest.raises(PowerModelError):
+            m.power_array_w(np.array([1e9, -1e9]), np.array([1.0, 1.0]))

@@ -1,0 +1,96 @@
+"""Power supplies and the Section 2 cascade scenario."""
+
+import pytest
+
+from repro.errors import CascadeFailureError, SimulationError
+from repro.power.supply import PowerSupply, SupplyBank
+
+
+def bank(deadline=1.0, **kwargs) -> SupplyBank:
+    return SupplyBank(
+        supplies=[PowerSupply(480.0, name="psu0"),
+                  PowerSupply(480.0, name="psu1")],
+        cascade_deadline_s=deadline, **kwargs,
+    )
+
+
+class TestCapacity:
+    def test_example_configuration(self):
+        b = SupplyBank.example_p630()
+        assert b.capacity_w == 960.0
+        assert len(b.online) == 2
+
+    def test_failure_halves_capacity(self):
+        b = bank()
+        assert b.fail_supply(0) == 480.0
+        assert len(b.online) == 1
+
+    def test_restore_recovers_capacity(self):
+        b = bank()
+        b.fail_supply(0)
+        assert b.restore_supply(0) == 960.0
+
+    def test_fail_all_then_dark(self):
+        b = bank()
+        b.fail_supply(0)
+        b.fail_supply(0)
+        assert b.all_failed
+        with pytest.raises(SimulationError):
+            b.fail_supply(0)
+
+    def test_restore_without_failure_raises(self):
+        with pytest.raises(SimulationError):
+            bank().restore_supply(0)
+
+    def test_headroom(self):
+        b = bank()
+        assert b.headroom_w(746.0) == pytest.approx(214.0)
+        b.fail_supply(0)
+        assert b.headroom_w(746.0) == pytest.approx(-266.0)
+
+
+class TestCascade:
+    def test_no_cascade_within_capacity(self):
+        b = bank()
+        for t in (0.0, 1.0, 10.0):
+            assert b.observe(t, 900.0) is False
+        assert b.cascade_count == 0
+
+    def test_overload_tolerated_inside_deadline(self):
+        b = bank()
+        b.fail_supply(0)
+        assert b.observe(0.0, 746.0) is False   # episode starts
+        assert b.observe(0.9, 746.0) is False   # still inside DeltaT
+        assert b.cascade_count == 0
+
+    def test_cascade_after_deadline(self):
+        b = bank(raise_on_cascade=False)
+        b.fail_supply(0)
+        b.observe(0.0, 746.0)
+        assert b.observe(1.05, 746.0) is True
+        assert b.cascade_count == 1
+        assert b.all_failed
+
+    def test_cascade_raises_when_configured(self):
+        b = bank()
+        b.fail_supply(0)
+        b.observe(0.0, 746.0)
+        with pytest.raises(CascadeFailureError) as err:
+            b.observe(1.2, 746.0)
+        assert err.value.time_s == pytest.approx(1.2)
+
+    def test_recovery_resets_the_episode(self):
+        b = bank(raise_on_cascade=False)
+        b.fail_supply(0)
+        b.observe(0.0, 746.0)      # overload begins
+        b.observe(0.5, 450.0)      # brought under capacity in time
+        b.observe(0.6, 746.0)      # new overload episode
+        assert b.observe(1.4, 746.0) is False  # only 0.8 s into episode 2
+        assert b.cascade_count == 0
+
+    def test_dark_system_observation_is_terminal_noop(self):
+        b = bank(raise_on_cascade=False)
+        b.fail_supply(0)
+        b.fail_supply(0)
+        assert b.observe(5.0, 100.0) is True
+        assert b.cascade_count == 0  # nothing further failed

@@ -1,0 +1,118 @@
+"""Frequency/power operating-point tables (Table 1)."""
+
+import pytest
+
+from repro.errors import FrequencyError, PowerModelError
+from repro.power.table import (
+    POWER4_TABLE,
+    WORKED_EXAMPLE_TABLE,
+    FrequencyPowerTable,
+)
+from repro.units import mhz
+
+
+class TestConstruction:
+    def test_needs_two_points(self):
+        with pytest.raises(PowerModelError):
+            FrequencyPowerTable({mhz(500): 35.0})
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(PowerModelError):
+            FrequencyPowerTable([(mhz(500), 35.0), (mhz(500), 36.0),
+                                 (mhz(600), 48.0)])
+
+    def test_power_must_increase(self):
+        with pytest.raises(PowerModelError):
+            FrequencyPowerTable({mhz(500): 35.0, mhz(600): 35.0})
+
+    def test_sorted_regardless_of_input_order(self):
+        t = FrequencyPowerTable([(mhz(600), 48.0), (mhz(500), 35.0)])
+        assert t.freqs_hz[0] == mhz(500)
+
+    def test_accepts_mapping_or_pairs(self):
+        a = FrequencyPowerTable({mhz(500): 35.0, mhz(600): 48.0})
+        b = FrequencyPowerTable([(mhz(500), 35.0), (mhz(600), 48.0)])
+        assert list(a) == list(b)
+
+
+class TestPower4Table:
+    def test_matches_paper_exactly(self):
+        assert POWER4_TABLE.power_at(mhz(250)) == 9.0
+        assert POWER4_TABLE.power_at(mhz(650)) == 57.0
+        assert POWER4_TABLE.power_at(mhz(1000)) == 140.0
+        assert len(POWER4_TABLE) == 16
+
+    def test_bounds(self):
+        assert POWER4_TABLE.f_min_hz == mhz(250)
+        assert POWER4_TABLE.f_max_hz == mhz(1000)
+        assert POWER4_TABLE.min_power_w == 9.0
+        assert POWER4_TABLE.max_power_w == 140.0
+
+    def test_worked_example_restriction(self):
+        assert [f for f, _ in WORKED_EXAMPLE_TABLE] == [
+            mhz(600), mhz(700), mhz(800), mhz(900), mhz(1000)
+        ]
+        assert WORKED_EXAMPLE_TABLE.power_at(mhz(900)) == 109.0
+
+
+class TestLookups:
+    def test_unknown_frequency_raises(self):
+        with pytest.raises(FrequencyError):
+            POWER4_TABLE.power_at(mhz(625))
+
+    def test_contains(self):
+        assert mhz(650) in POWER4_TABLE
+        assert mhz(660) not in POWER4_TABLE
+
+    def test_next_lower_steps_down_the_ladder(self):
+        assert POWER4_TABLE.next_lower(mhz(1000)) == mhz(950)
+        assert POWER4_TABLE.next_lower(mhz(250)) is None
+
+    def test_next_higher(self):
+        assert POWER4_TABLE.next_higher(mhz(250)) == mhz(300)
+        assert POWER4_TABLE.next_higher(mhz(1000)) is None
+
+    def test_max_frequency_under_section44_rule(self):
+        # "Select the highest frequency that yields a power value less
+        # than the maximum."
+        assert POWER4_TABLE.max_frequency_under(75.0) == mhz(750)
+        assert POWER4_TABLE.max_frequency_under(74.9) == mhz(700)
+        assert POWER4_TABLE.max_frequency_under(1000.0) == mhz(1000)
+
+    def test_max_frequency_under_floor(self):
+        assert POWER4_TABLE.max_frequency_under(8.9) is None
+
+    def test_quantize_down(self):
+        assert POWER4_TABLE.quantize_down(mhz(732)) == mhz(700)
+        assert POWER4_TABLE.quantize_down(mhz(750)) == mhz(750)
+        assert POWER4_TABLE.quantize_down(mhz(100)) == mhz(250)
+
+    def test_quantize_up(self):
+        assert POWER4_TABLE.quantize_up(mhz(732)) == mhz(750)
+        assert POWER4_TABLE.quantize_up(mhz(750)) == mhz(750)
+        assert POWER4_TABLE.quantize_up(mhz(2000)) == mhz(1000)
+
+    def test_nearest(self):
+        assert POWER4_TABLE.nearest(mhz(770)) == mhz(750)
+        assert POWER4_TABLE.nearest(mhz(780)) == mhz(800)
+        assert POWER4_TABLE.nearest(mhz(775)) == mhz(750)  # tie -> down
+
+
+class TestDerivation:
+    def test_restrict_preserves_powers(self):
+        sub = POWER4_TABLE.restrict([mhz(500), mhz(750)])
+        assert sub.power_at(mhz(500)) == 35.0
+        assert len(sub) == 2
+
+    def test_restrict_unknown_frequency_raises(self):
+        with pytest.raises(FrequencyError):
+            POWER4_TABLE.restrict([mhz(620)])
+
+    def test_scaled_power(self):
+        hot = POWER4_TABLE.scaled_power(1.2)
+        assert hot.power_at(mhz(1000)) == pytest.approx(168.0)
+        assert hot.f_max_hz == POWER4_TABLE.f_max_hz
+
+    def test_scaled_power_bad_factor(self):
+        with pytest.raises(PowerModelError):
+            POWER4_TABLE.scaled_power(0.0)

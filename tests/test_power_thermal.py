@@ -1,0 +1,105 @@
+"""The thermal substrate."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.power.thermal import ThermalMonitor, ThermalNode, ThermalParams
+
+
+class TestThermalParams:
+    def test_time_constant(self):
+        p = ThermalParams(r_th_k_per_w=0.5, c_th_j_per_k=20.0)
+        assert p.time_constant_s == pytest.approx(10.0)
+
+    def test_steady_state(self):
+        p = ThermalParams(r_th_k_per_w=0.47)
+        assert p.steady_state_c(140.0, 25.0) == pytest.approx(90.8)
+
+    def test_sustainable_power(self):
+        p = ThermalParams(r_th_k_per_w=0.47, t_limit_c=95.0)
+        assert p.sustainable_power_w(25.0) == pytest.approx(70.0 / 0.47)
+        assert p.sustainable_power_w(100.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ThermalParams(r_th_k_per_w=0.0)
+
+
+class TestThermalNode:
+    def test_relaxes_to_steady_state(self):
+        node = ThermalNode(ThermalParams(), ambient_c=25.0,
+                           temperature_c=25.0)
+        for _ in range(100):
+            node.advance(5.0, 140.0)
+        assert node.temperature_c == pytest.approx(
+            node.params.steady_state_c(140.0, 25.0), abs=0.01)
+
+    def test_exact_exponential_step(self):
+        params = ThermalParams(r_th_k_per_w=0.5, c_th_j_per_k=10.0)
+        node = ThermalNode(params, ambient_c=20.0, temperature_c=20.0)
+        node.advance(5.0, 100.0)   # tau = 5 s: one time constant
+        t_ss = params.steady_state_c(100.0, 20.0)
+        expected = t_ss + (20.0 - t_ss) * math.exp(-1.0)
+        assert node.temperature_c == pytest.approx(expected)
+
+    def test_cooling_when_power_drops(self):
+        node = ThermalNode(ThermalParams(), ambient_c=25.0,
+                           temperature_c=90.0)
+        node.advance(10.0, 9.0)
+        assert node.temperature_c < 90.0
+
+    def test_over_limit_and_headroom(self):
+        params = ThermalParams(t_limit_c=95.0)
+        node = ThermalNode(params, ambient_c=25.0, temperature_c=97.0)
+        assert node.over_limit
+        assert node.headroom_c == pytest.approx(-2.0)
+
+    def test_ambient_change_shifts_equilibrium(self):
+        node = ThermalNode(ThermalParams(), ambient_c=25.0,
+                           temperature_c=25.0)
+        node.set_ambient(45.0)
+        for _ in range(100):
+            node.advance(5.0, 50.0)
+        assert node.temperature_c == pytest.approx(
+            45.0 + 0.47 * 50.0, abs=0.01)
+
+
+class TestThermalMonitor:
+    def test_tracks_hottest_core(self):
+        monitor = ThermalMonitor(2, ambient_c=25.0)
+        monitor.advance(0.0, 30.0, [140.0, 9.0])
+        assert monitor.hottest_c == monitor.nodes[0].temperature_c
+        assert monitor.nodes[0].temperature_c > monitor.nodes[1].temperature_c
+
+    def test_warm_start(self):
+        monitor = ThermalMonitor(2, ambient_c=25.0)
+        monitor.warm_start(140.0)
+        assert monitor.hottest_c == pytest.approx(90.8)
+
+    def test_budget_tracks_ambient(self):
+        monitor = ThermalMonitor(4, ambient_c=25.0, margin_c=3.0)
+        cool_budget = monitor.cpu_budget_w()
+        monitor.set_ambient(45.0)
+        hot_budget = monitor.cpu_budget_w()
+        assert hot_budget < cool_budget
+        # (95 - 3 - 45) / 0.47 per core, times 4.
+        assert hot_budget == pytest.approx(4 * 47.0 / 0.47)
+
+    def test_budget_floor_zero(self):
+        monitor = ThermalMonitor(1, ambient_c=25.0)
+        monitor.set_ambient(200.0)
+        assert monitor.cpu_budget_w() == 0.0
+
+    def test_power_vector_length_checked(self):
+        monitor = ThermalMonitor(2)
+        with pytest.raises(SimulationError):
+            monitor.advance(0.0, 1.0, [100.0])
+
+    def test_history_recorded(self):
+        monitor = ThermalMonitor(1)
+        monitor.advance(1.0, 1.0, [140.0])
+        monitor.advance(2.0, 1.0, [140.0])
+        assert len(monitor.history) == 2
+        assert monitor.history[1][1] > monitor.history[0][1]

@@ -1,0 +1,132 @@
+"""Property-based tests of the performance model (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.ideal import ideal_frequency
+from repro.model.ipc import MemoryCounts, WorkloadSignature, signature_from_counts
+from repro.model.latency import POWER4_LATENCIES
+from repro.model.perf import perf, perf_loss
+from repro.model.twopoint import calibrate_two_point
+from repro.units import ghz
+
+signatures = st.builds(
+    WorkloadSignature,
+    core_cpi=st.floats(0.2, 5.0),
+    mem_time_per_instr_s=st.floats(0.0, 100e-9),
+)
+
+memory_signatures = st.builds(
+    WorkloadSignature,
+    core_cpi=st.floats(0.2, 5.0),
+    mem_time_per_instr_s=st.floats(1e-10, 100e-9),
+)
+
+frequencies = st.floats(100e6, 2e9)
+
+
+class TestIpcProperties:
+    @given(signatures, frequencies)
+    def test_ipc_positive_and_finite(self, sig, f):
+        ipc = sig.ipc(f)
+        assert ipc > 0 and math.isfinite(ipc)
+
+    @given(signatures, frequencies, frequencies)
+    def test_ipc_antitone_in_frequency(self, sig, f1, f2):
+        lo, hi = sorted((f1, f2))
+        assert sig.ipc(lo) >= sig.ipc(hi) - 1e-15
+
+    @given(signatures, frequencies)
+    def test_ipc_bounded_by_core_reciprocal(self, sig, f):
+        assert sig.ipc(f) <= 1.0 / sig.core_cpi + 1e-12
+
+
+class TestPerfProperties:
+    @given(signatures, frequencies, frequencies)
+    def test_perf_monotone_in_frequency(self, sig, f1, f2):
+        lo, hi = sorted((f1, f2))
+        assert perf(sig, lo) <= perf(sig, hi) + 1e-6
+
+    @given(memory_signatures, frequencies)
+    def test_perf_below_saturation_asymptote(self, sig, f):
+        assert perf(sig, f) < 1.0 / sig.mem_time_per_instr_s
+
+    @given(signatures, frequencies, frequencies)
+    def test_loss_sign_convention(self, sig, f_ref, f_cand):
+        loss = perf_loss(sig, f_ref, f_cand)
+        if f_cand < f_ref:
+            assert loss >= -1e-12
+        if f_cand > f_ref:
+            assert loss <= 1e-12
+        assert loss < 1.0
+
+    @given(signatures, frequencies)
+    def test_loss_zero_at_reference(self, sig, f):
+        assert abs(perf_loss(sig, f, f)) < 1e-12
+
+    @given(signatures, frequencies, frequencies, frequencies)
+    def test_loss_antitone_in_candidate(self, sig, f_ref, f1, f2):
+        lo, hi = sorted((f1, f2))
+        assert perf_loss(sig, f_ref, lo) >= perf_loss(sig, f_ref, hi) - 1e-12
+
+
+class TestIdealFrequencyProperties:
+    @given(memory_signatures, st.floats(0.005, 0.5))
+    def test_ideal_within_bounds_and_meets_target(self, sig, eps):
+        f_max = ghz(1.0)
+        f = ideal_frequency(sig, f_max, epsilon=eps,
+                            ipc_threshold=float("inf"))
+        assert 0 < f <= f_max
+        # At the returned frequency, the loss never exceeds epsilon.
+        assert perf_loss(sig, f_max, f) <= eps + 1e-9
+
+    @given(memory_signatures, st.floats(0.005, 0.2), st.floats(0.01, 0.2))
+    def test_ideal_antitone_in_epsilon(self, sig, eps, delta):
+        f_max = ghz(1.0)
+        kwargs = dict(ipc_threshold=float("inf"))
+        f1 = ideal_frequency(sig, f_max, epsilon=eps, **kwargs)
+        f2 = ideal_frequency(sig, f_max, epsilon=min(eps + delta, 0.9),
+                             **kwargs)
+        assert f2 <= f1 + 1e-6
+
+
+class TestCalibrationProperties:
+    @given(memory_signatures,
+           st.floats(200e6, 900e6), st.floats(0.05, 0.8))
+    @settings(max_examples=60)
+    def test_two_point_roundtrip(self, sig, f1, gap_fraction):
+        f2 = f1 * (1 + gap_fraction)
+        cal = calibrate_two_point(f1, sig.ipc(f1), f2, sig.ipc(f2))
+        assert math.isclose(cal.signature.core_cpi, sig.core_cpi,
+                            rel_tol=1e-5, abs_tol=1e-9)
+        assert math.isclose(cal.signature.mem_time_per_instr_s,
+                            sig.mem_time_per_instr_s,
+                            rel_tol=1e-4, abs_tol=1e-15)
+
+
+class TestCountsProperties:
+    counts = st.builds(
+        MemoryCounts,
+        instructions=st.floats(1.0, 1e9),
+        n_l2=st.floats(0, 1e7),
+        n_l3=st.floats(0, 1e6),
+        n_mem=st.floats(0, 1e6),
+        l1_stall_cycles=st.floats(0, 1e8),
+    )
+
+    @given(counts, counts)
+    def test_signature_additive_consistency(self, a, b):
+        """Aggregating counters then fitting == instruction-weighted blend."""
+        alpha = 2.0
+        merged = signature_from_counts(a + b, POWER4_LATENCIES, alpha=alpha)
+        wa = a.instructions / (a.instructions + b.instructions)
+        sig_a = signature_from_counts(a, POWER4_LATENCIES, alpha=alpha)
+        sig_b = signature_from_counts(b, POWER4_LATENCIES, alpha=alpha)
+        blend_m = (wa * sig_a.mem_time_per_instr_s
+                   + (1 - wa) * sig_b.mem_time_per_instr_s)
+        # Tolerance loose enough for the catastrophic cancellation in
+        # (1 - wa) when instruction counts are wildly imbalanced.
+        assert math.isclose(merged.mem_time_per_instr_s, blend_m,
+                            rel_tol=1e-6, abs_tol=1e-16)

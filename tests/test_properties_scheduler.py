@@ -1,0 +1,134 @@
+"""Property-based tests of the scheduler and power substrate."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import FrequencyVoltageScheduler, ProcessorView
+from repro.model.ipc import WorkloadSignature
+from repro.power.energy import EnergyAccumulator
+from repro.power.table import POWER4_TABLE
+from repro.sim.events import EventQueue
+from repro.units import ghz
+
+ratios = st.floats(0.02, 50.0)
+epsilons = st.floats(0.01, 0.3)
+
+
+def sig(ratio: float) -> WorkloadSignature:
+    return WorkloadSignature(core_cpi=0.65,
+                             mem_time_per_instr_s=0.65 / ratio / ghz(1.0))
+
+
+def make_views(ratio_list):
+    return [ProcessorView(node_id=0, proc_id=i, signature=sig(r))
+            for i, r in enumerate(ratio_list)]
+
+
+class TestSchedulerInvariants:
+    @given(st.lists(ratios, min_size=1, max_size=6), epsilons)
+    @settings(max_examples=60)
+    def test_unconstrained_choice_respects_epsilon(self, ratio_list, eps):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=eps)
+        schedule = sched.schedule(make_views(ratio_list))
+        for a, r in zip(schedule.assignments, ratio_list):
+            assert a.predicted_loss < eps
+            # No lower admissible rung exists.
+            lower = POWER4_TABLE.next_lower(a.freq_hz)
+            if lower is not None:
+                assert sched.predicted_loss(sig(r), lower) >= eps
+
+    @given(st.lists(ratios, min_size=1, max_size=6), epsilons,
+           st.floats(40.0, 900.0))
+    @settings(max_examples=60)
+    def test_budget_respected_when_feasible(self, ratio_list, eps, limit):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=eps)
+        floor = len(ratio_list) * POWER4_TABLE.min_power_w
+        assume(limit >= floor)
+        schedule = sched.schedule(make_views(ratio_list),
+                                  power_limit_w=limit)
+        assert schedule.total_power_w <= limit + 1e-9
+        assert not schedule.infeasible
+
+    @given(st.lists(ratios, min_size=1, max_size=6), epsilons,
+           st.floats(40.0, 900.0))
+    @settings(max_examples=60)
+    def test_never_above_eps_frequency(self, ratio_list, eps, limit):
+        """Step 2 only ever lowers frequencies chosen in step 1."""
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=eps)
+        floor = len(ratio_list) * POWER4_TABLE.min_power_w
+        assume(limit >= floor)
+        schedule = sched.schedule(make_views(ratio_list),
+                                  power_limit_w=limit)
+        for a in schedule.assignments:
+            assert a.freq_hz <= a.eps_freq_hz
+
+    @given(st.lists(ratios, min_size=2, max_size=5), epsilons)
+    @settings(max_examples=40)
+    def test_deterministic(self, ratio_list, eps):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=eps)
+        s1 = sched.schedule(make_views(ratio_list), power_limit_w=200.0)
+        s2 = sched.schedule(make_views(ratio_list), power_limit_w=200.0)
+        assert s1.frequency_vector_hz() == s2.frequency_vector_hz()
+
+    @given(st.lists(ratios, min_size=1, max_size=5), epsilons,
+           st.floats(40.0, 400.0), st.floats(10.0, 200.0))
+    @settings(max_examples=40)
+    def test_tighter_budget_never_raises_power(self, ratio_list, eps,
+                                               limit, cut):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=eps)
+        floor = len(ratio_list) * POWER4_TABLE.min_power_w
+        assume(limit - cut >= floor)
+        loose = sched.schedule(make_views(ratio_list), power_limit_w=limit)
+        tight = sched.schedule(make_views(ratio_list),
+                               power_limit_w=limit - cut)
+        assert tight.total_power_w <= loose.total_power_w + 1e-9
+
+
+class TestPowerTableProperties:
+    @given(st.floats(100e6, 2e9))
+    def test_quantize_brackets(self, f):
+        lo = POWER4_TABLE.quantize_down(f)
+        hi = POWER4_TABLE.quantize_up(f)
+        assert lo <= hi
+        assert lo in POWER4_TABLE and hi in POWER4_TABLE
+        if POWER4_TABLE.f_min_hz <= f <= POWER4_TABLE.f_max_hz:
+            assert lo <= f * (1 + 1e-12) and hi >= f * (1 - 1e-12)
+
+    @given(st.floats(1.0, 1000.0))
+    def test_max_frequency_under_is_maximal(self, limit):
+        f = POWER4_TABLE.max_frequency_under(limit)
+        if f is None:
+            assert limit < POWER4_TABLE.min_power_w
+        else:
+            assert POWER4_TABLE.power_at(f) <= limit
+            higher = POWER4_TABLE.next_higher(f)
+            if higher is not None:
+                assert POWER4_TABLE.power_at(higher) > limit
+
+
+class TestEnergyProperties:
+    @given(st.lists(st.tuples(st.floats(0.001, 10.0), st.floats(0, 500.0)),
+                    min_size=1, max_size=20))
+    def test_energy_additive_over_any_partition(self, steps):
+        acc = EnergyAccumulator()
+        t = 0.0
+        total = 0.0
+        for dt, p in steps:
+            t += dt
+            acc.advance_to(t, p)
+            total += dt * p
+        assert math.isclose(acc.energy_j, total, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        q = EventQueue()
+        fired = []
+        for t in times:
+            q.schedule(t, fired.append)
+        q.run_due(200.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)

@@ -1,0 +1,114 @@
+"""Property-based tests of the machine simulator."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.latency import POWER4_LATENCIES
+from repro.sim.core import CoreConfig, SimulatedCore
+from repro.units import ghz, mhz
+from repro.workloads.job import Job, LoopMode
+from repro.workloads.phase import Phase
+
+phase_strategy = st.builds(
+    Phase,
+    name=st.just("p"),
+    instructions=st.floats(1e4, 1e8),
+    alpha=st.floats(0.5, 4.0),
+    l1_stall_cycles_per_instr=st.floats(0, 1.0),
+    n_l2_per_instr=st.floats(0, 0.05),
+    n_l3_per_instr=st.floats(0, 0.01),
+    n_mem_per_instr=st.floats(0, 0.12),
+    unmodeled_stall_cycles_per_instr=st.floats(0, 0.5),
+)
+
+freqs = st.sampled_from([mhz(250), mhz(500), mhz(650), mhz(800), ghz(1.0)])
+
+
+def quiet_core(freq) -> SimulatedCore:
+    return SimulatedCore(0, initial_freq_hz=freq,
+                         config=CoreConfig(latency_jitter_sigma=0.0), rng=0)
+
+
+class TestWallClockConservation:
+    @given(st.lists(phase_strategy, min_size=1, max_size=4), freqs,
+           st.floats(0.01, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_residency_sums_to_advanced_time(self, phases, freq, dt):
+        core = quiet_core(freq)
+        named = tuple(p.with_instructions(p.instructions) for p in phases)
+        core.add_job(Job(name="j", phases=named, loop=LoopMode.LOOP))
+        core.advance(0.0, dt)
+        assert math.isclose(sum(core.phase_time_s.values()), dt,
+                            rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(sum(core.freq_time_s.values()), dt,
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(phase_strategy, freqs, st.floats(0.01, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_cycles_equal_freq_times_time(self, phase, freq, dt):
+        core = quiet_core(freq)
+        core.add_job(Job(name="j", phases=(phase,), loop=LoopMode.LOOP))
+        core.advance(0.0, dt)
+        assert math.isclose(core.counters.cycles, freq * dt,
+                            rel_tol=1e-9, abs_tol=1.0)
+
+    @given(phase_strategy, freqs, st.floats(0.01, 0.5),
+           st.floats(0.01, 0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_split_advance_equals_single_advance(self, phase, freq, d1, d2):
+        def run(*deltas):
+            core = quiet_core(freq)
+            core.add_job(Job(name="j", phases=(phase,),
+                             loop=LoopMode.LOOP))
+            t = 0.0
+            for d in deltas:
+                core.advance(t, d)
+                t += d
+            return core.counters.instructions
+
+        assert math.isclose(run(d1 + d2), run(d1, d2),
+                            rel_tol=1e-9, abs_tol=1e-3)
+
+
+class TestThroughputModelConsistency:
+    @given(phase_strategy, freqs)
+    @settings(max_examples=40, deadline=None)
+    def test_simulated_rate_matches_analytic(self, phase, freq):
+        core = quiet_core(freq)
+        core.add_job(Job(name="j", phases=(phase,), loop=LoopMode.LOOP))
+        core.advance(0.0, 0.1)
+        expected = phase.throughput(POWER4_LATENCIES, freq) * 0.1
+        assert math.isclose(core.counters.instructions, expected,
+                            rel_tol=1e-9, abs_tol=1.0)
+
+    @given(phase_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_counter_rates_proportional_to_instructions(self, phase):
+        core = quiet_core(ghz(1.0))
+        core.add_job(Job(name="j", phases=(phase,), loop=LoopMode.LOOP))
+        core.advance(0.0, 0.2)
+        instr = core.counters.instructions
+        assert math.isclose(core.counters.n_mem,
+                            phase.n_mem_per_instr * instr,
+                            rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(core.counters.l1_stall_cycles,
+                            phase.l1_stall_cycles_per_instr * instr,
+                            rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestJitterStatistics:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_jitter_preserves_time_conservation(self, seed):
+        core = SimulatedCore(
+            0, initial_freq_hz=ghz(1.0),
+            config=CoreConfig(latency_jitter_sigma=0.05), rng=seed)
+        phase = Phase(name="m", instructions=1e5, alpha=2.0,
+                      n_mem_per_instr=0.05)
+        core.add_job(Job(name="j", phases=(phase,), loop=LoopMode.LOOP))
+        core.advance(0.0, 0.3)
+        assert math.isclose(sum(core.phase_time_s.values()), 0.3,
+                            rel_tol=1e-9)
+        assert core.counters.instructions > 0

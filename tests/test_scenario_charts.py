@@ -1,0 +1,134 @@
+"""The declarative scenario runner and the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, line_chart, sparkline
+from repro.core.daemon import DaemonConfig
+from repro.errors import ConfigError, ExperimentError
+from repro.scenario import Scenario
+from repro.units import mhz
+from repro.workloads.profiles import profile_by_name
+
+
+class TestScenarioBuilder:
+    def test_minimal_run(self):
+        result = (Scenario(num_cores=1, seed=1)
+                  .with_job(0, profile_by_name("mcf").job(loop=True))
+                  .with_governor("fvsst")
+                  .run(2.0))
+        assert result.cpu_energy_j > 0
+        assert result.log is not None
+        residency = result.frequency_residency(0)
+        assert sum(residency.values()) == pytest.approx(1.0)
+
+    def test_governor_selection(self):
+        result = (Scenario(num_cores=2, seed=2)
+                  .with_governor("uniform", power_limit_w=140.0)
+                  .run(0.5))
+        assert result.log is None   # not a daemon
+        # 140 W over two cores: 70 W each buys the 700 MHz rung (66 W).
+        assert result.machine.frequency_vector_hz() == [mhz(700)] * 2
+
+    def test_events_fire_with_result_handle(self):
+        captured = []
+
+        def drop_budget(res, t):
+            res.governor.set_power_limit(100.0, t)
+            captured.append(t)
+
+        result = (Scenario(num_cores=2, seed=3)
+                  .with_job(0, profile_by_name("gzip").job(loop=True))
+                  .with_governor("fvsst",
+                                 daemon_config=DaemonConfig(
+                                     counter_noise_sigma=0.0))
+                  .at(1.0, drop_budget)
+                  .run(2.0))
+        assert captured == [1.0]
+        assert result.machine.cpu_power_w() <= 100.0 + 1e-9
+
+    def test_settle_window(self):
+        result = (Scenario(num_cores=1, seed=4)
+                  .with_governor("fvsst")
+                  .settle(0.5)
+                  .with_job(0, profile_by_name("mcf").job(body_repeats=1))
+                  .run(6.0))
+        job = result.jobs[0][1]
+        assert job.started_at_s >= 0.5
+
+    def test_core_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            Scenario(num_cores=1).with_job(3,
+                                           profile_by_name("mcf").job())
+
+    def test_event_before_settle_rejected(self):
+        scenario = (Scenario(num_cores=1, seed=5)
+                    .with_governor("none")
+                    .settle(1.0)
+                    .at(0.5, lambda r, t: None))
+        with pytest.raises(ConfigError):
+            scenario.run(2.0)
+
+    def test_instructions_metric(self):
+        result = (Scenario(num_cores=1, seed=6)
+                  .with_job(0, profile_by_name("gzip").job(loop=True))
+                  .with_governor("none")
+                  .run(1.0))
+        assert result.instructions_retired() > 1e8
+
+
+class TestLineChart:
+    def test_renders_all_series_marks(self):
+        text = line_chart([0, 1, 2], {"a": [0, 1, 2], "b": [2, 1, 0]},
+                          width=20, height=6, title="T")
+        assert "T" in text
+        assert "o" in text and "x" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_bounds_labels_present(self):
+        text = line_chart([0, 10], {"y": [5.0, 15.0]}, width=10, height=4)
+        assert "15" in text and "5" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            line_chart([0, 1], {})
+        with pytest.raises(ExperimentError):
+            line_chart([0], {"y": [1.0]})
+        with pytest.raises(ExperimentError):
+            line_chart([0, 1], {"y": [1.0]})
+        with pytest.raises(ExperimentError):
+            line_chart([0, 1], {"y": [1.0, 2.0]}, width=2, height=2)
+
+    def test_constant_series_safe(self):
+        text = line_chart([0, 1, 2], {"y": [3.0, 3.0, 3.0]})
+        assert "o" in text
+
+
+class TestBarChart:
+    def test_scaling_and_values(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="W")
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+        assert "2W" in lines[1]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            bar_chart([], [])
+        with pytest.raises(ExperimentError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3, 4])
+        assert s[0] == " " and s[-1] == "@"
+        assert len(s) == 5
+
+    def test_constant_series(self):
+        assert sparkline([2.0, 2.0]) == "  "
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])

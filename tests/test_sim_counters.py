@@ -1,0 +1,133 @@
+"""Counter banks, snapshots and noisy readers."""
+
+import pytest
+
+from repro.errors import CounterError
+from repro.model.ipc import MemoryCounts
+from repro.sim.counters import CounterBank, CounterReader
+
+
+def executed(instr=1000.0, cycles=2000.0, **kw) -> CounterBank:
+    bank = CounterBank()
+    bank.add_execution(MemoryCounts(instructions=instr, **kw), cycles=cycles)
+    return bank
+
+
+class TestCounterBank:
+    def test_accumulates_execution(self):
+        bank = executed(n_l2=10, n_mem=2, l1_stall_cycles=50)
+        assert bank.instructions == 1000
+        assert bank.cycles == 2000
+        assert bank.n_l2 == 10 and bank.n_mem == 2
+        assert bank.l1_stall_cycles == 50
+
+    def test_halted_cycles_separate(self):
+        bank = CounterBank()
+        bank.add_halted(500)
+        assert bank.halted_cycles == 500
+        assert bank.cycles == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        bank = executed()
+        snap = bank.snapshot()
+        bank.add_execution(MemoryCounts(instructions=1), cycles=1)
+        assert snap.instructions == 1000
+
+    def test_delta(self):
+        bank = executed()
+        before = bank.snapshot()
+        bank.add_execution(MemoryCounts(instructions=500, n_mem=7),
+                           cycles=900)
+        delta = bank.snapshot().delta(before)
+        assert delta.instructions == 500
+        assert delta.cycles == 900
+        assert delta.n_mem == 7
+
+    def test_rollback_detected(self):
+        a = executed().snapshot()
+        b = CounterBank().snapshot()
+        with pytest.raises(CounterError):
+            b.delta(a)
+
+
+class TestCounterSample:
+    def test_derived_quantities(self):
+        bank = executed(instr=800, cycles=1000)
+        reader = CounterReader(bank)
+        reader.sample(0.0)
+        bank.add_execution(MemoryCounts(instructions=800), cycles=1000)
+        s = reader.sample(0.010)
+        assert s.ipc == pytest.approx(0.8)
+        assert s.effective_freq_hz == pytest.approx(1000 / 0.010)
+        assert s.interval_s == pytest.approx(0.010)
+
+    def test_halted_fraction(self):
+        bank = CounterBank()
+        reader = CounterReader(bank)
+        reader.sample(0.0)
+        bank.add_execution(MemoryCounts(instructions=100), cycles=300)
+        bank.add_halted(700)
+        s = reader.sample(0.010)
+        assert s.halted_fraction == pytest.approx(0.7)
+
+    def test_empty_interval_is_safe(self):
+        reader = CounterReader(CounterBank())
+        reader.sample(0.0)
+        s = reader.sample(0.010)
+        assert s.ipc == 0.0
+        assert s.effective_freq_hz == 0.0
+
+    def test_memory_counts_roundtrip(self):
+        bank = CounterBank()
+        reader = CounterReader(bank)
+        bank.add_execution(
+            MemoryCounts(instructions=1000, n_l2=9, n_l3=4, n_mem=1,
+                         l1_stall_cycles=30), cycles=2000)
+        s = reader.sample(0.0)
+        counts = s.memory_counts()
+        assert counts.n_l2 == 9 and counts.n_l3 == 4 and counts.n_mem == 1
+        assert counts.l1_stall_cycles == 30
+
+
+class TestCounterReader:
+    def test_deltas_between_samples(self):
+        bank = CounterBank()
+        reader = CounterReader(bank)
+        reader.sample(0.0)
+        bank.add_execution(MemoryCounts(instructions=100), cycles=200)
+        assert reader.sample(0.01).instructions == pytest.approx(100)
+        bank.add_execution(MemoryCounts(instructions=50), cycles=100)
+        assert reader.sample(0.02).instructions == pytest.approx(50)
+
+    def test_time_reversal_rejected(self):
+        reader = CounterReader(CounterBank())
+        reader.sample(1.0)
+        with pytest.raises(CounterError):
+            reader.sample(0.5)
+
+    def test_noise_is_multiplicative_and_seeded(self):
+        def sample_with(seed):
+            bank = CounterBank()
+            reader = CounterReader(bank, noise_sigma=0.05, rng=seed)
+            bank.add_execution(MemoryCounts(instructions=1e6), cycles=2e6)
+            return reader.sample(0.01)
+
+        a, b = sample_with(1), sample_with(1)
+        assert a.instructions == b.instructions  # deterministic per seed
+        c = sample_with(2)
+        assert c.instructions != a.instructions  # varies across seeds
+        assert a.instructions == pytest.approx(1e6, rel=0.3)
+
+    def test_noise_never_negative(self):
+        bank = CounterBank()
+        reader = CounterReader(bank, noise_sigma=10.0, rng=3)
+        bank.add_execution(MemoryCounts(instructions=1.0), cycles=1.0)
+        s = reader.sample(0.01)
+        assert s.instructions >= 0.0
+
+    def test_zero_noise_exact(self):
+        bank = CounterBank()
+        reader = CounterReader(bank, noise_sigma=0.0, rng=4)
+        bank.add_execution(MemoryCounts(instructions=123), cycles=456)
+        s = reader.sample(0.01)
+        assert s.instructions == 123 and s.cycles == 456

@@ -1,0 +1,98 @@
+"""Event queue and simulation clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_s == 0.0
+
+    def test_advance_to_returns_delta(self):
+        c = SimClock(1.0)
+        assert c.advance_to(3.5) == pytest.approx(2.5)
+        assert c.now_s == pytest.approx(3.5)
+
+    def test_advance_by(self):
+        c = SimClock()
+        assert c.advance_by(0.25) == pytest.approx(0.25)
+
+    def test_zero_advance_allowed(self):
+        c = SimClock(2.0)
+        assert c.advance_to(2.0) == 0.0
+
+    def test_backwards_rejected(self):
+        c = SimClock(5.0)
+        with pytest.raises(SimulationError):
+            c.advance_to(4.0)
+        with pytest.raises(SimulationError):
+            c.advance_by(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1.0)
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, lambda t: fired.append(("b", t)))
+        q.schedule(1.0, lambda t: fired.append(("a", t)))
+        assert q.run_due(3.0) == 2
+        assert fired == [("a", 1.0), ("b", 2.0)]
+
+    def test_ties_fire_in_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for name in "xyz":
+            q.schedule(1.0, lambda t, n=name: fired.append(n))
+        q.run_due(1.0)
+        assert fired == ["x", "y", "z"]
+
+    def test_future_events_not_fired(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5.0, lambda t: fired.append(t))
+        assert q.run_due(4.9) == 0
+        assert len(q) == 1
+
+    def test_cancellation(self):
+        q = EventQueue()
+        fired = []
+        handle = q.schedule(1.0, lambda t: fired.append(t))
+        handle.cancel()
+        assert q.run_due(2.0) == 0
+        assert fired == []
+        assert len(q) == 0
+
+    def test_next_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.schedule(1.0, lambda t: None)
+        q.schedule(2.0, lambda t: None)
+        first.cancel()
+        assert q.next_time() == 2.0
+
+    def test_callback_scheduling_due_event_fires_same_call(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if len(fired) < 3:
+                q.schedule(t, chain)
+
+        q.schedule(1.0, chain)
+        assert q.run_due(1.0) == 3
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-0.1, lambda t: None)
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.next_time() is None
+        assert q.pop_due(10.0) is None

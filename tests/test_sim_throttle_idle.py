@@ -1,0 +1,86 @@
+"""Throttle actuator and idle machinery."""
+
+import pytest
+
+from repro.errors import FrequencyError
+from repro.sim.idle import HOT_IDLE_PHASE, IdleDetector
+from repro.sim.throttle import ThrottleActuator
+from repro.units import ghz, mhz
+
+
+class TestThrottleActuator:
+    def test_instant_when_no_settling(self):
+        act = ThrottleActuator(ghz(1.0))
+        act.set_frequency(mhz(650), 0.0)
+        assert act.effective_hz(0.0) == mhz(650)
+        assert act.requested_hz == mhz(650)
+
+    def test_settling_delays_effect(self):
+        act = ThrottleActuator(ghz(1.0), settling_time_s=0.001)
+        act.set_frequency(mhz(650), 1.0)
+        assert act.effective_hz(1.0) == ghz(1.0)
+        assert act.effective_hz(1.0005) == ghz(1.0)
+        assert act.effective_hz(1.001) == mhz(650)
+
+    def test_next_change_time(self):
+        act = ThrottleActuator(ghz(1.0), settling_time_s=0.002)
+        assert act.next_change_time(0.0) is None
+        act.set_frequency(mhz(500), 0.0)
+        assert act.next_change_time(0.0) == pytest.approx(0.002)
+        assert act.next_change_time(0.01) is None  # settled
+
+    def test_transition_counting_skips_noops(self):
+        act = ThrottleActuator(ghz(1.0))
+        act.set_frequency(ghz(1.0), 0.0)      # no-op
+        act.set_frequency(mhz(900), 0.0)
+        act.set_frequency(mhz(900), 0.1)      # no-op
+        act.set_frequency(ghz(1.0), 0.2)
+        assert act.transitions == 2
+
+    def test_validate_in(self):
+        act = ThrottleActuator(mhz(650))
+        act.validate_in((mhz(500), mhz(650), ghz(1.0)))
+        act.set_frequency(mhz(625), 0.0)
+        with pytest.raises(FrequencyError):
+            act.validate_in((mhz(500), mhz(650), ghz(1.0)))
+
+
+class TestHotIdlePhase:
+    def test_observed_ipc_matches_section_71(self, latencies):
+        # The hot idle loop shows IPC ~1.3 at any frequency.
+        assert HOT_IDLE_PHASE.true_ipc(latencies, ghz(1.0)) == \
+            pytest.approx(1.3)
+        assert HOT_IDLE_PHASE.true_ipc(latencies, mhz(250)) == \
+            pytest.approx(1.3)
+
+    def test_is_idle_flag(self):
+        assert HOT_IDLE_PHASE.is_idle
+
+
+class TestIdleDetector:
+    def test_edge_triggered(self):
+        det = IdleDetector(0, enabled=True)
+        signals = []
+        det.subscribe(lambda core, idle: signals.append((core, idle)))
+        det.note_queue_length(0)
+        det.note_queue_length(0)   # no repeat signal
+        det.note_queue_length(2)
+        det.note_queue_length(1)   # still busy: no signal
+        det.note_queue_length(0)
+        assert signals == [(0, True), (0, False), (0, True)]
+
+    def test_disabled_swallows_signals(self):
+        det = IdleDetector(1, enabled=False)
+        signals = []
+        det.subscribe(lambda core, idle: signals.append(idle))
+        det.note_queue_length(0)
+        det.note_queue_length(3)
+        assert signals == []
+        assert det.is_idle is False  # state still tracked
+
+    def test_is_idle_property_tracks(self):
+        det = IdleDetector(2, enabled=True)
+        det.note_queue_length(0)
+        assert det.is_idle
+        det.note_queue_length(1)
+        assert not det.is_idle

@@ -1,0 +1,96 @@
+"""Unit conversions and validators."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import UnitError
+
+
+class TestFrequencyConversions:
+    def test_mhz_to_hz(self):
+        assert units.mhz(1000) == 1.0e9
+
+    def test_ghz_to_hz(self):
+        assert units.ghz(1.0) == 1.0e9
+
+    def test_roundtrip_mhz(self):
+        assert units.to_mhz(units.mhz(650)) == pytest.approx(650)
+
+    def test_roundtrip_ghz(self):
+        assert units.to_ghz(units.ghz(0.75)) == pytest.approx(0.75)
+
+
+class TestTimeConversions:
+    def test_ms(self):
+        assert units.ms(10) == pytest.approx(0.010)
+
+    def test_us(self):
+        assert units.us(100) == pytest.approx(100e-6)
+
+    def test_ns(self):
+        assert units.ns(393) == pytest.approx(393e-9)
+
+    def test_to_ms(self):
+        assert units.to_ms(0.1) == pytest.approx(100)
+
+
+class TestCycleConversions:
+    def test_cycles_at_nominal_equal_ns(self):
+        # 393 cycles at 1 GHz is 393 ns.
+        assert units.cycles_to_seconds(393, 1e9) == pytest.approx(393e-9)
+
+    def test_cycles_scale_with_frequency(self):
+        # The same wall time costs twice the cycles at twice the clock.
+        t = units.cycles_to_seconds(100, 1e9)
+        assert units.seconds_to_cycles(t, 2e9) == pytest.approx(200)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(UnitError):
+            units.cycles_to_seconds(100, 0.0)
+        with pytest.raises(UnitError):
+            units.seconds_to_cycles(1.0, -1e9)
+
+
+class TestValidators:
+    def test_check_positive_accepts(self):
+        assert units.check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(UnitError, match="x"):
+            units.check_positive(bad, "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert units.check_non_negative(0.0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, float("nan")])
+    def test_check_non_negative_rejects(self, bad):
+        with pytest.raises(UnitError):
+            units.check_non_negative(bad, "x")
+
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_check_fraction_accepts(self, ok):
+        assert units.check_fraction(ok, "f") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_check_fraction_rejects(self, bad):
+        with pytest.raises(UnitError):
+            units.check_fraction(bad, "f")
+
+
+class TestApproxEqual:
+    def test_equal_floats(self):
+        assert units.approx_equal(1e9, 1e9 * (1 + 1e-12))
+
+    def test_unequal_floats(self):
+        assert not units.approx_equal(1e9, 1.0001e9)
+
+    def test_near_zero(self):
+        assert units.approx_equal(0.0, 1e-15)
+
+    def test_error_messages_name_the_parameter(self):
+        with pytest.raises(UnitError, match="my_param"):
+            units.check_positive(-1, "my_param")
+        assert not math.isnan(units.check_positive(1, "x"))

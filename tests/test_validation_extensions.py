@@ -1,0 +1,87 @@
+"""Validation harness, masking and sensitivity experiments."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.validation import (
+    CheckKind,
+    Expectation,
+    run_validation,
+)
+
+
+class TestValidationSuite:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_validation(fast=True)
+
+    def test_everything_passes(self, report):
+        assert report.passed, report.render()
+
+    def test_documented_divergences_present_and_flagged(self, report):
+        divergent = [o for o in report.outcomes
+                     if o.expectation.kind is
+                     CheckKind.DOCUMENTED_DIVERGENCE]
+        assert len(divergent) >= 3
+        # Each documented divergence really does diverge from the paper
+        # value (otherwise it should be promoted to must_hold).
+        for o in divergent:
+            paper = o.expectation.paper_value
+            if paper is not None:
+                assert not (o.expectation.low <= paper
+                            <= o.expectation.high) or \
+                    abs(o.measured - paper) > 0.01
+
+    def test_render_contains_status_column(self, report):
+        text = report.render()
+        assert "PASS" in text and "status" in text
+
+    def test_failure_detection(self):
+        impossible = Expectation(
+            "table1", "impossible", None,
+            lambda r: float(r.tables[0].column("Power (W)")[-1]),
+            0.0, 1.0,
+        )
+        report = run_validation(fast=True, expectations=(impossible,))
+        assert not report.passed
+        assert len(report.failures) == 1
+
+
+class TestMaskingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("masking", fast=True)
+
+    def test_alone_no_loss(self, result):
+        assert result.scalars["victim_loss_alone"] < 0.02
+
+    def test_crowding_inflates_individual_loss(self, result):
+        assert result.scalars["victim_loss_crowded"] > 0.10
+
+    def test_loss_monotone_in_companions(self, result):
+        losses = result.tables[0].column("victim_loss")
+        assert losses == sorted(losses)
+
+    def test_modal_frequency_decreases(self, result):
+        modes = result.tables[0].column("modal_freq_mhz")
+        assert modes[0] > modes[-1]
+
+
+class TestSensitivityExperiments:
+    def test_latency_miscalibration_shapes(self):
+        r = run_experiment("sensitivity_latency", fast=True)
+        table = r.tables[0]
+        scales = table.column("latency_scale")
+        perf = dict(zip(scales, table.column("norm_performance")))
+        energy = dict(zip(scales, table.column("norm_energy")))
+        # Overestimating latencies costs performance...
+        assert perf[2.0] < perf[1.0]
+        # ...and underestimating wastes energy.
+        assert energy[0.5] > energy[1.0]
+
+    def test_noise_sweep_deviation_monotoneish(self):
+        r = run_experiment("sensitivity_noise", fast=True)
+        deviations = r.tables[0].column("ipc_deviation")
+        assert deviations[-1] > deviations[0]
+        perf = r.tables[0].column("norm_performance")
+        assert all(v > 0.9 for v in perf)

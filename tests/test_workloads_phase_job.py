@@ -1,0 +1,140 @@
+"""Phases and jobs."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model.latency import POWER4_LATENCIES
+from repro.units import ghz
+from repro.workloads.job import Job, JobState, LoopMode
+from repro.workloads.phase import Phase, idle_phase
+
+
+def phase(name="p", instr=1e6, **kw) -> Phase:
+    return Phase(name=name, instructions=instr, alpha=2.0, **kw)
+
+
+class TestPhaseGroundTruth:
+    def test_signature_includes_unmodeled_stalls(self):
+        p = phase(l1_stall_cycles_per_instr=0.1,
+                  unmodeled_stall_cycles_per_instr=0.2)
+        sig = p.true_signature(POWER4_LATENCIES)
+        assert sig.core_cpi == pytest.approx(0.5 + 0.1 + 0.2)
+
+    def test_counts_exclude_unmodeled_stalls(self):
+        p = phase(l1_stall_cycles_per_instr=0.1,
+                  unmodeled_stall_cycles_per_instr=0.2, n_l2_per_instr=0.01)
+        counts = p.counts_for(1000)
+        assert counts.l1_stall_cycles == pytest.approx(100)
+        assert counts.n_l2 == pytest.approx(10)
+        # No field carries the unmodeled component: this is the bias.
+
+    def test_latency_scale_perturbs_memory_only(self):
+        p = phase(n_mem_per_instr=0.01)
+        base = p.true_cpi(POWER4_LATENCIES, ghz(1.0))
+        slow = p.true_cpi(POWER4_LATENCIES, ghz(1.0), latency_scale=2.0)
+        mem_cpi = 0.01 * POWER4_LATENCIES.t_mem_s * ghz(1.0)
+        assert slow - base == pytest.approx(mem_cpi)
+
+    def test_throughput_equals_f_over_cpi(self):
+        p = phase(n_mem_per_instr=0.005)
+        f = ghz(0.8)
+        assert p.throughput(POWER4_LATENCIES, f) == pytest.approx(
+            f / p.true_cpi(POWER4_LATENCIES, f)
+        )
+
+    def test_scaled_memory(self):
+        p = phase(n_l2_per_instr=0.02, n_mem_per_instr=0.004)
+        s = p.scaled_memory(0.5)
+        assert s.n_l2_per_instr == pytest.approx(0.01)
+        assert s.n_mem_per_instr == pytest.approx(0.002)
+
+    def test_with_instructions(self):
+        assert phase().with_instructions(42.0).instructions == 42.0
+
+    def test_idle_phase_ipc(self):
+        p = idle_phase(ipc=1.3)
+        assert p.true_ipc(POWER4_LATENCIES, ghz(0.5)) == pytest.approx(1.3)
+        assert p.is_idle
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            Phase(name="", instructions=1.0, alpha=1.0)
+
+
+class TestJobLifecycle:
+    def test_initial_state(self):
+        j = Job(name="j", phases=(phase(),))
+        assert j.state is JobState.READY
+        assert j.total_instructions == 1e6
+        assert j.remaining_in_phase == 1e6
+
+    def test_retire_within_phase(self):
+        j = Job(name="j", phases=(phase(),))
+        j.mark_started(0.0)
+        j.retire(4e5, 0.1)
+        assert j.phase_progress == 4e5
+        assert j.remaining_in_phase == pytest.approx(6e5)
+        assert not j.done
+
+    def test_phase_boundary_advances(self):
+        j = Job(name="j", phases=(phase("a"), phase("b")))
+        j.mark_started(0.0)
+        j.retire(1e6, 0.1)
+        assert j.phase_index == 1
+        assert j.current_phase.name == "b"
+
+    def test_completion_records_times(self):
+        j = Job(name="j", phases=(phase(),))
+        j.mark_started(1.0)
+        j.retire(1e6, 3.5)
+        assert j.done
+        assert j.elapsed_s() == pytest.approx(2.5)
+        assert j.state is JobState.COMPLETED
+
+    def test_loop_mode_wraps_and_counts(self):
+        j = Job(name="j", phases=(phase("a"), phase("b")),
+                loop=LoopMode.LOOP)
+        j.mark_started(0.0)
+        for _ in range(5):
+            j.retire(1e6, 0.0)
+        # a,b | a,b | a -> two full iterations, cursor on phase b.
+        assert j.iterations == 2
+        assert j.phase_index == 1
+        assert not j.done
+
+    def test_cross_boundary_retire_rejected(self):
+        j = Job(name="j", phases=(phase(),))
+        j.mark_started(0.0)
+        with pytest.raises(WorkloadError):
+            j.retire(2e6, 0.1)
+
+    def test_retire_on_completed_rejected(self):
+        j = Job(name="j", phases=(phase(),))
+        j.mark_started(0.0)
+        j.retire(1e6, 0.1)
+        with pytest.raises(WorkloadError):
+            j.retire(1.0, 0.2)
+
+    def test_current_phase_on_completed_rejected(self):
+        j = Job(name="j", phases=(phase(),))
+        j.mark_started(0.0)
+        j.retire(1e6, 0.1)
+        with pytest.raises(WorkloadError):
+            _ = j.current_phase
+
+    def test_reset_restores_fresh_state(self):
+        j = Job(name="j", phases=(phase(),))
+        j.mark_started(0.0)
+        j.retire(1e6, 0.1)
+        j.reset()
+        assert j.state is JobState.READY
+        assert j.instructions_retired == 0.0
+        assert j.elapsed_s() is None
+
+    def test_needs_phases(self):
+        with pytest.raises(WorkloadError):
+            Job(name="j", phases=())
+
+    def test_from_phases_loop_flag(self):
+        j = Job.from_phases("j", [phase()], loop=True)
+        assert j.loop is LoopMode.LOOP

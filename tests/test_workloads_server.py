@@ -1,0 +1,118 @@
+"""Server workloads: arrivals, queueing, latency accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.core import CoreConfig
+from repro.sim.driver import Simulation
+from repro.sim.idle import IdleStyle
+from repro.sim.machine import MachineConfig, SMPMachine
+from repro.workloads.server import (
+    RequestSpec,
+    ServerSource,
+    constant_rate,
+    diurnal_rate,
+)
+
+
+def server_machine(seed=0) -> SMPMachine:
+    return SMPMachine(MachineConfig(
+        num_cores=1,
+        core_config=CoreConfig(latency_jitter_sigma=0.0,
+                               idle_style=IdleStyle.HALT),
+    ), seed=seed)
+
+
+class TestRateFunctions:
+    def test_constant(self):
+        rate = constant_rate(50.0)
+        assert rate(0.0) == rate(100.0) == 50.0
+
+    def test_diurnal_bounds_and_period(self):
+        rate = diurnal_rate(10.0, 90.0, period_s=10.0)
+        assert rate(0.0) == pytest.approx(10.0)
+        assert rate(5.0) == pytest.approx(90.0)
+        assert rate(10.0) == pytest.approx(10.0)
+        grid = np.linspace(0, 20, 200)
+        values = np.array([rate(t) for t in grid])
+        assert values.min() >= 10.0 - 1e-9
+        assert values.max() <= 90.0 + 1e-9
+
+    def test_inverted_rates_rejected(self):
+        with pytest.raises(WorkloadError):
+            diurnal_rate(50.0, 10.0, period_s=10.0)
+
+
+class TestRequestSpec:
+    def test_job_materialisation(self):
+        spec = RequestSpec(instructions=1e6)
+        job = spec.job(7)
+        assert job.name == "request-7"
+        assert job.total_instructions == 1e6
+
+
+class TestServerSource:
+    def _run(self, rate, seconds=2.0, seed=1):
+        machine = server_machine(seed)
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=rate,
+                              max_rate_per_s=200.0, rng=seed + 1)
+        source.attach(sim)
+        sim.run_for(seconds)
+        return source
+
+    def test_arrival_count_near_expectation(self):
+        source = self._run(constant_rate(100.0), seconds=4.0)
+        # Poisson(400): within 5 sigma.
+        assert 300 <= source.issued <= 500
+
+    def test_requests_complete_and_latencies_positive(self):
+        source = self._run(constant_rate(50.0))
+        assert source.completed > 0
+        lats = source.latencies_s()
+        assert np.all(lats > 0)
+
+    def test_latency_grows_with_load(self):
+        light = self._run(constant_rate(20.0), seconds=3.0, seed=5)
+        # 2M instr/request at ~1.2 GIPS -> service ~1.7 ms; 450/s ~ 0.77
+        # utilisation: queueing delay becomes visible.
+        heavy = ServerSource(
+            server_machine(6), 0, rate_per_s=constant_rate(450.0),
+            max_rate_per_s=450.0, rng=7)
+        machine = heavy.machine
+        sim = Simulation(machine)
+        heavy.attach(sim)
+        sim.run_for(3.0)
+        assert heavy.mean_latency_s() > light.mean_latency_s()
+
+    def test_seeded_reproducibility(self):
+        a = self._run(constant_rate(80.0), seed=9)
+        b = self._run(constant_rate(80.0), seed=9)
+        assert a.issued == b.issued
+        np.testing.assert_allclose(a.latencies_s(), b.latencies_s())
+
+    def test_no_completions_raises_on_metrics(self):
+        machine = server_machine()
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(1.0),
+                              max_rate_per_s=1.0, rng=1)
+        with pytest.raises(WorkloadError):
+            source.mean_latency_s()
+
+    def test_double_attach_rejected(self):
+        machine = server_machine()
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(1.0),
+                              max_rate_per_s=1.0, rng=1)
+        source.attach(sim)
+        with pytest.raises(WorkloadError):
+            source.attach(sim)
+
+    def test_rate_above_declared_max_rejected(self):
+        machine = server_machine()
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(10.0),
+                              max_rate_per_s=5.0, rng=1)
+        source.attach(sim)
+        with pytest.raises(WorkloadError):
+            sim.run_for(2.0)

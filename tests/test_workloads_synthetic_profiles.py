@@ -1,0 +1,140 @@
+"""The synthetic benchmark and the application models."""
+
+import pytest
+
+from repro import constants
+from repro.errors import WorkloadError
+from repro.model.latency import POWER4_LATENCIES
+from repro.model.perf import perf_loss
+from repro.units import ghz, mhz
+from repro.workloads.profiles import ALL_PROFILES, profile_by_name
+from repro.workloads.synthetic import (
+    SyntheticBenchmark,
+    synthetic_phase,
+    two_phase_benchmark,
+)
+
+
+def desired_frequency(signature, epsilon=constants.DEFAULT_EPSILON):
+    """Lowest 50 MHz ladder point with predicted loss < epsilon."""
+    for f_mhz in constants.POWER4_FREQUENCIES_MHZ:
+        if perf_loss(signature, ghz(1.0), mhz(f_mhz)) < epsilon:
+            return f_mhz
+    return 1000
+
+
+class TestSyntheticPhase:
+    def test_intensity_bounds_memory_rate(self):
+        pure = synthetic_phase(1.0, instructions=1.0)
+        heavy = synthetic_phase(0.0, instructions=1.0)
+        assert pure.n_mem_per_instr < 0.001
+        assert heavy.n_mem_per_instr > 0.1
+
+    def test_duration_sets_instructions(self):
+        p = synthetic_phase(1.0, duration_s=2.0)
+        t = p.throughput(POWER4_LATENCIES, ghz(1.0))
+        assert p.instructions == pytest.approx(2.0 * t)
+
+    def test_exactly_one_length_spec(self):
+        with pytest.raises(WorkloadError):
+            synthetic_phase(0.5)
+        with pytest.raises(WorkloadError):
+            synthetic_phase(0.5, duration_s=1.0, instructions=100)
+
+    def test_full_intensity_desires_1000(self):
+        sig = synthetic_phase(1.0, instructions=1.0).true_signature(
+            POWER4_LATENCIES)
+        assert desired_frequency(sig) == 1000
+
+    def test_20pct_intensity_saturates_below_500(self):
+        # The Figure 6 memory phase must not lose performance at 500 MHz.
+        sig = synthetic_phase(0.2, instructions=1.0).true_signature(
+            POWER4_LATENCIES)
+        assert perf_loss(sig, ghz(1.0), mhz(500)) < 0.02
+
+    def test_intensity_monotone_in_desired_frequency(self):
+        desires = [
+            desired_frequency(
+                synthetic_phase(r, instructions=1.0).true_signature(
+                    POWER4_LATENCIES))
+            for r in (1.0, 0.75, 0.5, 0.25)
+        ]
+        assert desires == sorted(desires, reverse=True)
+
+
+class TestSyntheticBenchmark:
+    def test_job_structure_with_init_exit(self):
+        bench = SyntheticBenchmark(intensity_a=1.0, intensity_b=0.2)
+        job = bench.job(repeats=2)
+        names = [p.name for p in job.phases]
+        assert names == ["init", "phase-a", "phase-b", "phase-a", "phase-b",
+                         "exit"]
+
+    def test_loop_mode_drops_init_exit(self):
+        bench = SyntheticBenchmark(intensity_a=1.0, intensity_b=0.2)
+        job = bench.job(loop=True)
+        assert [p.name for p in job.phases] == ["phase-a", "phase-b"]
+
+    def test_two_phase_shorthand(self):
+        bench = two_phase_benchmark(0.9, 0.1, duration_a_s=0.5)
+        assert bench.intensity_a == 0.9
+        assert bench.duration_a_s == 0.5
+
+    def test_bad_repeats(self):
+        with pytest.raises(WorkloadError):
+            two_phase_benchmark(1.0, 0.0).job(repeats=0)
+
+    def test_init_phase_is_memory_bound(self):
+        bench = two_phase_benchmark(1.0, 0.0)
+        init = bench.init_phase()
+        exit_ = bench.exit_phase()
+        assert init.n_mem_per_instr > exit_.n_mem_per_instr
+
+
+class TestApplicationProfiles:
+    def test_all_four_present(self):
+        assert set(ALL_PROFILES) == {"gzip", "gap", "mcf", "health"}
+
+    def test_lookup_and_error(self):
+        assert profile_by_name("mcf").name == "mcf"
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            profile_by_name("specjbb")
+
+    def test_job_materialisation(self):
+        job = profile_by_name("gzip").job(body_repeats=2)
+        assert job.phases[0].name == "gzip-load"
+        assert sum(1 for p in job.phases if p.name == "gzip-huffman") == 2
+
+    def test_loop_mode_omits_setup(self):
+        job = profile_by_name("mcf").job(loop=True)
+        assert all(p.name != "mcf-parse" for p in job.phases)
+
+    def test_nominal_duration(self):
+        p = profile_by_name("health")
+        d = p.nominal_duration_s(body_repeats=2)
+        assert d == pytest.approx(0.30 + 2 * (2.20 + 0.30 + 0.15))
+
+    @pytest.mark.parametrize("app,lo,hi", [
+        ("gzip", 900, 1000),
+        ("gap", 850, 1000),
+        ("mcf", 600, 700),
+        ("health", 600, 700),
+    ])
+    def test_dominant_phase_desired_frequency(self, app, lo, hi):
+        """Each model's longest phase desires the Figure 8 modal band."""
+        profile = profile_by_name(app)
+        specs = max(profile.body, key=lambda s: s.duration_at_nominal_s)
+        phase = specs.build(POWER4_LATENCIES, ghz(1.0))
+        desired = desired_frequency(phase.true_signature(POWER4_LATENCIES))
+        assert lo <= desired <= hi
+
+    def test_memory_apps_saturate_cpu_apps_do_not(self):
+        f_ref, f = ghz(1.0), mhz(750)
+        for app, saturated in (("mcf", True), ("health", True),
+                               ("gzip", False), ("gap", False)):
+            profile = profile_by_name(app)
+            spec = max(profile.body, key=lambda s: s.duration_at_nominal_s)
+            sig = spec.build(POWER4_LATENCIES, ghz(1.0)).true_signature(
+                POWER4_LATENCIES)
+            loss = perf_loss(sig, f_ref, f)
+            assert (loss < 0.03) == saturated
