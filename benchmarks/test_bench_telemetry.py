@@ -1,0 +1,77 @@
+"""Telemetry overhead benches: instrumented vs. null-backend daemon runs.
+
+The tentpole contract is that the null backend costs (almost) nothing —
+every hot-path probe is a single ``enabled`` attribute test — and that a
+fully enabled backend (metrics + spans + events, no exporters) stays
+under 5% of single-node daemon throughput.
+
+The 5% assertion lives here rather than in tier-1 ``tests/`` because
+wall-clock ratios on shared CI hardware are inherently jittery; the
+bench uses min-of-repeats to suppress scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.daemon import DaemonConfig, FvsstDaemon, OverheadModel
+from repro.sim.core import CoreConfig
+from repro.sim.driver import Simulation
+from repro.sim.machine import MachineConfig, SMPMachine
+from repro.telemetry import NullTelemetry, Telemetry
+from repro.workloads.profiles import profile_by_name
+
+SIM_SECONDS = 5.0
+REPEATS = 5
+APPS = ("mcf", "gzip", "gap", "health")
+
+
+def _run_daemon(telemetry) -> None:
+    machine = SMPMachine(
+        MachineConfig(num_cores=4,
+                      core_config=CoreConfig(latency_jitter_sigma=0.0)),
+        seed=0)
+    for cpu, app in enumerate(APPS):
+        machine.assign(cpu, profile_by_name(app).job(loop=True))
+    daemon = FvsstDaemon(
+        machine,
+        DaemonConfig(counter_noise_sigma=0.0, power_limit_w=250.0,
+                     overhead=OverheadModel(enabled=False)),
+        telemetry=telemetry, seed=1)
+    sim = Simulation(machine, telemetry=telemetry)
+    daemon.attach(sim)
+    sim.run_for(SIM_SECONDS)
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+class TestBenchTelemetryOverhead:
+    def test_bench_null_backend(self, benchmark):
+        benchmark.pedantic(lambda: _run_daemon(NullTelemetry()),
+                           rounds=3, iterations=1)
+
+    def test_bench_enabled_backend(self, benchmark):
+        benchmark.pedantic(lambda: _run_daemon(Telemetry()),
+                           rounds=3, iterations=1)
+
+    def test_enabled_overhead_under_5_percent(self):
+        """The issue's acceptance bound on instrumented throughput.
+
+        Null and enabled runs are interleaved so clock-speed drift and
+        cache-state changes over the measurement window hit both sides
+        equally; min-of-repeats suppresses scheduler noise on top.
+        """
+        _run_daemon(NullTelemetry())  # warm-up
+        null_s = enabled_s = float("inf")
+        for _ in range(REPEATS):
+            null_s = min(null_s, _timed(lambda: _run_daemon(NullTelemetry())))
+            enabled_s = min(enabled_s,
+                            _timed(lambda: _run_daemon(Telemetry())))
+        overhead = enabled_s / null_s - 1.0
+        assert overhead < 0.05, (
+            f"enabled telemetry costs {overhead:.1%} "
+            f"(null {null_s:.3f}s, enabled {enabled_s:.3f}s)")

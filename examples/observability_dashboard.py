@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""A live observability dashboard over the PSU-failure scenario.
+
+The Section 2 motivating scenario (one of two 480 W supplies fails at T0;
+fvsst must duck under the survivor's capacity before the cascade deadline)
+runs with a full telemetry backend attached.  A :class:`JsonlSink` streams
+every event and span to ``out/observability/telemetry.jsonl``; the script
+tails that file between simulation checkpoints — exactly what an external
+dashboard would do — and prints each structured event as it lands.  At the
+end it renders the Prometheus text snapshot and the summary tables.
+
+Run:  python examples/observability_dashboard.py
+"""
+
+import json
+from pathlib import Path
+
+from repro import (
+    DaemonConfig,
+    FvsstDaemon,
+    MachineConfig,
+    SMPMachine,
+    Simulation,
+    SupplyBank,
+    Telemetry,
+    profile_by_name,
+    use_telemetry,
+)
+from repro.constants import NON_CPU_POWER_W, PSU_CASCADE_DEADLINE_S
+from repro.telemetry import JsonlSink, prometheus_text, telemetry_report
+
+T0 = 1.0
+END_S = 4.0
+APPS = ("gzip", "gap", "mcf", "health")
+OUT_DIR = Path("out/observability")
+
+
+class JsonlTail:
+    """Incrementally reads records appended to a JSONL file."""
+
+    def __init__(self, path: Path) -> None:
+        self._fh = path.open(encoding="utf-8")
+
+    def poll(self) -> list[dict]:
+        records = []
+        for line in self._fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+        return records
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def describe(record: dict) -> str | None:
+    """One dashboard line per streamed record (spans are kept quiet)."""
+    if record["type"] != "event":
+        return None
+    t = record["sim_time_s"]
+    attrs = record["attrs"]
+    kind = record["kind"]
+    if kind == "frequency_change":
+        return (f"  [{t:5.2f}s] cpu{attrs['proc']} "
+                f"{attrs['old_hz'] / 1e6:4.0f} -> "
+                f"{attrs['new_hz'] / 1e6:4.0f} MHz")
+    if kind == "budget_breach":
+        return (f"  [{t:5.2f}s] BUDGET BREACH: planned "
+                f"{attrs['planned_power_w']:.1f} W vs limit "
+                f"{attrs['limit_w']:.1f} W "
+                f"({attrs['reduction_steps']} reduction steps)")
+    if kind == "psu_failure":
+        return (f"  [{t:5.2f}s] PSU FAILURE: {attrs['supply']} down, "
+                f"{attrs['remaining_capacity_w']:.0f} W remaining")
+    if kind == "curtailment":
+        return f"  [{t:5.2f}s] curtailment: new limit {attrs['new_limit_w']:.1f} W"
+    if kind == "phase_transition":
+        return (f"  [{t:5.2f}s] {attrs['job']}: "
+                f"{attrs['from_phase']} -> {attrs['to_phase']}")
+    return f"  [{t:5.2f}s] {kind}: {attrs}"
+
+
+def main() -> None:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    jsonl_path = OUT_DIR / "telemetry.jsonl"
+    telemetry = Telemetry()
+
+    with use_telemetry(telemetry), \
+            JsonlSink(jsonl_path, telemetry) as sink:
+        bank = SupplyBank.example_p630(
+            raise_on_cascade=False,
+            cascade_deadline_s=PSU_CASCADE_DEADLINE_S)
+        machine = SMPMachine(MachineConfig(num_cores=4),
+                             supply_bank=bank, seed=3)
+        for cpu, app in enumerate(APPS):
+            machine.assign(cpu, profile_by_name(app).job(loop=True))
+
+        sim = Simulation(machine, telemetry=telemetry)
+        daemon = FvsstDaemon(machine, DaemonConfig(),
+                             telemetry=telemetry, seed=4)
+        daemon.attach(sim)
+
+        def on_failure(t: float) -> None:
+            remaining = bank.fail_supply(0, now_s=t)
+            daemon.set_power_limit(remaining - NON_CPU_POWER_W, t)
+
+        sim.at(T0, on_failure)
+
+        tail = JsonlTail(jsonl_path)
+        print(f"PSU-failure scenario with telemetry -> {jsonl_path}")
+        print(f"(supply fails at t={T0:.1f}s; cascade deadline "
+              f"{PSU_CASCADE_DEADLINE_S:.1f}s)\n")
+
+        checkpoint = 0.0
+        while checkpoint < END_S:
+            checkpoint = min(checkpoint + 0.25, END_S)
+            sim.run_until(checkpoint)
+            sink.flush()
+            for record in tail.poll():
+                line = describe(record)
+                if line:
+                    print(line)
+            power = machine.system_power_w()
+            print(f"t={checkpoint:5.2f}s  system {power:6.1f} W / "
+                  f"capacity {bank.capacity_w:6.1f} W")
+        tail.close()
+        sink.write_snapshot()
+
+    prom_path = OUT_DIR / "metrics.prom"
+    prom = prometheus_text(telemetry.metrics)
+    prom_path.write_text(prom, encoding="utf-8")
+
+    print("\n--- Prometheus snapshot (" + str(prom_path) + ") ---")
+    print(prom)
+    print(telemetry_report(telemetry))
+
+
+if __name__ == "__main__":
+    main()

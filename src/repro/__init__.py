@@ -103,6 +103,15 @@ from .core import (
 from .power import ThermalMonitor, ThermalParams
 from .workloads import ServerSource, RequestSpec, diurnal_rate
 from .scenario import Scenario, ScenarioResult
+from . import telemetry
+from .telemetry import (
+    Telemetry,
+    NullTelemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+    telemetry_snapshot,
+)
 
 __version__ = "1.0.0"
 
@@ -186,4 +195,12 @@ __all__ = [
     "diurnal_rate",
     "Scenario",
     "ScenarioResult",
+    # telemetry
+    "telemetry",
+    "Telemetry",
+    "NullTelemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "telemetry_snapshot",
 ]

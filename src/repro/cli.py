@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render series results as ASCII line charts")
     run_p.add_argument("--output", metavar="DIR", default=None,
                        help="also write JSON + CSV artifacts into DIR")
+    run_p.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="enable telemetry collection and write the "
+                            "JSONL event/span stream, a Prometheus text "
+                            "snapshot, and a summary table into DIR")
     return parser
 
 
@@ -89,6 +93,41 @@ def _run_one(experiment_id: str, *, seed: int, fast: bool,
         print(f"artifacts written to {directory}/")
     print()
     return result
+
+
+def _run_with_telemetry(ids: Sequence[str], args) -> int:
+    """Run experiments with a live telemetry backend exporting into a dir.
+
+    Writes ``telemetry.jsonl`` (streamed events/spans plus a final metrics
+    snapshot), ``metrics.prom`` (Prometheus text format), and prints the
+    summary tables.
+    """
+    from pathlib import Path
+    from .errors import ConfigError
+    from .telemetry import (JsonlSink, Telemetry, prometheus_text,
+                            telemetry_report, use_telemetry)
+
+    directory = Path(args.telemetry)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ConfigError(
+            f"--telemetry {directory}: not a usable directory ({exc})"
+        ) from exc
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        with JsonlSink(directory / "telemetry.jsonl", telemetry) as sink:
+            for eid in ids:
+                _run_one(eid, seed=args.seed, fast=args.fast,
+                         precision=args.precision, chart=args.chart,
+                         output=args.output)
+            sink.write_snapshot()
+        (directory / "metrics.prom").write_text(
+            prometheus_text(telemetry.metrics), encoding="utf-8")
+    print(telemetry_report(telemetry))
+    print(f"\ntelemetry written to {directory}/ "
+          f"(telemetry.jsonl, metrics.prom)")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -127,6 +166,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "run":
             ids = sorted(REGISTRY) if args.experiment == "all" \
                 else [args.experiment]
+            if args.telemetry is not None:
+                return _run_with_telemetry(ids, args)
             for eid in ids:
                 _run_one(eid, seed=args.seed, fast=args.fast,
                          precision=args.precision, chart=args.chart,

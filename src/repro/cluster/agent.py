@@ -15,6 +15,7 @@ from ..sim.counters import CounterReader, CounterSample
 from ..sim.driver import Simulation
 from ..sim.node import ClusterNode
 from ..sim.rng import spawn_rngs
+from ..telemetry import EVENT_FREQUENCY_CHANGE, Telemetry, get_telemetry
 from ..units import check_positive
 from .protocol import FrequencyCommand, NodeReport, ProcReport
 
@@ -28,11 +29,22 @@ class NodeAgent:
                  sample_period_s: float = 0.010,
                  counter_noise_sigma: float = 0.005,
                  idle_detection: bool = False,
+                 telemetry: Telemetry | None = None,
                  seed: int | None = None) -> None:
         check_positive(sample_period_s, "sample_period_s")
         self.node = node
         self.sample_period_s = sample_period_s
         self.idle_detection = idle_detection
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        m = self.telemetry.metrics
+        self._m_samples = m.counter(
+            "agent_counter_samples_total",
+            "Per-processor counter reads across all node agents")
+        self._m_reports = m.counter(
+            "agent_reports_total", "Node reports produced for the coordinator")
+        self._m_commands = m.counter(
+            "agent_commands_applied_total",
+            "Frequency commands applied by node agents")
         rngs = spawn_rngs(seed, node.machine.num_cores)
         self.readers = [
             CounterReader(core.counters, noise_sigma=counter_noise_sigma,
@@ -60,6 +72,8 @@ class NodeAgent:
     def _on_sample(self, now_s: float) -> None:
         for i, reader in enumerate(self.readers):
             self._windows[i].append(reader.sample(now_s))
+        if self.telemetry.enabled:
+            self._m_samples.inc(len(self.readers))
 
     def _on_idle_signal(self, core_id: int, is_idle: bool) -> None:
         self._idle_flags[core_id] = is_idle
@@ -83,6 +97,8 @@ class NodeAgent:
                 idle_signaled=self._idle_flags[i],
             ))
             window.clear()
+        if self.telemetry.enabled:
+            self._m_reports.inc()
         return NodeReport(node_id=self.node.node_id, time_s=now_s,
                           procs=tuple(procs))
 
@@ -99,5 +115,13 @@ class NodeAgent:
                 f"command carries {len(command.freqs_hz)} frequencies for "
                 f"{len(cores)} processors"
             )
+        tel = self.telemetry
         for core, freq in zip(cores, command.freqs_hz):
+            old_hz = core.frequency_setting_hz
+            if tel.enabled and old_hz != freq:
+                tel.emit(EVENT_FREQUENCY_CHANGE, sim_time_s=now_s,
+                         node=self.node.node_id, proc=core.core_id,
+                         old_hz=old_hz, new_hz=freq)
             core.set_frequency(freq, now_s)
+        if tel.enabled:
+            self._m_commands.inc()

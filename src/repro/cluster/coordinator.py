@@ -11,6 +11,7 @@ communication the paper says ``T`` amortises.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from .. import constants
@@ -23,6 +24,12 @@ from ..sim.cluster import Cluster
 from ..sim.counters import CounterSample
 from ..sim.driver import Simulation
 from ..sim.rng import spawn_seeds
+from ..telemetry import (
+    EVENT_BUDGET_BREACH,
+    EVENT_CURTAILMENT,
+    Telemetry,
+    get_telemetry,
+)
 from ..units import check_positive
 from .agent import NodeAgent
 from .nested import NestedBudgetScheduler
@@ -62,12 +69,14 @@ class ClusterCoordinator:
                  scheduler: FrequencyVoltageScheduler | None = None,
                  predictor: PredictorProtocol | None = None,
                  latencies: MemoryLatencyProfile = POWER4_LATENCIES,
+                 telemetry: Telemetry | None = None,
                  seed: int | None = None) -> None:
         self.cluster = cluster
         self.config = config or CoordinatorConfig()
         table = cluster.nodes[0].machine.table
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.scheduler = scheduler or NestedBudgetScheduler(
-            table, epsilon=self.config.epsilon
+            table, epsilon=self.config.epsilon, telemetry=self.telemetry
         )
         self.predictor = predictor or CounterPredictor(latencies)
         seeds = spawn_seeds(seed, len(cluster.nodes))
@@ -76,6 +85,7 @@ class ClusterCoordinator:
                       sample_period_s=self.config.sample_period_s,
                       counter_noise_sigma=self.config.counter_noise_sigma,
                       idle_detection=self.config.idle_detection,
+                      telemetry=self.telemetry,
                       seed=seeds[i])
             for i, node in enumerate(cluster.nodes)
         ]
@@ -85,7 +95,40 @@ class ClusterCoordinator:
         self.node_limits_w: dict[int, float] = {}
         self.log = FvsstLog()
         self.last_schedule: Schedule | None = None
+        #: Wall-clock cost of the most recent global pass.
+        self.last_pass_wall_s: float | None = None
         self._sim: Simulation | None = None
+        m = self.telemetry.metrics
+        self._m_passes = m.counter(
+            "cluster_global_passes_total", "Coordinator global passes")
+        self._m_pass_seconds = m.histogram(
+            "cluster_pass_seconds",
+            "Wall-clock latency of one global pass (collect + schedule + "
+            "dispatch)")
+        self._m_collect_delay = m.histogram(
+            "cluster_collect_delay_seconds",
+            "Sim-time report-collection round-trip delay per pass",
+            buckets=(1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+                     1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 1e-1))
+        self._m_report_bytes = m.counter(
+            "cluster_report_bytes_total",
+            "Bytes of node reports received by the coordinator")
+        self._m_command_bytes = m.counter(
+            "cluster_command_bytes_total",
+            "Bytes of frequency commands sent by the coordinator")
+        self._m_commands = m.counter(
+            "cluster_commands_sent_total", "Frequency commands dispatched")
+        self._m_command_delay = m.histogram(
+            "cluster_command_delay_seconds",
+            "Sim-time network delay of each dispatched command",
+            buckets=(1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+                     1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 1e-1))
+        self._m_breaches = m.counter(
+            "cluster_budget_breaches_total",
+            "Global passes whose step-1 demand exceeded a power limit")
+        self._m_planned_power = m.gauge(
+            "cluster_planned_power_watts",
+            "Total scheduled cluster processor power of the last pass")
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -109,17 +152,22 @@ class ClusterCoordinator:
 
     def _collect(self, now_s: float) -> tuple[list[NodeReport], float]:
         """Gather one report per node; returns (reports, collection delay)."""
+        tel = self.telemetry
         reports = []
         worst_delay = 0.0
+        report_bytes = 0
         for agent in self.agents:
             report = agent.make_report(now_s)
             # Request goes out, report comes back: one round trip, with the
             # collections overlapping across nodes (asynchronous gather).
-            delay = self.cluster.network.round_trip_s(
-                64, message_size_bytes(report)
-            )
+            size = message_size_bytes(report)
+            delay = self.cluster.network.round_trip_s(64, size)
             worst_delay = max(worst_delay, delay)
+            report_bytes += size
             reports.append(report)
+        if tel.enabled:
+            self._m_report_bytes.inc(report_bytes)
+            self._m_collect_delay.observe(worst_delay)
         return reports, worst_delay
 
     def _views_from_reports(self, reports: list[NodeReport]
@@ -151,6 +199,35 @@ class ClusterCoordinator:
 
     def run_global_pass(self, now_s: float) -> Schedule:
         """Collect, schedule, and dispatch commands (network-delayed)."""
+        tel = self.telemetry
+        wall0 = time.perf_counter()
+        if tel.enabled:
+            with tel.tracer.span("cluster.global_pass", sim_time_s=now_s,
+                                 nodes=len(self.agents)) as span:
+                schedule, collect_delay = self._global_pass_body(now_s)
+                span.sim_duration_s = collect_delay
+                span.set_attr("total_power_w", schedule.total_power_w)
+                span.set_attr("infeasible", schedule.infeasible)
+        else:
+            schedule, collect_delay = self._global_pass_body(now_s)
+        self.last_pass_wall_s = time.perf_counter() - wall0
+        self._record(schedule, now_s, pass_wall_s=self.last_pass_wall_s)
+        self.last_schedule = schedule
+        if tel.enabled:
+            self._m_passes.inc()
+            self._m_pass_seconds.observe(self.last_pass_wall_s)
+            self._m_planned_power.set(schedule.total_power_w)
+            if schedule.reduction_steps or schedule.infeasible:
+                self._m_breaches.inc()
+                tel.emit(EVENT_BUDGET_BREACH, sim_time_s=now_s,
+                         limit_w=self.power_limit_w,
+                         node_limits=dict(self.node_limits_w),
+                         planned_power_w=schedule.total_power_w,
+                         reduction_steps=schedule.reduction_steps,
+                         infeasible=schedule.infeasible)
+        return schedule
+
+    def _global_pass_body(self, now_s: float) -> tuple[Schedule, float]:
         reports, collect_delay = self._collect(now_s)
         views = self._views_from_reports(reports)
         if self.node_limits_w and isinstance(self.scheduler,
@@ -163,9 +240,7 @@ class ClusterCoordinator:
                                                on_infeasible="floor")
         decision_time = now_s + collect_delay
         self._dispatch(schedule, decision_time)
-        self._record(schedule, now_s)
-        self.last_schedule = schedule
-        return schedule
+        return schedule, collect_delay
 
     def _dispatch(self, schedule: Schedule, decision_time_s: float) -> None:
         by_node: dict[int, list] = {}
@@ -179,7 +254,12 @@ class ClusterCoordinator:
                 freqs_hz=tuple(a.freq_hz for a in assignments),
                 voltages=tuple(a.voltage for a in assignments),
             )
-            delay = self.cluster.network.send(message_size_bytes(command))
+            size = message_size_bytes(command)
+            delay = self.cluster.network.send(size)
+            if self.telemetry.enabled:
+                self._m_commands.inc()
+                self._m_command_bytes.inc(size)
+                self._m_command_delay.observe(delay)
             agent = self.agents[self._agent_index(node_id)]
             apply_at = decision_time_s + delay
             self.sim.at(apply_at,
@@ -192,7 +272,8 @@ class ClusterCoordinator:
                 return i
         raise ClusterError(f"no agent for node {node_id}")
 
-    def _record(self, schedule: Schedule, now_s: float) -> None:
+    def _record(self, schedule: Schedule, now_s: float, *,
+                pass_wall_s: float | None = None) -> None:
         for a in schedule.assignments:
             self.log.record_schedule(ScheduleLogEntry(
                 time_s=now_s,
@@ -206,6 +287,7 @@ class ClusterCoordinator:
                 predicted_ipc=None,
                 power_limit_w=self.power_limit_w,
                 infeasible=schedule.infeasible,
+                pass_wall_s=pass_wall_s,
             ))
 
     # -- triggers -------------------------------------------------------------------------
@@ -213,6 +295,9 @@ class ClusterCoordinator:
     def set_power_limit(self, limit_w: float | None, now_s: float) -> None:
         """Change the global limit and run an immediate global pass."""
         self.power_limit_w = limit_w
+        if self.telemetry.enabled:
+            self.telemetry.emit(EVENT_CURTAILMENT, sim_time_s=now_s,
+                                new_limit_w=limit_w)
         self.run_global_pass(now_s)
 
     def set_node_limit(self, node_id: int, limit_w: float | None,

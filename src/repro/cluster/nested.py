@@ -70,6 +70,7 @@ class NestedBudgetScheduler(FrequencyVoltageScheduler):
             freqs.append(f)
 
         infeasible = False
+        reduction_steps = 0
 
         # Step 2a: per-node passes.
         for node_id, limit in sorted(node_limits.items()):
@@ -80,18 +81,20 @@ class NestedBudgetScheduler(FrequencyVoltageScheduler):
                 )
             sub_views = [views[i] for i in idxs]
             sub_freqs = [freqs[i] for i in idxs]
-            node_infeasible = self._reduce_to_budget(
+            node_infeasible, node_steps, _ = self._reduce_to_budget(
                 sub_views, sub_freqs, limit, on_infeasible)
             infeasible = infeasible or node_infeasible
+            reduction_steps += node_steps
             for i, f in zip(idxs, sub_freqs):
                 freqs[i] = f
 
         # Step 2b: the global pass.
         if global_limit_w is not None:
             check_positive(global_limit_w, "global_limit_w")
-            global_infeasible = self._reduce_to_budget(
+            global_infeasible, global_steps, _ = self._reduce_to_budget(
                 views, freqs, global_limit_w, on_infeasible)
             infeasible = infeasible or global_infeasible
+            reduction_steps += global_steps
 
         # Step 3 + assembly.
         assignments = []
@@ -111,6 +114,7 @@ class NestedBudgetScheduler(FrequencyVoltageScheduler):
             power_limit_w=global_limit_w,
             epsilon=self.epsilon,
             infeasible=infeasible,
+            reduction_steps=reduction_steps,
         )
 
     def node_power_w(self, schedule: Schedule, node_id: int) -> float:

@@ -10,6 +10,7 @@ both streams.  Its own execution steals core time according to an
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from .. import constants
@@ -18,6 +19,13 @@ from ..sim.counters import CounterReader, CounterSample
 from ..sim.driver import Simulation
 from ..sim.machine import SMPMachine
 from ..sim.rng import spawn_rngs
+from ..telemetry import (
+    EVENT_BUDGET_BREACH,
+    EVENT_CURTAILMENT,
+    EVENT_FREQUENCY_CHANGE,
+    Telemetry,
+    get_telemetry,
+)
 from ..units import check_non_negative, check_positive
 from .governor import Governor
 from .logs import CounterLogEntry, FvsstLog, ScheduleLogEntry
@@ -122,6 +130,7 @@ class FvsstDaemon(Governor):
                  config: DaemonConfig | None = None, *,
                  scheduler: FrequencyVoltageScheduler | None = None,
                  predictor: PredictorProtocol | None = None,
+                 telemetry: Telemetry | None = None,
                  seed: int | None = None) -> None:
         super().__init__(machine)
         self.config = config or DaemonConfig()
@@ -130,8 +139,9 @@ class FvsstDaemon(Governor):
             raise SchedulingError(
                 f"daemon_core {cfg.daemon_core} out of range"
             )
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.scheduler = scheduler or FrequencyVoltageScheduler(
-            machine.table, epsilon=cfg.epsilon
+            machine.table, epsilon=cfg.epsilon, telemetry=self.telemetry
         )
         self.predictor = predictor or CounterPredictor(machine.config.latencies)
         rngs = spawn_rngs(seed, machine.num_cores)
@@ -158,6 +168,37 @@ class FvsstDaemon(Governor):
         self._planning_limit_w: float | None = None
         #: Last schedule applied (None before the first pass).
         self.last_schedule: Schedule | None = None
+        m = self.telemetry.metrics
+        self._m_sample_ticks = m.counter(
+            "fvsst_sample_ticks_total", "Counter-sampling timer firings")
+        self._m_samples = m.counter(
+            "fvsst_counter_samples_total", "Per-processor counter reads")
+        self._m_sample_seconds = m.histogram(
+            "fvsst_sample_pass_seconds",
+            "Wall-clock latency of one sampling pass (all processors)")
+        self._m_sched_passes = m.counter(
+            "fvsst_schedule_passes_total", "Daemon scheduling passes")
+        self._m_sched_seconds = m.histogram(
+            "fvsst_schedule_pass_seconds",
+            "Wall-clock latency of one daemon scheduling pass")
+        self._m_transitions = m.counter(
+            "fvsst_frequency_transitions_total",
+            "Applied frequency changes (actuations)")
+        self._m_breaches = m.counter(
+            "fvsst_budget_breaches_total",
+            "Passes whose step-1 demand exceeded the power limit")
+        self._m_planned_power = m.gauge(
+            "fvsst_planned_power_watts",
+            "Total scheduled processor power of the last pass")
+        self._m_limit = m.gauge(
+            "fvsst_power_limit_watts",
+            "Power limit in force (-1 when unconstrained)")
+        # Per-tick stats batch locally (plain attribute updates) and
+        # flush into the registry once per scheduling pass / snapshot.
+        self._pending_ticks = 0
+        self._pending_sample_s: list[float] = []
+        if self.telemetry.enabled:
+            self.telemetry.add_flusher(self._flush_sample_stats)
 
     # -- attachment ---------------------------------------------------------------
 
@@ -178,6 +219,30 @@ class FvsstDaemon(Governor):
             self.machine.core(self.config.daemon_core).steal_time(cost_s)
 
     def _on_sample_tick(self, now_s: float) -> None:
+        if self.telemetry.enabled:
+            wall0 = time.perf_counter()
+            self._collect_samples(now_s)
+            self._pending_ticks += 1
+            self._pending_sample_s.append(time.perf_counter() - wall0)
+        else:
+            self._collect_samples(now_s)
+        self._sample_count += 1
+        if self._sample_count % self.config.schedule_every == 0:
+            self._run_schedule(now_s)
+
+    def _flush_sample_stats(self) -> None:
+        """Push tick-batched stats into the registry (one lock per batch)."""
+        if self._pending_ticks:
+            self._m_sample_ticks.inc(self._pending_ticks)
+            self._m_samples.inc(self._pending_ticks * self.machine.num_cores)
+            self._pending_ticks = 0
+        if self._pending_sample_s:
+            self._m_sample_seconds.observe_many(self._pending_sample_s)
+            self._pending_sample_s = []
+
+    def _collect_samples(self, now_s: float) -> None:
+        """Read every processor's counters (kernel-mediated, bulk-charged);
+        the multi-threaded daemon overrides the charging placement."""
         cfg = self.config
         for i, reader in enumerate(self.readers):
             sample = reader.sample(now_s)
@@ -187,9 +252,6 @@ class FvsstDaemon(Governor):
             ))
         self._charge_overhead(cfg.overhead.sample_cost_s
                               * self.machine.num_cores)
-        self._sample_count += 1
-        if self._sample_count % cfg.schedule_every == 0:
-            self._run_schedule(now_s)
 
     def _aggregate_window(self, proc: int, now_s: float) -> CounterSample | None:
         window = self._windows[proc]
@@ -262,6 +324,36 @@ class FvsstDaemon(Governor):
         return min(self._planning_limit_w, self.power_limit_w)
 
     def _run_schedule(self, now_s: float) -> None:
+        tel = self.telemetry
+        if not tel.enabled:
+            self._schedule_pass(now_s)
+            return
+        wall0 = time.perf_counter()
+        with tel.tracer.span("fvsst.schedule_pass", sim_time_s=now_s,
+                             node=self.config.node_id) as span:
+            schedule, transitions = self._schedule_pass(now_s)
+            span.set_attr("transitions", transitions)
+            span.set_attr("total_power_w", schedule.total_power_w)
+            span.set_attr("infeasible", schedule.infeasible)
+        elapsed = time.perf_counter() - wall0
+        self._flush_sample_stats()
+        self._m_sched_passes.inc()
+        self._m_sched_seconds.observe(elapsed)
+        self._m_transitions.inc(transitions)
+        self._m_planned_power.set(schedule.total_power_w)
+        self._m_limit.set(-1.0 if self.power_limit_w is None
+                          else self.power_limit_w)
+        if schedule.reduction_steps or schedule.infeasible:
+            self._m_breaches.inc()
+            tel.emit(EVENT_BUDGET_BREACH, sim_time_s=now_s,
+                     node=self.config.node_id,
+                     limit_w=schedule.power_limit_w,
+                     planned_power_w=schedule.total_power_w,
+                     reduction_steps=schedule.reduction_steps,
+                     infeasible=schedule.infeasible)
+
+    def _schedule_pass(self, now_s: float) -> tuple[Schedule, int]:
+        """One full pass: views → schedule → actuation → logs."""
         cfg = self.config
         views = self._build_views(now_s)
         self._cached_views = views
@@ -291,16 +383,34 @@ class FvsstDaemon(Governor):
         self.last_schedule = schedule
         for w in self._windows:
             w.clear()
+        return schedule, transitions
 
     def _apply(self, schedule: Schedule, now_s: float) -> int:
         """Push the decision into the actuators; returns transition count."""
+        tel = self.telemetry
         transitions = 0
         for assignment in schedule.assignments:
             core = self.machine.core(assignment.proc_id)
-            if core.frequency_setting_hz != assignment.freq_hz:
+            old_hz = core.frequency_setting_hz
+            if old_hz != assignment.freq_hz:
                 transitions += 1
+                self._charge_transition(core)
+                if tel.enabled:
+                    tel.emit(EVENT_FREQUENCY_CHANGE, sim_time_s=now_s,
+                             node=self.config.node_id,
+                             proc=assignment.proc_id,
+                             old_hz=old_hz, new_hz=assignment.freq_hz)
             core.set_frequency(assignment.freq_hz, now_s)
+        self._after_apply()
         return transitions
+
+    def _charge_transition(self, core) -> None:
+        """Per-core actuation charge hook (bulk-charged here; the
+        multi-threaded daemon steals from the actuated core instead)."""
+
+    def _after_apply(self) -> None:
+        """Post-actuation hook (the multi-threaded daemon charges the
+        centralised scheduling calculation here)."""
 
     # -- triggers --------------------------------------------------------------------
 
@@ -317,6 +427,11 @@ class FvsstDaemon(Governor):
     def _on_limit_trigger(self, trigger: PowerLimitChange) -> None:
         self.power_limit_w = trigger.new_limit_w
         self._planning_limit_w = None   # feedback restarts at the new limit
+        if self.telemetry.enabled:
+            self.telemetry.emit(EVENT_CURTAILMENT,
+                                sim_time_s=trigger.time_s,
+                                node=self.config.node_id,
+                                new_limit_w=trigger.new_limit_w)
         self._run_schedule(trigger.time_s)
 
     def set_frequency_cap(self, cap_hz: float | None, now_s: float) -> None:
@@ -355,4 +470,5 @@ class FvsstDaemon(Governor):
         """A fresh daemon on the same machine with amended config (used by
         parameter-sweep benches)."""
         return FvsstDaemon(self.machine, replace(self.config, **changes),
-                           scheduler=self.scheduler, predictor=self.predictor)
+                           scheduler=self.scheduler, predictor=self.predictor,
+                           telemetry=self.telemetry)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from ..sim.counters import CounterSample  # noqa: F401  (doc reference)
 from ..units import check_non_negative
 from .daemon import DaemonConfig, FvsstDaemon
+from .logs import CounterLogEntry
 
 __all__ = ["MultithreadOverheadModel", "MultithreadedFvsstDaemon"]
 
@@ -61,37 +62,28 @@ class MultithreadedFvsstDaemon(FvsstDaemon):
 
     # Overhead placement overrides -------------------------------------------------
 
-    def _on_sample_tick(self, now_s: float) -> None:
+    def _collect_samples(self, now_s: float) -> None:
         cfg = self.config
         for i, reader in enumerate(self.readers):
             sample = reader.sample(now_s)
             self._windows[i].append(sample)
-            from .logs import CounterLogEntry
             self.log.record_sample(CounterLogEntry(
                 time_s=now_s, node_id=cfg.node_id, proc_id=i, sample=sample,
             ))
             if self.mt_overhead.enabled:
                 # The collector thread runs on the core it samples.
                 self.machine.core(i).steal_time(self.mt_overhead.sample_cost_s)
-        self._sample_count += 1
-        if self._sample_count % cfg.schedule_every == 0:
-            self._run_schedule(now_s)
 
-    def _apply(self, schedule, now_s: float) -> int:
-        transitions = 0
-        for assignment in schedule.assignments:
-            core = self.machine.core(assignment.proc_id)
-            if core.frequency_setting_hz != assignment.freq_hz:
-                transitions += 1
-                if self.mt_overhead.enabled:
-                    # The actuator thread runs on the core it throttles.
-                    core.steal_time(self.mt_overhead.actuation_cost_s)
-            core.set_frequency(assignment.freq_hz, now_s)
+    def _charge_transition(self, core) -> None:
+        if self.mt_overhead.enabled:
+            # The actuator thread runs on the core it throttles.
+            core.steal_time(self.mt_overhead.actuation_cost_s)
+
+    def _after_apply(self) -> None:
         if self.mt_overhead.enabled:
             self.machine.core(self.config.daemon_core).steal_time(
                 self.mt_overhead.schedule_cost_s
             )
-        return transitions
 
     def _charge_overhead(self, cost_s: float) -> None:
         # Parent-class bulk charging is fully replaced by the per-core

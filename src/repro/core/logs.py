@@ -51,6 +51,10 @@ class ScheduleLogEntry:
     power_limit_w: float | None
     #: True when this decision hit the infeasible-floor path.
     infeasible: bool
+    #: Wall-clock cost of the pass that produced this decision (None when
+    #: the producer does not measure it).  The coordinator fills this in,
+    #: making prediction-overhead claims checkable from the log alone.
+    pass_wall_s: float | None = None
 
 
 @dataclass

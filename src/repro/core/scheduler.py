@@ -24,6 +24,7 @@ is a different governor's job).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
@@ -34,6 +35,7 @@ from ..errors import InfeasibleBudgetError, SchedulingError
 from ..model.ipc import WorkloadSignature
 from ..model.perf import perf_loss
 from ..power.table import FrequencyPowerTable
+from ..telemetry import Telemetry, get_telemetry
 from ..units import check_positive
 from .voltage import VoltageSelector
 
@@ -83,6 +85,9 @@ class Schedule:
     epsilon: float
     #: True when the power limit could not be met even at the floor.
     infeasible: bool = field(default=False)
+    #: Step-2 downward moves this pass took (0 = step-1 demand already fit
+    #: the budget; > 0 means the budget bit — a telemetry "budget breach").
+    reduction_steps: int = field(default=0)
 
     @property
     def budget_met(self) -> bool:
@@ -119,13 +124,30 @@ class FrequencyVoltageScheduler:
 
     def __init__(self, table: FrequencyPowerTable, *,
                  epsilon: float = constants.DEFAULT_EPSILON,
-                 voltage_selector: VoltageSelector | None = None) -> None:
+                 voltage_selector: VoltageSelector | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         check_positive(epsilon, "epsilon")
         if epsilon >= 1.0:
             raise SchedulingError("epsilon must be < 1")
         self.table = table
         self.epsilon = epsilon
         self.voltages = voltage_selector or VoltageSelector()
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        m = self.telemetry.metrics
+        self._m_passes = m.counter(
+            "scheduler_passes_total", "Complete Figure 3 scheduling passes")
+        self._m_step1 = m.counter(
+            "scheduler_step1_evaluations_total",
+            "Step-1 epsilon-constrained frequency selections (one per view)")
+        self._m_step2 = m.counter(
+            "scheduler_step2_iterations_total",
+            "Step-2 greedy one-step frequency reductions")
+        self._m_loss = m.counter(
+            "scheduler_loss_evaluations_total",
+            "Predicted-loss evaluations across steps 1 and 2")
+        self._m_pass_seconds = m.histogram(
+            "scheduler_pass_seconds",
+            "Wall-clock latency of one scheduling pass")
 
     # -- step 1 ------------------------------------------------------------------
 
@@ -198,14 +220,19 @@ class FrequencyVoltageScheduler:
                 )
             cap_hz = self.table.quantize_down(max_freq_hz)
 
+        tel = self.telemetry
+        wall0 = time.perf_counter() if tel.enabled else 0.0
+
         # Step 1: epsilon-constrained frequencies (then the ceiling).
         freqs: list[float] = []
         eps_freqs: list[float] = []
+        step1_evals = 0
         for view in views:
             if view.idle_signaled:
                 f = self.table.f_min_hz
             else:
                 f, _ = self.epsilon_constrained(view.signature)
+                step1_evals += 1
             eps_freqs.append(f)
             if cap_hz is not None:
                 f = min(f, cap_hz)
@@ -213,9 +240,10 @@ class FrequencyVoltageScheduler:
 
         # Step 2: greedy power reduction.
         infeasible = False
+        steps = loss_evals = 0
         if power_limit_w is not None:
-            infeasible = self._reduce_to_budget(views, freqs, power_limit_w,
-                                                on_infeasible)
+            infeasible, steps, loss_evals = self._reduce_to_budget(
+                views, freqs, power_limit_w, on_infeasible)
 
         # Step 3: voltages, and assembly.
         assignments = []
@@ -232,24 +260,39 @@ class FrequencyVoltageScheduler:
                 eps_freq_hz=eps_f,
             ))
         total = sum(a.power_w for a in assignments)
+        if tel.enabled:
+            self._m_passes.inc()
+            self._m_step1.inc(step1_evals)
+            self._m_step2.inc(steps)
+            # Step 1 scores the whole ladder per view; step 2 one candidate
+            # per probed processor per iteration.
+            self._m_loss.inc(step1_evals * len(self.table) + loss_evals)
+            self._m_pass_seconds.observe(time.perf_counter() - wall0)
         return Schedule(
             assignments=tuple(assignments),
             total_power_w=total,
             power_limit_w=power_limit_w,
             epsilon=self.epsilon,
             infeasible=infeasible,
+            reduction_steps=steps,
         )
 
     def _reduce_to_budget(self, views: Sequence[ProcessorView],
                           freqs: list[float], limit_w: float,
-                          on_infeasible: Literal["floor", "raise"]) -> bool:
-        """Step 2 in place on ``freqs``; returns the infeasibility flag."""
+                          on_infeasible: Literal["floor", "raise"]
+                          ) -> tuple[bool, int, int]:
+        """Step 2 in place on ``freqs``.
+
+        Returns ``(infeasible, reduction_steps, loss_evaluations)`` so the
+        caller can both flag the breach and feed the telemetry counters.
+        """
         def total() -> float:
             return sum(
                 self.power_for(v.node_id, v.proc_id, f)
                 for v, f in zip(views, freqs)
             )
 
+        steps = loss_evals = 0
         while total() > limit_w:
             best_idx: int | None = None
             best_key: tuple[float, int, int] | None = None
@@ -260,6 +303,7 @@ class FrequencyVoltageScheduler:
                 # Idle processors cost nothing to slow down.
                 loss = 0.0 if view.idle_signaled else self.predicted_loss(
                     view.signature, f_less)
+                loss_evals += 1
                 key = (loss, view.node_id, view.proc_id)
                 if best_key is None or key < best_key:
                     best_key = key
@@ -272,6 +316,7 @@ class FrequencyVoltageScheduler:
                         " with every processor at minimum frequency",
                         floor_power_w=floor, limit_w=limit_w,
                     )
-                return True
+                return True, steps, loss_evals
             freqs[best_idx] = self.table.next_lower(freqs[best_idx])  # type: ignore[assignment]
-        return False
+            steps += 1
+        return False, steps, loss_evals

@@ -23,6 +23,7 @@ __all__ = [
     "ClusterError",
     "CascadeFailureError",
     "ExperimentError",
+    "TelemetryError",
 ]
 
 
@@ -107,3 +108,8 @@ class CascadeFailureError(SimulationError):
 
 class ExperimentError(ReproError):
     """An experiment harness was asked for an unknown artifact or failed."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry misuse: bad metric name, kind conflict, invalid buckets,
+    negative counter increment, or a malformed exported record."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from .. import constants
 from ..errors import CascadeFailureError, SimulationError
+from ..telemetry import EVENT_PSU_FAILURE, EVENT_PSU_RESTORED, get_telemetry
 from ..units import check_non_negative, check_positive
 
 __all__ = ["PowerSupply", "SupplyBank"]
@@ -99,23 +100,39 @@ class SupplyBank:
 
     # -- events --------------------------------------------------------------
 
-    def fail_supply(self, index: int = 0) -> float:
+    def fail_supply(self, index: int = 0, *,
+                    now_s: float | None = None,
+                    cascade: bool = False) -> float:
         """Fail the ``index``-th *online* supply; returns remaining capacity.
 
-        This is the ``T0`` event of the motivating example.
+        This is the ``T0`` event of the motivating example.  ``now_s``
+        (optional) timestamps the telemetry event; ``cascade`` marks
+        overload-induced failures as such.
         """
         online = self.online
         if not online:
             raise SimulationError("no online supply left to fail")
-        online[index].fail()
+        supply = online[index]
+        supply.fail()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit(EVENT_PSU_FAILURE, sim_time_s=now_s,
+                     supply=supply.name, cascade=cascade,
+                     remaining_capacity_w=self.capacity_w)
         return self.capacity_w
 
-    def restore_supply(self, index: int = 0) -> float:
+    def restore_supply(self, index: int = 0, *,
+                       now_s: float | None = None) -> float:
         """Restore the ``index``-th *failed* supply; returns new capacity."""
         failed = [s for s in self.supplies if s.failed]
         if not failed:
             raise SimulationError("no failed supply to restore")
-        failed[index].restore()
+        supply = failed[index]
+        supply.restore()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit(EVENT_PSU_RESTORED, sim_time_s=now_s,
+                     supply=supply.name, capacity_w=self.capacity_w)
         return self.capacity_w
 
     # -- overload tracking -----------------------------------------------------
@@ -145,7 +162,7 @@ class SupplyBank:
             return False
         # Deadline exceeded: cascade.
         self.cascade_count += 1
-        self.fail_supply(0)
+        self.fail_supply(0, now_s=now_s, cascade=True)
         self.overload_since_s = now_s if not self.all_failed else None
         if self.raise_on_cascade:
             raise CascadeFailureError(

@@ -13,9 +13,11 @@ times.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence
 
 from ..errors import SimulationError
+from ..telemetry import Telemetry, get_telemetry
 from ..units import check_non_negative, check_positive
 from .clock import SimClock
 from .events import Event, EventQueue
@@ -70,7 +72,8 @@ class Simulation:
     """Event-driven driver over one or more machines."""
 
     def __init__(self, machines: SMPMachine | Sequence[SMPMachine], *,
-                 start_s: float = 0.0) -> None:
+                 start_s: float = 0.0,
+                 telemetry: Telemetry | None = None) -> None:
         if isinstance(machines, SMPMachine):
             machines = [machines]
         if not machines:
@@ -78,6 +81,19 @@ class Simulation:
         self.machines: list[SMPMachine] = list(machines)
         self.clock = SimClock(start_s)
         self.events = EventQueue()
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        m = self.telemetry.metrics
+        self._m_dispatched = m.counter(
+            "sim_events_dispatched_total", "Simulation events fired")
+        self._m_callback_seconds = m.histogram(
+            "sim_callback_seconds",
+            "Wall-clock latency of each fired event callback")
+        # Per-event stats batch locally and flush when run_until returns
+        # (and on any snapshot), keeping the dispatch loop lock-free.
+        self._pending_dispatched = 0
+        self._pending_callback_s: list[float] = []
+        if self.telemetry.enabled:
+            self.telemetry.add_flusher(self._flush_dispatch_stats)
 
     @property
     def now_s(self) -> float:
@@ -124,15 +140,41 @@ class Simulation:
             raise SimulationError(
                 f"cannot run to {t_end_s} (now is {self.now_s})"
             )
+        instrumented = self.telemetry.enabled
         while True:
             next_event = self.events.next_time()
             if next_event is None or next_event > t_end_s:
                 self._advance_machines(t_end_s - self.now_s)
                 self.clock.advance_to(t_end_s)
+                if instrumented:
+                    self._flush_dispatch_stats()
                 return
             self._advance_machines(max(0.0, next_event - self.now_s))
             self.clock.advance_to(max(next_event, self.now_s))
-            self.events.run_due(self.now_s)
+            if instrumented:
+                self._run_due_instrumented(self.now_s)
+            else:
+                self.events.run_due(self.now_s)
+
+    def _run_due_instrumented(self, now_s: float) -> None:
+        """``EventQueue.run_due`` with per-callback latency accounting."""
+        while True:
+            event = self.events.pop_due(now_s)
+            if event is None:
+                return
+            wall0 = time.perf_counter()
+            event.callback(event.time_s)
+            self._pending_callback_s.append(time.perf_counter() - wall0)
+            self._pending_dispatched += 1
+
+    def _flush_dispatch_stats(self) -> None:
+        """Push event-batched stats into the registry (one lock per batch)."""
+        if self._pending_dispatched:
+            self._m_dispatched.inc(self._pending_dispatched)
+            self._pending_dispatched = 0
+        if self._pending_callback_s:
+            self._m_callback_seconds.observe_many(self._pending_callback_s)
+            self._pending_callback_s = []
 
     def run_for(self, duration_s: float) -> None:
         """Advance by ``duration_s``."""

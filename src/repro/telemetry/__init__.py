@@ -1,0 +1,89 @@
+"""Telemetry: metrics, span tracing, structured events, and exporters.
+
+The observability layer for the fvsst daemon, the cluster coordinator,
+and the simulation driver (Section 7's "must not impose a significant
+performance impact" made continuously checkable).  Three signal types:
+
+* a :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms (:mod:`repro.telemetry.metrics`);
+* a :class:`Tracer` producing nested spans with wall-time *and*
+  sim-time durations (:mod:`repro.telemetry.tracing`);
+* an :class:`EventBus` of structured events — frequency changes, budget
+  breaches, PSU failures, curtailments, phase transitions
+  (:mod:`repro.telemetry.events`);
+
+plus exporters: a streaming JSONL sink, a Prometheus text-format
+snapshot, and a human-readable summary table.  Everything hangs off one
+:class:`Telemetry` facade; the process default is a disabled
+:class:`NullTelemetry` whose hot-path cost is a single attribute test.
+See docs/OBSERVABILITY.md for the metric/span/event catalog.
+"""
+
+from .backend import (
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_snapshot,
+    use_telemetry,
+)
+from .events import (
+    EVENT_BUDGET_BREACH,
+    EVENT_CURTAILMENT,
+    EVENT_FREQUENCY_CHANGE,
+    EVENT_KINDS,
+    EVENT_PHASE_TRANSITION,
+    EVENT_PSU_FAILURE,
+    EVENT_PSU_RESTORED,
+    EventBus,
+    TelemetryEvent,
+)
+from .export_jsonl import (
+    JsonlSink,
+    read_jsonl,
+    registry_from_snapshot,
+    write_metrics_jsonl,
+)
+from .export_prom import prometheus_text
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .summary import events_table, summary_table, telemetry_report
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "telemetry_snapshot",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Tracer",
+    "Span",
+    "EventBus",
+    "TelemetryEvent",
+    "EVENT_FREQUENCY_CHANGE",
+    "EVENT_BUDGET_BREACH",
+    "EVENT_PSU_FAILURE",
+    "EVENT_PSU_RESTORED",
+    "EVENT_CURTAILMENT",
+    "EVENT_PHASE_TRANSITION",
+    "EVENT_KINDS",
+    "JsonlSink",
+    "write_metrics_jsonl",
+    "read_jsonl",
+    "registry_from_snapshot",
+    "prometheus_text",
+    "summary_table",
+    "events_table",
+    "telemetry_report",
+]

@@ -1,0 +1,123 @@
+"""Structured telemetry events and their pub/sub bus.
+
+Where metrics aggregate and spans time, events *narrate*: each one is a
+discrete, attributed occurrence — a processor changed frequency, a budget
+was breached, a power supply failed, a curtailment request arrived, a
+workload crossed a phase boundary.  Subscribers (the JSONL sink, the
+observability-dashboard example's tail loop, tests) register per kind or
+with the ``"*"`` wildcard.
+
+The bus keeps a bounded ring of recent events plus per-kind totals, so a
+snapshot can report "3 budget breaches" long after the ring evicted them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+__all__ = [
+    "TelemetryEvent",
+    "EventBus",
+    "EVENT_FREQUENCY_CHANGE",
+    "EVENT_BUDGET_BREACH",
+    "EVENT_PSU_FAILURE",
+    "EVENT_PSU_RESTORED",
+    "EVENT_CURTAILMENT",
+    "EVENT_PHASE_TRANSITION",
+    "EVENT_KINDS",
+]
+
+#: A processor's applied frequency changed (daemon or agent actuation).
+EVENT_FREQUENCY_CHANGE = "frequency_change"
+#: Step-1 demand exceeded the power limit (step 2 engaged, or infeasible).
+EVENT_BUDGET_BREACH = "budget_breach"
+#: A power supply failed (explicit injection or cascade).
+EVENT_PSU_FAILURE = "psu_failure"
+#: A failed power supply came back online.
+EVENT_PSU_RESTORED = "psu_restored"
+#: The global power limit changed (curtailment request, PSU response).
+EVENT_CURTAILMENT = "curtailment"
+#: A workload crossed a phase boundary (or looped back to phase 0).
+EVENT_PHASE_TRANSITION = "phase_transition"
+
+EVENT_KINDS = (
+    EVENT_FREQUENCY_CHANGE,
+    EVENT_BUDGET_BREACH,
+    EVENT_PSU_FAILURE,
+    EVENT_PSU_RESTORED,
+    EVENT_CURTAILMENT,
+    EVENT_PHASE_TRANSITION,
+)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured occurrence."""
+
+    kind: str
+    #: Simulation time of the occurrence (None when not tied to sim time).
+    sim_time_s: float | None
+    #: Wall-clock epoch seconds at publication.
+    wall_time_s: float
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "sim_time_s": self.sim_time_s,
+            "wall_time_s": self.wall_time_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class EventBus:
+    """Typed-by-kind publish/subscribe with a bounded history ring."""
+
+    WILDCARD = "*"
+
+    def __init__(self, *, max_history: int = 4096) -> None:
+        self._subscribers: dict[str, list[Callable[[TelemetryEvent], None]]] = {}
+        self._lock = threading.Lock()
+        self.history: deque[TelemetryEvent] = deque(maxlen=max_history)
+        #: Total events ever published, per kind (survives ring eviction).
+        self.counts: dict[str, int] = {}
+
+    def subscribe(self, kind: str,
+                  callback: Callable[[TelemetryEvent], None]) -> None:
+        """Register for one kind, or ``"*"`` for everything."""
+        with self._lock:
+            self._subscribers.setdefault(kind, []).append(callback)
+
+    def publish(self, kind: str, *, sim_time_s: float | None = None,
+                **attrs: object) -> TelemetryEvent:
+        """Build and deliver an event; returns it."""
+        event = TelemetryEvent(kind=kind, sim_time_s=sim_time_s,
+                               wall_time_s=time.time(), attrs=attrs)
+        with self._lock:
+            self.history.append(event)
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+            callbacks = (list(self._subscribers.get(kind, ()))
+                         + list(self._subscribers.get(self.WILDCARD, ())))
+        for cb in callbacks:
+            cb(event)
+        return event
+
+    # -- queries -------------------------------------------------------------
+
+    def events_of(self, kind: str) -> list[TelemetryEvent]:
+        """Retained events of one kind, oldest first."""
+        with self._lock:
+            return [e for e in self.history if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Total ever published of one kind."""
+        return self.counts.get(kind, 0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.history.clear()
+            self.counts.clear()

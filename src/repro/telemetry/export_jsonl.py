@@ -1,0 +1,140 @@
+"""JSONL export: live event/span streaming plus metric round-trips.
+
+Two shapes share one file format, one JSON object per line with a
+``type`` discriminator:
+
+* ``{"type": "event", ...}`` / ``{"type": "span", ...}`` — streamed as
+  they happen by a :class:`JsonlSink` attached to a backend (the
+  dashboard example tails these while the simulation runs);
+* ``{"type": "metrics", "snapshot": {...}}`` — a full registry snapshot,
+  written at checkpoints and parseable back into an equivalent registry
+  via :func:`registry_from_snapshot` (the round-trip the exporter tests
+  pin: JSONL → parse → same metrics).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO
+
+from ..errors import TelemetryError
+from .backend import Telemetry
+from .events import TelemetryEvent
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import Span
+
+__all__ = [
+    "JsonlSink",
+    "write_metrics_jsonl",
+    "read_jsonl",
+    "registry_from_snapshot",
+]
+
+
+class JsonlSink:
+    """Streams a backend's events and finished spans to a JSONL file."""
+
+    def __init__(self, path: str | Path, telemetry: Telemetry, *,
+                 events: bool = True, spans: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._telemetry = telemetry
+        self.lines_written = 0
+        if events:
+            telemetry.events.subscribe("*", self._on_event)
+        if spans:
+            telemetry.tracer.on_finish(self._on_span)
+
+    def _write(self, record: dict) -> None:
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.write(json.dumps(record, sort_keys=True) + "\n")
+            self.lines_written += 1
+
+    def _on_event(self, event: TelemetryEvent) -> None:
+        self._write({"type": "event", **event.to_dict()})
+
+    def _on_span(self, span: Span) -> None:
+        self._write({"type": "span", **span.to_dict()})
+
+    def write_snapshot(self) -> None:
+        """Append a full metrics snapshot record."""
+        self._telemetry.flush()
+        self._write({"type": "metrics",
+                     "snapshot": self._telemetry.metrics.snapshot()})
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        """Flush and detach; further events are silently dropped."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_metrics_jsonl(registry: MetricsRegistry, path: str | Path) -> None:
+    """Write one metrics-snapshot record to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {"type": "metrics", "snapshot": registry.snapshot()}
+    path.write_text(json.dumps(record, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse every record of a JSONL telemetry file."""
+    records = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: invalid JSONL record: {exc}"
+                ) from exc
+    return records
+
+
+def registry_from_snapshot(snapshot: dict) -> MetricsRegistry:
+    """Rebuild a registry whose own snapshot equals ``snapshot``."""
+    registry = MetricsRegistry()
+    for name, family in snapshot.items():
+        kind = family.get("type")
+        help_ = family.get("help", "")
+        for series in family.get("series", ()):
+            labels = series.get("labels") or None
+            if kind == Counter.kind:
+                metric = registry.counter(name, help_, labels)
+                metric._restore(series["value"])
+            elif kind == Gauge.kind:
+                metric = registry.gauge(name, help_, labels)
+                metric._restore(series["value"])
+            elif kind == Histogram.kind:
+                metric = registry.histogram(name, help_, labels,
+                                            buckets=series["buckets"])
+                metric._restore(series["counts"], series["sum"],
+                                series["count"])
+            else:
+                raise TelemetryError(
+                    f"snapshot metric {name!r}: unknown kind {kind!r}"
+                )
+    return registry

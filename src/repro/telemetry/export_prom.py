@@ -1,0 +1,77 @@
+"""Prometheus text-format (exposition format 0.0.4) snapshot rendering.
+
+One function, no HTTP server: the simulation is batch-shaped, so the
+snapshot is written at checkpoints (CLI ``--telemetry``, the dashboard
+example) rather than scraped.  The output parses under any Prometheus
+toolchain: ``# HELP``/``# TYPE`` headers, label escaping, cumulative
+``_bucket{le=...}`` series with the implicit ``+Inf``, ``_sum`` and
+``_count`` for histograms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["prometheus_text", "format_value"]
+
+
+def format_value(value: int | float) -> str:
+    """Prometheus sample-value formatting (integers stay integral)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels_text(labels: dict[str, str],
+                 extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"'
+                     for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the whole registry in the Prometheus text format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.collect():
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        labels = metric.labels
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name}{_labels_text(labels)} "
+                         f"{format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for upper, count in zip(metric.uppers, cumulative):
+                le = _labels_text(labels, {"le": format_value(upper)})
+                lines.append(f"{metric.name}_bucket{le} {count}")
+            inf = _labels_text(labels, {"le": "+Inf"})
+            lines.append(f"{metric.name}_bucket{inf} {cumulative[-1]}")
+            lines.append(f"{metric.name}_sum{_labels_text(labels)} "
+                         f"{format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count{_labels_text(labels)} "
+                         f"{metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

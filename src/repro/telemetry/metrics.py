@@ -1,0 +1,336 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately dependency-free (no ``prometheus_client``):
+three metric kinds cover everything the fvsst daemon, the cluster
+coordinator, and the simulation driver need to report, and the exporters
+(:mod:`repro.telemetry.export_prom`, :mod:`repro.telemetry.export_jsonl`,
+:mod:`repro.telemetry.summary`) render the same snapshot three ways.
+
+Semantics follow the Prometheus data model where it matters:
+
+* **Counters** are monotonic.  Negative increments raise; values are plain
+  Python numbers, so there is *no* wraparound — a counter pushed past
+  2**64 keeps exact arbitrary-precision arithmetic rather than
+  overflowing (pinned by the overflow tests).
+* **Gauges** go up and down.
+* **Histograms** have fixed upper bounds with ``le`` (less-or-equal)
+  semantics: an observation exactly on a bucket edge lands in that
+  bucket, and an implicit ``+Inf`` bucket catches the rest.
+
+Every metric carries its own lock, so the multi-threaded daemon's
+collector/actuator threads may hammer a shared registry concurrently (the
+concurrency tests drive this with real threads).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+]
+
+#: Wall-clock latency buckets (seconds) sized for the daemon's microsecond
+#: to millisecond pass costs.
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str] | None) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared identity/lock plumbing for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Mapping[str, str] | None = None) -> None:
+        if not name or not all(c.isalnum() or c in "_:" for c in name):
+            raise TelemetryError(
+                f"invalid metric name {name!r} (alphanumerics, '_' and ':')"
+            )
+        self.name = name
+        self.help = help
+        self.labels: dict[str, str] = dict(_label_key(labels))
+        self._lock = threading.Lock()
+
+    @property
+    def label_key(self) -> _LabelKey:
+        return _label_key(self.labels)
+
+    def value_dict(self) -> dict:
+        """Snapshot of this metric's current value(s) as plain data."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (events, bytes, iterations)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Mapping[str, str] | None = None) -> None:
+        super().__init__(name, help, labels)
+        self._value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (>= 0); monotonicity is enforced, not assumed."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name}: negative increment {amount}"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def value_dict(self) -> dict:
+        return {"value": self._value}
+
+    def _restore(self, value: int | float) -> None:
+        """Set the raw value (exporter round-trips only)."""
+        with self._lock:
+            self._value = value
+
+
+class Gauge(_Metric):
+    """A value that can rise and fall (planned power, active limit)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Mapping[str, str] | None = None) -> None:
+        super().__init__(name, help, labels)
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def value_dict(self) -> dict:
+        return {"value": self._value}
+
+    def _restore(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution with ``le`` (<=) bucket semantics."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Mapping[str, str] | None = None, *,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S) -> None:
+        super().__init__(name, help, labels)
+        uppers = [float(b) for b in buckets]
+        if not uppers:
+            raise TelemetryError(f"histogram {name}: needs at least one bucket")
+        if any(not math.isfinite(b) for b in uppers):
+            raise TelemetryError(
+                f"histogram {name}: buckets must be finite (+Inf is implicit)"
+            )
+        if sorted(uppers) != uppers or len(set(uppers)) != len(uppers):
+            raise TelemetryError(
+                f"histogram {name}: buckets must be strictly increasing"
+            )
+        self.uppers: tuple[float, ...] = tuple(uppers)
+        #: Per-bucket (non-cumulative) counts; the last slot is +Inf.
+        self._counts = [0] * (len(uppers) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation; edge values land in the edge's bucket."""
+        idx = bisect.bisect_left(self.uppers, float(value))
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch under one lock acquisition.
+
+        Hot paths accumulate observations in a plain list and flush them
+        here, amortising the lock and call overhead across the batch.
+        """
+        uppers = self.uppers
+        with self._lock:
+            counts = self._counts
+            total = 0.0
+            for value in values:
+                value = float(value)
+                counts[bisect.bisect_left(uppers, value)] += 1
+                total += value
+            self._sum += total
+            self._count += len(values)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Non-cumulative counts, one per upper bound plus +Inf."""
+        return tuple(self._counts)
+
+    def cumulative_counts(self) -> tuple[int, ...]:
+        """Prometheus-style cumulative counts (last equals ``count``)."""
+        out, running = [], 0
+        for c in self._counts:
+            running += c
+            out.append(running)
+        return tuple(out)
+
+    def value_dict(self) -> dict:
+        return {
+            "buckets": list(self.uppers),
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+    def _restore(self, counts: Iterable[int], sum_: float,
+                 count: int) -> None:
+        counts = list(counts)
+        if len(counts) != len(self.uppers) + 1:
+            raise TelemetryError(
+                f"histogram {self.name}: restore expects "
+                f"{len(self.uppers) + 1} bucket counts, got {len(counts)}"
+            )
+        with self._lock:
+            self._counts = counts
+            self._sum = float(sum_)
+            self._count = int(count)
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics, keyed by (name, labels).
+
+    Re-requesting an existing metric returns the same object; requesting
+    the same name with a different kind (or different histogram buckets)
+    raises — the catalog is append-only and internally consistent.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, _LabelKey], _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls: type, name: str, help: str,
+                       labels: Mapping[str, str] | None,
+                       **kwargs) -> _Metric:
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                if (isinstance(existing, Histogram) and "buckets" in kwargs
+                        and tuple(float(b) for b in kwargs["buckets"])
+                        != existing.uppers):
+                    raise TelemetryError(
+                        f"histogram {name!r} already registered with "
+                        f"different buckets"
+                    )
+                return existing
+            # Kind collisions across label sets are also conflicts.
+            for (other_name, _), other in self._metrics.items():
+                if other_name == name and not isinstance(other, cls):
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as {other.kind}"
+                    )
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Mapping[str, str] | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "",
+              labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Mapping[str, str] | None = None, *,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)  # type: ignore[return-value]
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def collect(self) -> list[_Metric]:
+        """All metrics, sorted by (name, labels) for deterministic export."""
+        with self._lock:
+            return sorted(self._metrics.values(),
+                          key=lambda m: (m.name, m.label_key))
+
+    def get(self, name: str,
+            labels: Mapping[str, str] | None = None) -> _Metric | None:
+        """Look up a metric without creating it."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def snapshot(self) -> dict:
+        """The full registry as plain, JSON-serialisable data."""
+        out: dict = {}
+        for metric in self.collect():
+            series = out.setdefault(metric.name, {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": [],
+            })
+            series["series"].append({
+                "labels": dict(metric.labels),
+                **metric.value_dict(),
+            })
+        return out
+
+    def reset(self) -> None:
+        """Drop every metric (tests and CLI reinitialisation)."""
+        with self._lock:
+            self._metrics.clear()

@@ -1,0 +1,61 @@
+"""Human-readable telemetry summaries via the shared table renderer.
+
+The same :func:`repro.analysis.tables.render_table` that formats the
+paper's tables formats the telemetry snapshot, so CLI output stays
+uniform: one row per metric series (histograms show count/mean/max
+bucket), plus an events table when any were published.
+"""
+
+from __future__ import annotations
+
+from .backend import Telemetry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["summary_table", "events_table", "telemetry_report"]
+
+
+def _render_table(*args, **kwargs) -> str:
+    # Imported lazily: analysis pulls in the workload layer, which is
+    # itself instrumented — a top-level import would be circular.
+    from ..analysis.tables import render_table
+    return render_table(*args, **kwargs)
+
+
+def _labels_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def summary_table(registry: MetricsRegistry, *, precision: int = 6,
+                  title: str | None = "telemetry metrics") -> str:
+    """One row per metric series: value, or count/sum/mean for histograms."""
+    rows = []
+    for metric in registry.collect():
+        if isinstance(metric, Histogram):
+            rows.append([metric.name, metric.kind, _labels_str(metric.labels),
+                         metric.count, metric.sum, metric.mean])
+        elif isinstance(metric, (Counter, Gauge)):
+            rows.append([metric.name, metric.kind, _labels_str(metric.labels),
+                         metric.value, "-", "-"])
+    return _render_table(
+        ["metric", "type", "labels", "value/count", "sum", "mean"],
+        rows, title=title, precision=precision,
+    )
+
+
+def events_table(telemetry: Telemetry, *,
+                 title: str | None = "telemetry events") -> str:
+    """Per-kind totals of every event published so far."""
+    rows = [[kind, count]
+            for kind, count in sorted(telemetry.events.counts.items())]
+    return _render_table(["event kind", "count"], rows, title=title)
+
+
+def telemetry_report(telemetry: Telemetry, *, precision: int = 6) -> str:
+    """Metrics table plus (when non-empty) the events table."""
+    parts = [summary_table(telemetry.metrics, precision=precision)]
+    if telemetry.events.counts:
+        parts.append(events_table(telemetry))
+    parts.append(f"spans finished: {telemetry.tracer.finished_total}")
+    return "\n\n".join(parts)

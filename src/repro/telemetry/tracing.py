@@ -1,0 +1,140 @@
+"""Span tracing with dual clocks.
+
+A :class:`Span` measures one operation twice: in *wall* time (what the
+instrumented code actually cost the host — the Section 7 "must not impose
+a significant performance impact" number) and in *simulation* time (what
+the modelled system experienced, e.g. the network delay a coordinator
+pass pays while collecting reports).  Spans nest: a scheduler pass traced
+inside a daemon pass records the daemon span as its parent, giving the
+JSONL exporter a reconstructable call tree.
+
+The current-span stack is thread-local so the multi-threaded daemon's
+threads trace independently without interleaving parentage.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One traced operation."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    #: Wall-clock start (``time.perf_counter`` origin, monotonic).
+    start_wall_s: float
+    end_wall_s: float | None = None
+    #: Simulation time at which the operation logically happened.
+    sim_time_s: float | None = None
+    #: Simulation-time cost of the operation (0 for instantaneous
+    #: callbacks; the coordinator sets its collection round-trip here).
+    sim_duration_s: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def wall_duration_s(self) -> float | None:
+        """Wall-clock cost, once finished."""
+        if self.end_wall_s is None:
+            return None
+        return self.end_wall_s - self.start_wall_s
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        """Plain-data form for the JSONL exporter."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "wall_duration_s": self.wall_duration_s,
+            "sim_time_s": self.sim_time_s,
+            "sim_duration_s": self.sim_duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Produces nested spans and retains the most recent finished ones."""
+
+    def __init__(self, *, max_finished: int = 4096) -> None:
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        #: Ring of finished spans (oldest evicted first).
+        self.finished: deque[Span] = deque(maxlen=max_finished)
+        #: Called with each span as it finishes (exporter hook).
+        self._on_finish: list[Callable[[Span], None]] = []
+        #: Total spans ever finished (survives ring eviction).
+        self.finished_total = 0
+
+    # -- stack ---------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span lifecycle ------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, *, sim_time_s: float | None = None,
+             **attrs: object) -> Iterator[Span]:
+        """Open a span; nests under this thread's current span."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent,
+            start_wall_s=time.perf_counter(),
+            sim_time_s=sim_time_s,
+            attrs=dict(attrs),
+        )
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end_wall_s = time.perf_counter()
+            stack.pop()
+            with self._lock:
+                self.finished.append(span)
+                self.finished_total += 1
+                hooks = list(self._on_finish)
+            for hook in hooks:
+                hook(span)
+
+    def on_finish(self, callback: Callable[[Span], None]) -> None:
+        """Register a callback invoked with every finished span."""
+        with self._lock:
+            self._on_finish.append(callback)
+
+    # -- queries -------------------------------------------------------------
+
+    def finished_named(self, name: str) -> list[Span]:
+        """Retained finished spans with the given name, oldest first."""
+        with self._lock:
+            return [s for s in self.finished if s.name == name]
+
+    def reset(self) -> None:
+        with self._lock:
+            self.finished.clear()
+            self.finished_total = 0

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..errors import WorkloadError
+from ..telemetry import EVENT_PHASE_TRANSITION, get_telemetry
 from ..units import check_positive
 from .phase import Phase
 
@@ -131,15 +132,21 @@ class Job:
 
     def _advance_phase(self, now_s: float) -> None:
         self.phase_progress = 0.0
+        previous = self.phases[self.phase_index].name
         if self.phase_index + 1 < len(self.phases):
             self.phase_index += 1
-            return
-        if self.loop is LoopMode.LOOP:
+        elif self.loop is LoopMode.LOOP:
             self.phase_index = 0
             self.iterations += 1
-            return
-        self.state = JobState.COMPLETED
-        self.completed_at_s = now_s
+        else:
+            self.state = JobState.COMPLETED
+            self.completed_at_s = now_s
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit(EVENT_PHASE_TRANSITION, sim_time_s=now_s,
+                     job=self.name, from_phase=previous,
+                     to_phase=(None if self.done
+                               else self.phases[self.phase_index].name))
 
     def reset(self) -> None:
         """Rewind the job to its initial state (fresh run)."""
