@@ -1,6 +1,10 @@
 # Canonical developer commands for the fvsst reproduction.
 
-.PHONY: install test bench experiments validate examples all
+.PHONY: install test bench bench-save bench-compare experiments validate \
+	examples all
+
+BENCH_BASELINE := benchmarks/BENCH_hotpaths.json
+BENCH_CURRENT  := .bench_current.json
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
@@ -10,6 +14,20 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Refresh the committed hot-path baseline (do this on the reference
+# machine after an intentional perf change, and commit the JSON).
+bench-save:
+	pytest benchmarks/test_bench_hotpaths.py --benchmark-only \
+		--benchmark-json=$(BENCH_BASELINE)
+
+# Re-run the hot-path benches and fail on >3x mean regression vs the
+# committed baseline (same check CI's bench-smoke job runs).
+bench-compare:
+	pytest benchmarks/test_bench_hotpaths.py --benchmark-only \
+		--benchmark-json=$(BENCH_CURRENT)
+	python benchmarks/compare_baseline.py $(BENCH_BASELINE) \
+		$(BENCH_CURRENT) --max-ratio 3.0
 
 experiments:
 	fvsst run all

@@ -1,0 +1,71 @@
+"""Compare a fresh pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python benchmarks/compare_baseline.py BASELINE.json CURRENT.json \
+        [--max-ratio 3.0]
+
+Exits non-zero when any benchmark present in both files regressed by more
+than ``--max-ratio`` on mean time.  Benchmarks missing from either side
+are reported but never fail the check (machines differ; new benches have
+no history yet).  ``make bench-save`` / ``make bench-compare`` wrap this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _means(path: Path) -> dict[str, float]:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read benchmark JSON {path}: {exc}")
+    return {b["name"]: float(b["stats"]["mean"])
+            for b in data.get("benchmarks", [])}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--max-ratio", type=float, default=3.0,
+                        help="fail when current mean exceeds baseline mean "
+                             "by more than this factor (default 3.0)")
+    args = parser.parse_args(argv)
+
+    baseline = _means(args.baseline)
+    current = _means(args.current)
+    failures = []
+    width = max((len(n) for n in current), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(current):
+        mean = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {'(new)':>12}  {mean:>12.3e}      -")
+            continue
+        ratio = mean / base if base > 0 else float("inf")
+        flag = ""
+        if ratio > args.max_ratio:
+            failures.append((name, ratio))
+            flag = f"  REGRESSION (>{args.max_ratio:g}x)"
+        print(f"{name:<{width}}  {base:>12.3e}  {mean:>12.3e}  "
+              f"{ratio:5.2f}{flag}")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}}  {baseline[name]:>12.3e}  {'(absent)':>12}"
+              f"      -")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.max_ratio:g}x the baseline mean.")
+        return 1
+    print("\nno regressions beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

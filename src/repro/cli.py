@@ -15,7 +15,7 @@ import sys
 from typing import Sequence
 
 from .analysis.report import ExperimentResult
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -41,7 +41,17 @@ def build_parser() -> argparse.ArgumentParser:
                                    "digest")
     digest_p.add_argument("--output", metavar="FILE", default="digest.md")
     digest_p.add_argument("--full", action="store_true")
+    digest_p.add_argument("--fast", action="store_true",
+                          help="shrunken durations (the default; opposite "
+                               "of --full)")
     digest_p.add_argument("--seed", type=int, default=2005)
+    digest_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="fan experiments across N worker processes "
+                               "(output is byte-identical to --jobs 1)")
+    digest_p.add_argument("--cache", metavar="DIR", default=None,
+                          help="content-addressed result cache directory; "
+                               "unchanged experiments are recalled instead "
+                               "of re-run")
 
     val_p = sub.add_parser("validate",
                            help="run the paper-vs-measured validation suite")
@@ -62,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render series results as ASCII line charts")
     run_p.add_argument("--output", metavar="DIR", default=None,
                        help="also write JSON + CSV artifacts into DIR")
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for experiments that fan "
+                            "out sweep points (deterministic: same "
+                            "results at any N)")
     run_p.add_argument("--telemetry", metavar="DIR", default=None,
                        help="enable telemetry collection and write the "
                             "JSONL event/span stream, a Prometheus text "
@@ -154,8 +168,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
         if args.command == "digest":
             from .digest import write_digest
+            if args.full and args.fast:
+                raise ConfigError("--full and --fast are mutually exclusive")
             path = write_digest(args.output, fast=not args.full,
-                                seed=args.seed)
+                                seed=args.seed, jobs=args.jobs,
+                                cache_dir=args.cache)
             print(f"digest written to {path}")
             return 0
         if args.command == "validate":
@@ -166,6 +183,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "run":
             ids = sorted(REGISTRY) if args.experiment == "all" \
                 else [args.experiment]
+            if args.jobs != 1:
+                if args.telemetry is not None:
+                    # Pool workers run with NullTelemetry, so a pooled run
+                    # would record nothing.  Instrumentation wins.
+                    print("note: --telemetry forces --jobs 1",
+                          file=sys.stderr)
+                else:
+                    from .exec import configure
+                    configure(args.jobs)
             if args.telemetry is not None:
                 return _run_with_telemetry(ids, args)
             for eid in ids:

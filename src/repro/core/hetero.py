@@ -17,10 +17,14 @@ budget it believes it met — the ``variation`` experiment measures that gap.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from .. import constants
 from ..errors import SchedulingError
 from ..power.table import FrequencyPowerTable
-from .scheduler import FrequencyVoltageScheduler
+from .scheduler import FrequencyVoltageScheduler, ProcessorView
 from .voltage import VoltageSelector
 
 __all__ = ["HeterogeneousScheduler"]
@@ -56,6 +60,13 @@ class HeterogeneousScheduler(FrequencyVoltageScheduler):
 
     def power_for(self, node_id: int, proc_id: int, freq_hz: float) -> float:
         return self.table_for(node_id, proc_id).power_at(freq_hz)
+
+    def _power_ladders(self, views: Sequence[ProcessorView]) -> np.ndarray:
+        # Bulk form of power_for: one cached row per processor's table.
+        return np.array([
+            self.table_for(v.node_id, v.proc_id).powers_array()
+            for v in views
+        ])
 
     @classmethod
     def from_scales(cls, default_table: FrequencyPowerTable,

@@ -15,6 +15,15 @@ Three steps over all processors of all nodes:
    as frequency drops).
 3. Assign each processor the minimum stable voltage for its frequency.
 
+The implementation is vectorised: step 1 evaluates one ``(P x F)``
+predicted-loss matrix over all processors and all ladder rungs in a single
+numpy pass, and step 2 runs the Section 5 single-pass formulation — a
+min-heap holding each processor's next downward rung keyed by incremental
+loss — instead of rescanning every processor per reduction.  Both produce
+exactly the schedule the literal Figure 3 loops would (same greedy metric,
+same deterministic tie-break, bit-identical losses), which the worked
+example and the property tests pin.
+
 If every processor reaches the bottom of the ladder and power still
 exceeds the limit, the budget is infeasible for DVFS alone; callers choose
 between an exception and the floor schedule (the daemon applies the floor
@@ -24,6 +33,7 @@ is a different governor's job).
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
 from typing import Literal, Sequence
@@ -188,6 +198,77 @@ class FrequencyVoltageScheduler:
         idx = int(admissible[0]) if admissible.size else len(freqs) - 1
         return float(freqs[idx]), float(losses[idx])
 
+    # -- vectorised evaluation -----------------------------------------------------
+
+    def _loss_matrix(self, views: Sequence[ProcessorView]) -> np.ndarray:
+        """Predicted loss vs ``f_max`` for every (processor, rung) pair.
+
+        Row ``i`` holds :meth:`predicted_loss` of ``views[i]`` at every
+        ladder frequency (ascending) — one numpy pass instead of ``P x F``
+        scalar model evaluations.  The elementwise operations mirror the
+        scalar path exactly (``ipc * f``, then the relative drop against
+        the ``f_max`` column), so entries are bit-identical to
+        :meth:`predicted_loss`.  Idle signals are a step-2/3 concern and
+        do not zero rows here.
+        """
+        freqs = self.table.freqs_array()
+        if type(self).predicted_loss is not FrequencyVoltageScheduler.predicted_loss:
+            # A subclass redefined the loss model: honour it pointwise.
+            return np.array([
+                [self.predicted_loss(v.signature, f) for f in self.table.freqs_hz]
+                for v in views
+            ])
+        n = len(views)
+        has_sig = np.fromiter((v.signature is not None for v in views),
+                              dtype=bool, count=n)
+        c0 = np.array([v.signature.core_cpi if v.signature is not None
+                       else 1.0 for v in views])
+        m = np.array([v.signature.mem_time_per_instr_s
+                      if v.signature is not None else 0.0 for v in views])
+        ipc = 1.0 / (c0[:, None] + m[:, None] * freqs[None, :])
+        perf = ipc * freqs[None, :]
+        ref = perf[:, -1:]
+        losses = (ref - perf) / ref
+        if not has_sig.all():
+            # No counter data: the pessimistic pure-CPU bound 1 - f/f_max.
+            pessimistic = 1.0 - freqs / self.table.f_max_hz
+            losses = np.where(has_sig[:, None], losses, pessimistic[None, :])
+        return losses
+
+    def _step1_indices(self, views: Sequence[ProcessorView],
+                       losses: np.ndarray) -> np.ndarray:
+        """Epsilon-constrained rung index per view (idle handled by caller).
+
+        The vectorised first-admissible-rung selection; falls back to the
+        (possibly overridden) :meth:`epsilon_constrained` pointwise when a
+        subclass replaced step 1, e.g. the continuous-frequency variant.
+        """
+        if (type(self).epsilon_constrained
+                is not FrequencyVoltageScheduler.epsilon_constrained):
+            return np.array([
+                self.table.index_of(self.epsilon_constrained(v.signature)[0])
+                for v in views
+            ])
+        admissible = losses < self.epsilon
+        return np.where(admissible.any(axis=1), admissible.argmax(axis=1),
+                        losses.shape[1] - 1)
+
+    def _power_ladders(self, views: Sequence[ProcessorView]) -> np.ndarray:
+        """Per-processor power at every rung, shape ``(P, F)``.
+
+        Homogeneous parts share one row (a broadcast view of the table's
+        cached power array); a subclass with per-processor power overrides
+        :meth:`power_for` (or this method, for bulk lookups) instead.
+        """
+        if type(self).power_for is FrequencyVoltageScheduler.power_for:
+            powers = self.table.powers_array()
+            return np.broadcast_to(powers, (len(views), powers.size))
+        return np.array([
+            [self.power_for(v.node_id, v.proc_id, f)
+             for f in self.table.freqs_hz]
+            for v in views
+        ])
+
     # -- the full pass ------------------------------------------------------------
 
     def schedule(self, views: Sequence[ProcessorView],
@@ -210,7 +291,7 @@ class FrequencyVoltageScheduler:
             raise SchedulingError("duplicate (node, proc) in views")
         if power_limit_w is not None:
             check_positive(power_limit_w, "power_limit_w")
-        cap_hz: float | None = None
+        cap_idx: int | None = None
         if max_freq_hz is not None:
             check_positive(max_freq_hz, "max_freq_hz")
             if max_freq_hz < self.table.f_min_hz:
@@ -218,46 +299,60 @@ class FrequencyVoltageScheduler:
                     f"frequency ceiling {max_freq_hz:.3e} Hz below the "
                     f"ladder floor {self.table.f_min_hz:.3e} Hz"
                 )
-            cap_hz = self.table.quantize_down(max_freq_hz)
+            cap_idx = self.table.index_of(self.table.quantize_down(max_freq_hz))
 
         tel = self.telemetry
         wall0 = time.perf_counter() if tel.enabled else 0.0
 
-        # Step 1: epsilon-constrained frequencies (then the ceiling).
-        freqs: list[float] = []
-        eps_freqs: list[float] = []
-        step1_evals = 0
-        for view in views:
-            if view.idle_signaled:
-                f = self.table.f_min_hz
-            else:
-                f, _ = self.epsilon_constrained(view.signature)
-                step1_evals += 1
-            eps_freqs.append(f)
-            if cap_hz is not None:
-                f = min(f, cap_hz)
-            freqs.append(f)
+        n = len(views)
+        idle = np.fromiter((v.idle_signaled for v in views), dtype=bool,
+                           count=n)
 
-        # Step 2: greedy power reduction.
+        # Step 1: one (P x F) loss matrix, the epsilon rule as a vectorised
+        # first-admissible-rung selection, idle pins, then the ceiling.
+        losses = self._loss_matrix(views)
+        idx = self._step1_indices(views, losses)
+        idx[idle] = 0
+        eps_idx = idx.copy()
+        if cap_idx is not None:
+            np.minimum(idx, cap_idx, out=idx)
+        step1_evals = n - int(idle.sum())
+
+        # Step 2: heap-based greedy power reduction.
         infeasible = False
         steps = loss_evals = 0
         if power_limit_w is not None:
-            infeasible, steps, loss_evals = self._reduce_to_budget(
-                views, freqs, power_limit_w, on_infeasible)
+            # Idle processors cost nothing to slow down.
+            step2_losses = np.where(idle[:, None], 0.0, losses) \
+                if idle.any() else losses
+            infeasible, steps, loss_evals = self._reduce_indices(
+                views, idx, step2_losses, self._power_ladders(views),
+                power_limit_w, on_infeasible)
 
-        # Step 3: voltages, and assembly.
+        # Step 3: voltages, and assembly.  Scalar lookups run off plain
+        # Python lists — numpy scalar indexing costs more than the maths
+        # here — and homogeneous parts read power straight off the table's
+        # rung tuple (``power_for`` resolves to exactly that entry).
+        freqs_list = self.table.freqs_hz
+        idx_list = idx.tolist()
+        eps_list = eps_idx.tolist()
+        loss_list = losses[np.arange(n), idx].tolist()
+        homogeneous = type(self).power_for is FrequencyVoltageScheduler.power_for
+        powers_list = self.table.powers_w
+        min_voltage = self.voltages.min_voltage
         assignments = []
-        for view, f, eps_f in zip(views, freqs, eps_freqs):
-            loss = 0.0 if view.idle_signaled else self.predicted_loss(
-                view.signature, f)
+        for i, view in enumerate(views):
+            k = idx_list[i]
+            f = freqs_list[k]
             assignments.append(ProcessorAssignment(
                 node_id=view.node_id,
                 proc_id=view.proc_id,
                 freq_hz=f,
-                voltage=self.voltages.min_voltage(view.node_id, view.proc_id, f),
-                power_w=self.power_for(view.node_id, view.proc_id, f),
-                predicted_loss=loss,
-                eps_freq_hz=eps_f,
+                voltage=min_voltage(view.node_id, view.proc_id, f),
+                power_w=powers_list[k] if homogeneous
+                else self.power_for(view.node_id, view.proc_id, f),
+                predicted_loss=0.0 if view.idle_signaled else loss_list[i],
+                eps_freq_hz=freqs_list[eps_list[i]],
             ))
         total = sum(a.power_w for a in assignments)
         if tel.enabled:
@@ -265,7 +360,7 @@ class FrequencyVoltageScheduler:
             self._m_step1.inc(step1_evals)
             self._m_step2.inc(steps)
             # Step 1 scores the whole ladder per view; step 2 one candidate
-            # per probed processor per iteration.
+            # per heap push.
             self._m_loss.inc(step1_evals * len(self.table) + loss_evals)
             self._m_pass_seconds.observe(time.perf_counter() - wall0)
         return Schedule(
@@ -277,46 +372,95 @@ class FrequencyVoltageScheduler:
             reduction_steps=steps,
         )
 
-    def _reduce_to_budget(self, views: Sequence[ProcessorView],
-                          freqs: list[float], limit_w: float,
-                          on_infeasible: Literal["floor", "raise"]
-                          ) -> tuple[bool, int, int]:
-        """Step 2 in place on ``freqs``.
+    def _reduce_indices(self, views: Sequence[ProcessorView],
+                        idx: np.ndarray, losses: np.ndarray,
+                        ladders: np.ndarray, limit_w: float,
+                        on_infeasible: Literal["floor", "raise"]
+                        ) -> tuple[bool, int, int]:
+        """Heap-based step 2, in place on the rung indices ``idx``.
+
+        ``losses`` are step-2 incremental-loss rows (idle rows zeroed by
+        the caller); ``ladders`` is the ``(P x F)`` per-processor power
+        matrix.  Each processor holds exactly one live heap entry — its
+        next downward rung keyed by ``(loss, node, proc)`` — so the pop
+        order reproduces Figure 3's rescanning greedy exactly, in
+        O(total rungs x log P) instead of O(steps x P).
 
         Returns ``(infeasible, reduction_steps, loss_evaluations)`` so the
         caller can both flag the breach and feed the telemetry counters.
         """
-        def total() -> float:
-            return sum(
-                self.power_for(v.node_id, v.proc_id, f)
-                for v, f in zip(views, freqs)
-            )
-
-        steps = loss_evals = 0
-        while total() > limit_w:
-            best_idx: int | None = None
-            best_key: tuple[float, int, int] | None = None
-            for i, view in enumerate(views):
-                f_less = self.table.next_lower(freqs[i])
-                if f_less is None:
-                    continue
-                # Idle processors cost nothing to slow down.
-                loss = 0.0 if view.idle_signaled else self.predicted_loss(
-                    view.signature, f_less)
+        n = len(views)
+        idx_list = idx.tolist()
+        # Python-sum in view order, exactly as a per-processor rescan would.
+        total = sum(ladders[np.arange(n), idx].tolist())
+        if total <= limit_w:
+            return False, 0, 0
+        # The loop below is scalar by nature; plain nested lists beat numpy
+        # scalar indexing several-fold.  A broadcast ladder (homogeneous
+        # parts) collapses to one shared row.
+        if ladders.ndim == 2 and ladders.strides[0] == 0:
+            ladder_rows = [ladders[0].tolist()] * n
+        else:
+            ladder_rows = ladders.tolist()
+        loss_rows = losses.tolist()
+        heap: list[tuple[float, int, int, int]] = []  # (loss, node, proc, i)
+        loss_evals = 0
+        for i, view in enumerate(views):
+            k = idx_list[i]
+            if k > 0:
+                heap.append((loss_rows[i][k - 1],
+                             view.node_id, view.proc_id, i))
                 loss_evals += 1
-                key = (loss, view.node_id, view.proc_id)
-                if best_key is None or key < best_key:
-                    best_key = key
-                    best_idx = i
-            if best_idx is None:
-                floor = total()
-                if on_infeasible == "raise":
-                    raise InfeasibleBudgetError(
-                        f"power floor {floor:.1f} W exceeds limit {limit_w:.1f} W"
-                        " with every processor at minimum frequency",
-                        floor_power_w=floor, limit_w=limit_w,
-                    )
-                return True, steps, loss_evals
-            freqs[best_idx] = self.table.next_lower(freqs[best_idx])  # type: ignore[assignment]
-            steps += 1
+        heapq.heapify(heap)
+        heappop, heappush = heapq.heappop, heapq.heappush
+        steps = 0
+        try:
+            while total > limit_w:
+                if not heap:
+                    if on_infeasible == "raise":
+                        raise InfeasibleBudgetError(
+                            f"power floor {total:.1f} W exceeds limit "
+                            f"{limit_w:.1f} W"
+                            " with every processor at minimum frequency",
+                            floor_power_w=total, limit_w=limit_w,
+                        )
+                    return True, steps, loss_evals
+                _loss, node_id, proc_id, i = heappop(heap)
+                k = idx_list[i]
+                if k == 0:
+                    continue   # stale entry: already at the floor
+                row = ladder_rows[i]
+                total += row[k - 1] - row[k]
+                idx_list[i] = k - 1
+                steps += 1
+                if k - 1 > 0:
+                    heappush(heap, (loss_rows[i][k - 2],
+                                    node_id, proc_id, i))
+                    loss_evals += 1
+        finally:
+            idx[:] = idx_list
         return False, steps, loss_evals
+
+    def _reduce_to_budget(self, views: Sequence[ProcessorView],
+                          freqs: list[float], limit_w: float,
+                          on_infeasible: Literal["floor", "raise"]
+                          ) -> tuple[bool, int, int]:
+        """Step 2 in place on ``freqs`` (explicit frequency-list form).
+
+        A wrapper over :meth:`_reduce_indices` for callers that carry
+        frequency lists rather than rung indices — the nested-budget
+        scheduler's scoped per-node passes.  Returns
+        ``(infeasible, reduction_steps, loss_evaluations)``.
+        """
+        idx = np.array([self.table.index_of(f) for f in freqs])
+        losses = self._loss_matrix(views)
+        idle = np.fromiter((v.idle_signaled for v in views), dtype=bool,
+                           count=len(views))
+        if idle.any():
+            losses = np.where(idle[:, None], 0.0, losses)
+        result = self._reduce_indices(views, idx, losses,
+                                      self._power_ladders(views), limit_w,
+                                      on_infeasible)
+        freqs_arr = self.table.freqs_array()
+        freqs[:] = [float(freqs_arr[int(k)]) for k in idx]
+        return result

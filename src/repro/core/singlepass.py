@@ -1,123 +1,33 @@
 """The single-pass scheduler (Section 5: "it is possible to implement in a
 single pass scheduler").
 
-The two-pass Figure 3 algorithm first fixes every processor's
-epsilon-constrained frequency, then walks power down step by step,
-re-scanning all processors for the smallest next-step loss each iteration —
-O(steps × procs).  The single-pass formulation computes, for each
-processor, its whole ladder of (frequency, power, predicted loss) rungs up
-front, seeds a min-heap with each processor's first *downward* rung keyed
-by loss, and pops until the budget is met — O(total rungs × log procs) —
+Historically this module carried the heap-based alternative to Figure 3's
+rescanning two-pass loop: compute each processor's whole ladder of
+(frequency, power, predicted loss) rungs up front, seed a min-heap with
+each processor's first *downward* rung keyed by loss, and pop until the
+budget is met — O(total rungs x log procs) instead of O(steps x procs) —
 while producing **exactly the same schedule** (same greedy metric, same
 deterministic tie-break), which the property tests verify.
+
+That formulation is now the base implementation:
+:class:`~repro.core.scheduler.FrequencyVoltageScheduler` evaluates step 1
+as one vectorised ``(P x F)`` loss matrix and runs step 2 through the same
+heap (``_reduce_indices``).  :class:`SinglePassScheduler` remains as the
+Section 5 name for that algorithm — kept for API compatibility and so the
+benches can time both entry points.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Literal, Sequence
-
-from .. import constants
-from ..errors import InfeasibleBudgetError, SchedulingError
-from ..power.table import FrequencyPowerTable
-from .scheduler import (
-    FrequencyVoltageScheduler,
-    ProcessorAssignment,
-    ProcessorView,
-    Schedule,
-)
-from .voltage import VoltageSelector
+from .scheduler import FrequencyVoltageScheduler
 
 __all__ = ["SinglePassScheduler"]
 
 
 class SinglePassScheduler(FrequencyVoltageScheduler):
-    """Heap-based single-pass equivalent of the Figure 3 algorithm."""
+    """Heap-based single-pass equivalent of the Figure 3 algorithm.
 
-    def schedule(self, views: Sequence[ProcessorView],
-                 power_limit_w: float | None = None, *,
-                 max_freq_hz: float | None = None,
-                 on_infeasible: Literal["floor", "raise"] = "floor") -> Schedule:
-        if not views:
-            raise SchedulingError("no processors to schedule")
-        keys = [(v.node_id, v.proc_id) for v in views]
-        if len(set(keys)) != len(keys):
-            raise SchedulingError("duplicate (node, proc) in views")
-        cap_hz: float | None = None
-        if max_freq_hz is not None:
-            if max_freq_hz < self.table.f_min_hz:
-                raise SchedulingError("frequency ceiling below ladder floor")
-            cap_hz = self.table.quantize_down(max_freq_hz)
-
-        # One pass over processors: epsilon rung + heap seeding.
-        freqs: list[float] = []
-        eps_freqs: list[float] = []
-        heap: list[tuple[float, int, int, int]] = []  # (loss, node, proc, i)
-        for i, view in enumerate(views):
-            if view.idle_signaled:
-                f = self.table.f_min_hz
-            else:
-                f, _ = self.epsilon_constrained(view.signature)
-            eps_freqs.append(f)
-            if cap_hz is not None:
-                f = min(f, cap_hz)
-            freqs.append(f)
-
-        total = sum(
-            self.power_for(v.node_id, v.proc_id, f)
-            for v, f in zip(views, freqs)
-        )
-        infeasible = False
-        if power_limit_w is not None and total > power_limit_w:
-            for i, view in enumerate(views):
-                self._push_next(heap, views, freqs, i)
-            while total > power_limit_w:
-                if not heap:
-                    if on_infeasible == "raise":
-                        raise InfeasibleBudgetError(
-                            f"power floor {total:.1f} W exceeds limit "
-                            f"{power_limit_w:.1f} W",
-                            floor_power_w=total, limit_w=power_limit_w,
-                        )
-                    infeasible = True
-                    break
-                _loss, _node, _proc, i = heapq.heappop(heap)
-                f_less = self.table.next_lower(freqs[i])
-                if f_less is None:
-                    continue   # stale entry: already at the floor
-                view = views[i]
-                total -= self.power_for(view.node_id, view.proc_id, freqs[i])
-                freqs[i] = f_less
-                total += self.power_for(view.node_id, view.proc_id, freqs[i])
-                self._push_next(heap, views, freqs, i)
-
-        assignments = []
-        for view, f, eps_f in zip(views, freqs, eps_freqs):
-            loss = 0.0 if view.idle_signaled else self.predicted_loss(
-                view.signature, f)
-            assignments.append(ProcessorAssignment(
-                node_id=view.node_id, proc_id=view.proc_id,
-                freq_hz=f,
-                voltage=self.voltages.min_voltage(view.node_id,
-                                                  view.proc_id, f),
-                power_w=self.power_for(view.node_id, view.proc_id, f),
-                predicted_loss=loss,
-                eps_freq_hz=eps_f,
-            ))
-        return Schedule(
-            assignments=tuple(assignments),
-            total_power_w=sum(a.power_w for a in assignments),
-            power_limit_w=power_limit_w,
-            epsilon=self.epsilon,
-            infeasible=infeasible,
-        )
-
-    def _push_next(self, heap, views, freqs, i) -> None:
-        """Push processor ``i``'s next downward rung onto the heap."""
-        f_less = self.table.next_lower(freqs[i])
-        if f_less is None:
-            return
-        view = views[i]
-        loss = 0.0 if view.idle_signaled else self.predicted_loss(
-            view.signature, f_less)
-        heapq.heappush(heap, (loss, view.node_id, view.proc_id, i))
+    Identical to the base scheduler since the vectorisation unified the
+    two implementations; the equivalence tests keep pinning that the two
+    names schedule identically.
+    """

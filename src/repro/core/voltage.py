@@ -33,13 +33,23 @@ class VoltageSelector:
     def __init__(self, curve: VoltageFrequencyCurve | None = None) -> None:
         self._default = curve if curve is not None else default_vf_curve()
         self._overrides: dict[tuple[int, int], VoltageFrequencyCurve] = {}
+        # Per-curve memo: ladders have ~16 rungs, so a pass over hundreds of
+        # processors asks for the same handful of voltages.  Keyed by curve
+        # identity; cleared whenever the curve set changes, so an id() can
+        # never outlive the curve it names.
+        self._cache: dict[tuple[int, float], float] = {}
 
     def set_processor_curve(self, node_id: int, proc_id: int,
                             curve: VoltageFrequencyCurve) -> None:
         """Install a processor-specific curve (process variation)."""
         self._overrides[(node_id, proc_id)] = curve
+        self._cache.clear()
 
     def min_voltage(self, node_id: int, proc_id: int, freq_hz: float) -> float:
         """The lowest stable voltage for this processor at this frequency."""
         curve = self._overrides.get((node_id, proc_id), self._default)
-        return curve.min_voltage(freq_hz)
+        key = (id(curve), freq_hz)
+        v = self._cache.get(key)
+        if v is None:
+            v = self._cache[key] = curve.min_voltage(freq_hz)
+        return v

@@ -42,10 +42,20 @@ def _section(result: ExperimentResult) -> str:
 
 
 def build_digest(*, fast: bool = True, seed: int = 2005,
-                 experiment_ids: tuple[str, ...] | None = None) -> str:
-    """Run the experiments and return the digest as markdown text."""
-    from .experiments import REGISTRY, run_experiment
-    from .validation import run_validation
+                 experiment_ids: tuple[str, ...] | None = None,
+                 jobs: int | None = None,
+                 cache_dir: str | Path | None = None) -> str:
+    """Run the experiments and return the digest as markdown text.
+
+    ``jobs`` fans the experiment runs across worker processes and
+    ``cache_dir`` enables the content-addressed result cache; both leave
+    the markdown byte-identical to a serial, uncached build.  Each
+    experiment runs exactly once — the validation section scores the same
+    results the per-artifact sections render.
+    """
+    from .exec import ParallelRunner
+    from .experiments import REGISTRY
+    from .validation import EXPECTATIONS, run_validation
 
     ids = list(experiment_ids) if experiment_ids is not None else [
         e for e in _ORDER if e in REGISTRY
@@ -57,7 +67,15 @@ def build_digest(*, fast: bool = True, seed: int = 2005,
     if experiment_ids is None:
         ids += sorted(set(REGISTRY) - set(ids))
 
-    report = run_validation(fast=fast, seed=seed)
+    validation_ids = sorted(
+        {e.experiment_id for e in EXPECTATIONS} & set(REGISTRY)
+    )
+    runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    results = runner.run_many(
+        [*ids, *[e for e in validation_ids if e not in ids]],
+        seed=seed, fast=fast,
+    )
+    report = run_validation(fast=fast, seed=seed, results=results)
     lines = [
         "# fvsst reproduction digest",
         "",
@@ -74,8 +92,7 @@ def build_digest(*, fast: bool = True, seed: int = 2005,
         "",
     ]
     for eid in ids:
-        result = run_experiment(eid, seed=seed, fast=fast)
-        lines.append(_section(result))
+        lines.append(_section(results[eid]))
     return "\n".join(lines)
 
 

@@ -1,0 +1,36 @@
+"""Parallel experiment execution and result caching.
+
+The execution engine behind ``fvsst digest --jobs N --cache DIR``:
+
+* :class:`ParallelRunner` — fans registered experiments across a
+  ``ProcessPoolExecutor`` with deterministic ordering and seeding, so
+  parallel output is byte-identical to serial
+  (:mod:`repro.exec.runner`);
+* :class:`ResultCache` — content-addressed on-disk results, keyed by
+  experiment id + kwargs digest + a fingerprint of the ``repro`` source
+  tree (:mod:`repro.exec.cache`);
+* :func:`parallel_map` / :func:`configure` — order-preserving fan-out
+  for sweep points *inside* experiments, governed by one process-global
+  ``--jobs`` value and guarded against nested pools
+  (:mod:`repro.exec.pool`).
+
+Pool width, task counts, and cache hits/misses are reported through the
+telemetry registry (``exec_pool_tasks_total``, ``exec_pool_workers``,
+``exec_cache_hits_total``, ``exec_cache_misses_total``) and surface in
+the standard Prometheus/JSONL exporters.  See docs/PERFORMANCE.md.
+"""
+
+from .cache import ResultCache, cache_key, source_fingerprint
+from .pool import configure, configured_jobs, effective_jobs, parallel_map
+from .runner import ParallelRunner
+
+__all__ = [
+    "ParallelRunner",
+    "ResultCache",
+    "cache_key",
+    "source_fingerprint",
+    "configure",
+    "configured_jobs",
+    "effective_jobs",
+    "parallel_map",
+]

@@ -1,0 +1,122 @@
+"""Content-addressed on-disk cache of experiment results.
+
+A cached entry is keyed by *everything that determines the result*: the
+experiment id, a canonical JSON digest of the run kwargs (seed, fast
+mode), and a fingerprint of the whole ``repro`` source tree.  Any code
+edit, seed change, or mode change therefore misses cleanly; a hit is the
+exact JSON round-trip of the original :class:`ExperimentResult` (the
+same serialisation ``fvsst run --output`` ships), so a warm ``fvsst
+digest`` renders byte-identical markdown to a cold one.
+
+Entries are plain JSON files — safe to inspect, diff, and delete; the
+cache directory *is* the cache, there is no index to corrupt.  Unreadable
+or stale-format entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Mapping
+
+from ..analysis.export import result_from_dict, result_to_dict
+from ..analysis.report import ExperimentResult
+from ..errors import ExperimentError
+from ..telemetry import Telemetry, get_telemetry
+
+__all__ = ["ResultCache", "cache_key", "source_fingerprint"]
+
+_ENTRY_VERSION = 1
+
+#: Computed once per process: hashing ~200 source files costs a few
+#: milliseconds, and the tree cannot change under a running process in a
+#: way the cache should chase.
+_FINGERPRINT: str | None = None
+
+
+def source_fingerprint() -> str:
+    """Hex digest over every ``repro`` source file (path + contents)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _FINGERPRINT = h.hexdigest()
+    return _FINGERPRINT
+
+
+def cache_key(experiment_id: str, kwargs: Mapping[str, object]) -> str:
+    """The content address of one (experiment, kwargs, source) triple."""
+    try:
+        payload = json.dumps(
+            {"id": experiment_id, "kwargs": dict(kwargs),
+             "src": source_fingerprint()},
+            sort_keys=True,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(
+            f"cache kwargs for {experiment_id!r} are not JSON-encodable: "
+            f"{exc}"
+        ) from exc
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed result store addressed by :func:`cache_key`."""
+
+    def __init__(self, directory: str | Path, *,
+                 telemetry: Telemetry | None = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        m = self.telemetry.metrics
+        self._m_hits = m.counter(
+            "exec_cache_hits_total",
+            "Experiment results served from the on-disk cache")
+        self._m_misses = m.counter(
+            "exec_cache_misses_total",
+            "Experiment cache lookups that had to run the experiment")
+
+    def path_for(self, experiment_id: str,
+                 kwargs: Mapping[str, object]) -> Path:
+        """Where the entry for this (experiment, kwargs) pair lives."""
+        return self.directory / (
+            f"{experiment_id}-{cache_key(experiment_id, kwargs)[:24]}.json"
+        )
+
+    def get(self, experiment_id: str,
+            kwargs: Mapping[str, object]) -> ExperimentResult | None:
+        """The cached result, or None on any kind of miss."""
+        path = self.path_for(experiment_id, kwargs)
+        try:
+            data = json.loads(path.read_text())
+            if data.get("entry_version") != _ENTRY_VERSION:
+                raise ExperimentError("stale cache entry format")
+            result = result_from_dict(data["result"])
+        except (OSError, json.JSONDecodeError, KeyError, ExperimentError):
+            if self.telemetry.enabled:
+                self._m_misses.inc()
+            return None
+        if self.telemetry.enabled:
+            self._m_hits.inc()
+        return result
+
+    def put(self, experiment_id: str, kwargs: Mapping[str, object],
+            result: ExperimentResult) -> Path:
+        """Store one result; returns the entry path."""
+        path = self.path_for(experiment_id, kwargs)
+        entry = {
+            "entry_version": _ENTRY_VERSION,
+            "experiment_id": experiment_id,
+            "kwargs": dict(kwargs),
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, indent=2))
+        tmp.replace(path)
+        return path

@@ -1,0 +1,87 @@
+"""Process-pool plumbing shared by the runner and in-experiment fan-out.
+
+One process-global job count (set by ``fvsst ... --jobs`` or
+:func:`configure`) governs every :func:`parallel_map` call site, so
+experiments never need their own knobs.  Worker processes are marked via
+an environment flag and always report an effective width of 1 — a sweep
+running *inside* a pooled experiment degrades to the serial loop instead
+of forking a nested pool.
+
+Determinism is the caller's contract and this module's guarantee:
+:func:`parallel_map` preserves input order exactly, and every task
+carries its own pre-derived seed (experiments spawn per-task seeds with
+:func:`repro.sim.rng.spawn_seeds` *before* fanning out), so results are
+independent of worker count, placement, and completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+from ..errors import ExperimentError
+
+__all__ = ["configure", "configured_jobs", "effective_jobs", "parallel_map",
+           "worker_init"]
+
+#: Set in every pool worker: nested parallel_map calls go serial.
+_WORKER_ENV = "FVSST_POOL_WORKER"
+
+_configured_jobs = 1
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def configure(jobs: int) -> None:
+    """Set the process-global worker count used when none is passed."""
+    global _configured_jobs
+    if jobs < 1:
+        raise ExperimentError(f"--jobs must be >= 1, got {jobs}")
+    _configured_jobs = int(jobs)
+
+
+def configured_jobs() -> int:
+    """The process-global worker count (1 unless configured)."""
+    return _configured_jobs
+
+
+def effective_jobs(requested: int | None = None) -> int:
+    """The worker count a fan-out should actually use right now."""
+    if os.environ.get(_WORKER_ENV):
+        return 1   # already inside a pool worker: never nest
+    jobs = _configured_jobs if requested is None else int(requested)
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def worker_init() -> None:
+    """Initializer for every pool worker.
+
+    Marks the process so nested fan-outs stay serial, and drops any
+    inherited (forked) telemetry backend — workers measure nothing; the
+    parent owns the counters.
+    """
+    os.environ[_WORKER_ENV] = "1"
+    from ..telemetry import NullTelemetry, set_telemetry
+    set_telemetry(NullTelemetry())
+
+
+def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
+                 jobs: int | None = None) -> list[_R]:
+    """Map a picklable module-level function over items, order-preserving.
+
+    With an effective width of 1 (default, unconfigured, or inside a
+    worker) this is exactly ``[fn(x) for x in items]`` — same process,
+    same order, no pickling — which is what makes ``--jobs N`` output
+    byte-identical to ``--jobs 1``.
+    """
+    items = list(items)
+    width = min(effective_jobs(jobs), len(items))
+    if width <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=width,
+                             initializer=worker_init) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,92 @@
+"""Fan registered experiments across processes, with result caching.
+
+The serial ``fvsst digest`` loop becomes: probe the cache for every
+requested experiment, run the misses — across a
+``concurrent.futures.ProcessPoolExecutor`` when ``jobs > 1`` — and hand
+back results keyed by experiment id, in the caller's order.
+
+Determinism: every task receives exactly the kwargs the serial loop
+would pass (the root seed included; experiments derive their internal
+streams from it via ``SeedSequence`` spawning, never from global state),
+tasks are submitted and collected in request order, and *all* execution
+paths round-trip results through the canonical JSON serialisation — so
+the rendered output of ``--jobs N`` is byte-identical to ``--jobs 1``,
+and a warm cache is byte-identical to a cold run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Sequence
+
+from ..analysis.export import result_from_dict, result_to_dict
+from ..analysis.report import ExperimentResult
+from ..telemetry import Telemetry, get_telemetry
+from .cache import ResultCache
+from .pool import effective_jobs, worker_init
+
+__all__ = ["ParallelRunner"]
+
+
+def _run_task(task: tuple[str, int, bool]) -> dict:
+    """One experiment in one worker; returns the JSON-shaped result.
+
+    Module-level (picklable) and self-importing, so a forked or spawned
+    worker can execute it with nothing but the task tuple.
+    """
+    experiment_id, seed, fast = task
+    from ..experiments import run_experiment
+    return result_to_dict(run_experiment(experiment_id, seed=seed, fast=fast))
+
+
+class ParallelRunner:
+    """Run many registered experiments, cached and optionally pooled."""
+
+    def __init__(self, jobs: int | None = None,
+                 cache_dir: str | Path | None = None, *,
+                 telemetry: Telemetry | None = None) -> None:
+        self.jobs = jobs
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self.cache = None if cache_dir is None else ResultCache(
+            cache_dir, telemetry=self.telemetry)
+        m = self.telemetry.metrics
+        self._m_tasks = m.counter(
+            "exec_pool_tasks_total",
+            "Experiment tasks executed by the runner (cache misses)")
+        self._m_workers = m.gauge(
+            "exec_pool_workers",
+            "Worker processes used by the last runner fan-out")
+
+    def run_many(self, experiment_ids: Sequence[str], *, seed: int,
+                 fast: bool) -> dict[str, ExperimentResult]:
+        """Run (or recall) every experiment; results in request order."""
+        ids = list(dict.fromkeys(experiment_ids))
+        kwargs = {"seed": seed, "fast": fast}
+        results: dict[str, ExperimentResult] = {}
+        pending = []
+        for eid in ids:
+            cached = self.cache.get(eid, kwargs) if self.cache else None
+            if cached is not None:
+                results[eid] = cached
+            else:
+                pending.append(eid)
+
+        width = min(effective_jobs(self.jobs), len(pending))
+        if self.telemetry.enabled:
+            self._m_tasks.inc(len(pending))
+            self._m_workers.set(max(width, 1 if pending else 0))
+        tasks = [(eid, seed, fast) for eid in pending]
+        if width > 1:
+            with ProcessPoolExecutor(max_workers=width,
+                                     initializer=worker_init) as pool:
+                payloads = list(pool.map(_run_task, tasks))
+        else:
+            payloads = [_run_task(t) for t in tasks]
+        for eid, payload in zip(pending, payloads):
+            # The same JSON round-trip on every path (pooled, serial,
+            # cached) keeps renders byte-identical across all of them.
+            results[eid] = result_from_dict(payload)
+            if self.cache is not None:
+                self.cache.put(eid, kwargs, results[eid])
+        return {eid: results[eid] for eid in ids}

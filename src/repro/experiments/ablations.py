@@ -21,6 +21,7 @@ import numpy as np
 
 from ..analysis.report import ExperimentResult, TableResult
 from ..core.daemon import DaemonConfig
+from ..exec.pool import parallel_map
 from ..model.bounds import LatencyBounds, predict_ipc_bounds
 from ..model.ipc import MemoryCounts
 from ..model.latency import POWER4_LATENCIES
@@ -39,6 +40,19 @@ __all__ = [
 ]
 
 
+def _epsilon_point(task: tuple[float | None, int, int]) -> dict[str, float]:
+    """One epsilon sweep point (picklable; ``eps=None`` is the baseline)."""
+    eps, s, reps = task
+    run_ = run_job_under_governor(
+        mcf_profile().job(body_repeats=reps),
+        "none" if eps is None else "fvsst",
+        power_limit_w=None,
+        daemon_config=None if eps is None else DaemonConfig(epsilon=eps),
+        seed=s,
+    )
+    return {"throughput": run_.throughput, "energy": run_.core_energy_j}
+
+
 def run_epsilon_sweep(seed: int = 2005, fast: bool = False,
                       epsilons: tuple[float, ...] = (0.01, 0.02, 0.04,
                                                      0.08, 0.15)
@@ -46,22 +60,16 @@ def run_epsilon_sweep(seed: int = 2005, fast: bool = False,
     """Performance vs energy across epsilon values (mcf, unconstrained)."""
     seeds = spawn_seeds(seed, len(epsilons) + 1)
     reps = 1 if fast else 2
-    baseline = run_job_under_governor(
-        mcf_profile().job(body_repeats=reps), "none",
-        power_limit_w=None, seed=seeds[0],
-    )
+    baseline, *points = parallel_map(_epsilon_point, [
+        (None, seeds[0], reps),
+        *((eps, s, reps) for eps, s in zip(epsilons, seeds[1:])),
+    ])
     rows = []
-    for eps, s in zip(epsilons, seeds[1:]):
-        run_ = run_job_under_governor(
-            mcf_profile().job(body_repeats=reps), "fvsst",
-            power_limit_w=None,
-            daemon_config=DaemonConfig(epsilon=eps),
-            seed=s,
-        )
+    for eps, point in zip(epsilons, points):
         rows.append((
             eps,
-            round(run_.throughput / baseline.throughput, 3),
-            round(run_.core_energy_j / baseline.core_energy_j, 3),
+            round(point["throughput"] / baseline["throughput"], 3),
+            round(point["energy"] / baseline["energy"], 3),
         ))
     table = TableResult(
         headers=("epsilon", "norm_performance", "norm_energy"),
@@ -205,51 +213,68 @@ def run_predictor_variants(seed: int | None = None, fast: bool = False
     )
 
 
+def _build_policy_machine(seed_: int):
+    from ..sim.machine import MachineConfig, SMPMachine
+    from ..workloads.profiles import ALL_PROFILES
+
+    machine = SMPMachine(MachineConfig(num_cores=4), seed=seed_)
+    for i, app in enumerate(("gzip", "gap", "mcf", "health")):
+        machine.assign(i, ALL_PROFILES[app].job(loop=True))
+    return machine
+
+
+def _policy_point(task: tuple[str, int, bool, float]) -> dict[str, float]:
+    """One governor x budget sweep point (picklable for the pool)."""
+    from ..sim.driver import Simulation
+    from .common import make_governor
+
+    policy, seed_, fast, budget_w = task
+    duration = 4.0 if fast else 10.0
+    machine = _build_policy_machine(seed_)
+    sim = Simulation(machine)
+    if policy == "none":
+        make_governor("none", machine, power_limit_w=None).attach(sim)
+        sim.run_for(duration)
+        return {"instructions": sum(c.counters.instructions
+                                    for c in machine.cores)}
+    make_governor(policy, machine, power_limit_w=budget_w,
+                  seed=seed_).attach(sim)
+    powers = []
+    sim.every(0.05, lambda t, m=machine, p=powers: p.append(m.cpu_power_w()))
+    sim.run_for(duration)
+    return {
+        "instructions": sum(c.counters.instructions for c in machine.cores),
+        "mean_w": float(np.mean(powers)),
+        "max_w": float(np.max(powers)),
+    }
+
+
 def run_policy_comparison(seed: int = 2005, fast: bool = False,
                           budget_w: float = 294.0) -> ExperimentResult:
     """fvsst vs the abstract's alternatives at one fixed 4-core budget.
 
     All four cores run real work (the four application models), so the
     budget genuinely binds.  Scored on aggregate throughput and worst-case
-    power.
+    power.  Each (governor, budget) point is an independent simulation
+    with its own pre-spawned seed, so the five runs fan across worker
+    processes under ``--jobs``.
     """
-    from ..sim.driver import Simulation
-    from ..sim.machine import MachineConfig, SMPMachine
-    from ..workloads.profiles import ALL_PROFILES
-    from .common import make_governor
-
-    duration = 4.0 if fast else 10.0
     policies = ("fvsst", "uniform", "powerdown", "utilization")
     seeds = spawn_seeds(seed, len(policies) + 1)
 
-    def build(seed_: int):
-        machine = SMPMachine(MachineConfig(num_cores=4), seed=seed_)
-        for i, app in enumerate(("gzip", "gap", "mcf", "health")):
-            machine.assign(i, ALL_PROFILES[app].job(loop=True))
-        return machine
-
-    reference = build(seeds[0])
-    sim = Simulation(reference)
-    make_governor("none", reference, power_limit_w=None).attach(sim)
-    sim.run_for(duration)
-    ref_instr = sum(c.counters.instructions for c in reference.cores)
+    reference, *points = parallel_map(_policy_point, [
+        ("none", seeds[0], fast, budget_w),
+        *((p, s, fast, budget_w) for p, s in zip(policies, seeds[1:])),
+    ])
+    ref_instr = reference["instructions"]
 
     rows = []
-    for policy, s in zip(policies, seeds[1:]):
-        machine = build(s)
-        sim = Simulation(machine)
-        governor = make_governor(policy, machine, power_limit_w=budget_w,
-                                 seed=s)
-        governor.attach(sim)
-        powers = []
-        sim.every(0.05, lambda t, m=machine, p=powers: p.append(m.cpu_power_w()))
-        sim.run_for(duration)
-        instr = sum(c.counters.instructions for c in machine.cores)
+    for policy, point in zip(policies, points):
         rows.append((
             policy,
-            round(instr / ref_instr, 3),
-            round(float(np.mean(powers)), 1),
-            round(float(np.max(powers)), 1),
+            round(point["instructions"] / ref_instr, 3),
+            round(point["mean_w"], 1),
+            round(point["max_w"], 1),
         ))
     table = TableResult(
         headers=("policy", "norm_throughput", "mean_cpu_w", "max_cpu_w"),

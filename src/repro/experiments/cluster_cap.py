@@ -16,6 +16,7 @@ from __future__ import annotations
 from ..analysis.report import ExperimentResult, TableResult
 from ..cluster.coordinator import ClusterCoordinator, CoordinatorConfig
 from ..core.baselines import uniform_cap_frequency
+from ..exec.pool import parallel_map
 from ..sim.cluster import Cluster
 from ..sim.driver import Simulation
 from ..sim.machine import MachineConfig
@@ -73,12 +74,24 @@ def _run_policy(policy: str, *, seed: int, fast: bool) -> dict[str, float]:
     }
 
 
+def _policy_task(task: tuple[str, int, bool]) -> dict[str, float]:
+    """Picklable wrapper so the policy runs can fan across a pool."""
+    policy, seed, fast = task
+    return _run_policy(policy, seed=seed, fast=fast)
+
+
 def run(seed: int = 2005, fast: bool = False) -> ExperimentResult:
-    """Run the cluster capping comparison."""
+    """Run the cluster capping comparison.
+
+    The three policy runs are independent (each gets its own pre-spawned
+    seed), so they fan across worker processes when ``--jobs`` is set.
+    """
     seeds = spawn_seeds(seed, 3)
-    reference = _run_policy("none", seed=seeds[0], fast=fast)
-    fvsst = _run_policy("fvsst", seed=seeds[1], fast=fast)
-    uniform = _run_policy("uniform", seed=seeds[2], fast=fast)
+    reference, fvsst, uniform = parallel_map(_policy_task, [
+        ("none", seeds[0], fast),
+        ("fvsst", seeds[1], fast),
+        ("uniform", seeds[2], fast),
+    ])
 
     def norm(r: dict[str, float]) -> float:
         return r["throughput"] / reference["throughput"]

@@ -8,7 +8,7 @@ This module provides that harness once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from .. import constants
 from ..core.baselines import (
@@ -34,6 +34,11 @@ __all__ = [
 
 GOVERNOR_NAMES = ("fvsst", "none", "uniform", "powerdown", "utilization")
 
+#: Shared default daemon tunables: :class:`DaemonConfig` is frozen, so
+#: every budget-matching ``make_governor`` call can hand out the same
+#: instance instead of rebuilding one per run.
+_DEFAULT_DAEMON_CONFIG = DaemonConfig()
+
 
 def make_governor(name: str, machine: SMPMachine, *,
                   power_limit_w: float | None,
@@ -41,9 +46,9 @@ def make_governor(name: str, machine: SMPMachine, *,
                   seed: int | None = None) -> Governor:
     """Instantiate a governor by name with a power budget."""
     if name == "fvsst":
-        config = daemon_config or DaemonConfig()
+        config = daemon_config if daemon_config is not None \
+            else _DEFAULT_DAEMON_CONFIG
         if config.power_limit_w != power_limit_w:
-            from dataclasses import replace
             config = replace(config, power_limit_w=power_limit_w)
         return FvsstDaemon(machine, config, seed=seed)
     if name == "none":

@@ -80,12 +80,25 @@ class FrequencyPowerTable:
         return self.powers_w[-1]
 
     def freqs_array(self) -> np.ndarray:
-        """Frequencies as a float ndarray (ascending)."""
-        return np.asarray(self.freqs_hz, dtype=float)
+        """Frequencies as a float ndarray (ascending).
+
+        Cached: every call returns the *same* read-only array object, so
+        per-pass hot paths (the scheduler's loss matrix, the predictor)
+        never rebuild it and may hold it without defensive copies.
+        """
+        return self._cached_array("_freqs_array_cache", self.freqs_hz)
 
     def powers_array(self) -> np.ndarray:
-        """Powers as a float ndarray (ascending)."""
-        return np.asarray(self.powers_w, dtype=float)
+        """Powers as a float ndarray (ascending); cached and read-only."""
+        return self._cached_array("_powers_array_cache", self.powers_w)
+
+    def _cached_array(self, attr: str, values: tuple[float, ...]) -> np.ndarray:
+        arr = self.__dict__.get(attr)
+        if arr is None:
+            arr = np.asarray(values, dtype=float)
+            arr.setflags(write=False)
+            object.__setattr__(self, attr, arr)
+        return arr
 
     # -- lookups -------------------------------------------------------------
 

@@ -162,14 +162,24 @@ EXPECTATIONS: tuple[Expectation, ...] = (
 
 
 def run_validation(*, fast: bool = True, seed: int = 2005,
-                   expectations: tuple[Expectation, ...] = EXPECTATIONS
+                   expectations: tuple[Expectation, ...] | None = None,
+                   results: dict[str, ExperimentResult] | None = None
                    ) -> ValidationReport:
-    """Run every referenced experiment once and score the expectations."""
+    """Run every referenced experiment once and score the expectations.
+
+    ``results`` lets a caller that already ran the experiments (the
+    digest's parallel runner) supply them instead of re-executing;
+    anything missing still runs here.
+    """
     from .experiments import run_experiment
 
+    if expectations is None:
+        expectations = EXPECTATIONS
     needed = sorted({e.experiment_id for e in expectations})
-    results = {eid: run_experiment(eid, seed=seed, fast=fast)
-               for eid in needed}
+    results = dict(results) if results is not None else {}
+    for eid in needed:
+        if eid not in results:
+            results[eid] = run_experiment(eid, seed=seed, fast=fast)
     report = ValidationReport()
     for expectation in expectations:
         measured = expectation.extract(results[expectation.experiment_id])

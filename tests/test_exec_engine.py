@@ -1,0 +1,186 @@
+"""The parallel execution engine: determinism, caching, telemetry.
+
+The contract under test is the ISSUE's acceptance surface: ``--jobs N``
+output byte-identical to ``--jobs 1``, warm-cache reruns byte-identical
+to cold runs, cache invalidation on kwargs/seed/source change, and the
+``exec_*`` counters flowing through the standard exporters.
+"""
+
+import json
+
+import pytest
+
+from repro import validation
+from repro.digest import build_digest
+from repro.errors import ExperimentError
+from repro.exec import (
+    ParallelRunner,
+    ResultCache,
+    cache_key,
+    configure,
+    configured_jobs,
+    effective_jobs,
+    parallel_map,
+    source_fingerprint,
+)
+from repro.experiments import run_experiment
+from repro.telemetry import (
+    Telemetry,
+    prometheus_text,
+    use_telemetry,
+    write_metrics_jsonl,
+)
+
+CHEAP_IDS = ["worked_example", "table1", "fig1"]
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _serial_default():
+    """Tests that call configure() must not leak a global job count."""
+    yield
+    configure(1)
+
+
+class TestPool:
+    def test_parallel_map_preserves_order(self):
+        assert parallel_map(_square, range(8), jobs=3) == \
+            [x * x for x in range(8)]
+
+    def test_serial_when_jobs_one(self):
+        assert parallel_map(_square, range(4)) == [0, 1, 4, 9]
+
+    def test_configure_governs_default_width(self):
+        configure(5)
+        assert configured_jobs() == 5
+        assert effective_jobs() == 5
+        assert effective_jobs(2) == 2
+
+    def test_worker_guard_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("FVSST_POOL_WORKER", "1")
+        assert effective_jobs(8) == 1
+
+    def test_configure_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            configure(0)
+
+
+class TestCacheKey:
+    def test_stable_within_process(self):
+        kwargs = {"seed": 1, "fast": True}
+        assert cache_key("fig1", kwargs) == cache_key("fig1", kwargs)
+
+    def test_changes_with_seed_fast_and_id(self):
+        base = cache_key("fig1", {"seed": 1, "fast": True})
+        assert cache_key("fig1", {"seed": 2, "fast": True}) != base
+        assert cache_key("fig1", {"seed": 1, "fast": False}) != base
+        assert cache_key("fig4", {"seed": 1, "fast": True}) != base
+
+    def test_fingerprint_is_stable_hex(self):
+        fp = source_fingerprint()
+        assert fp == source_fingerprint()
+        assert len(fp) == 64
+        assert all(c in "0123456789abcdef" for c in fp)
+
+    def test_unencodable_kwargs_raise(self):
+        with pytest.raises(ExperimentError):
+            cache_key("fig1", {"seed": object()})
+
+
+class TestResultCache:
+    def test_roundtrip_renders_identically(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_experiment("worked_example", seed=3, fast=True)
+        kwargs = {"seed": 3, "fast": True}
+        assert cache.get("worked_example", kwargs) is None
+        cache.put("worked_example", kwargs, result)
+        again = cache.get("worked_example", kwargs)
+        assert again is not None
+        assert again.render() == result.render()
+
+    def test_seed_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_experiment("worked_example", seed=3, fast=True)
+        cache.put("worked_example", {"seed": 3, "fast": True}, result)
+        assert cache.get("worked_example", {"seed": 4, "fast": True}) is None
+        assert cache.get("worked_example", {"seed": 3, "fast": False}) is None
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        kwargs = {"seed": 3, "fast": True}
+        result = run_experiment("worked_example", seed=3, fast=True)
+        path = cache.put("worked_example", kwargs, result)
+        path.write_text("{not json")
+        assert cache.get("worked_example", kwargs) is None
+
+
+class TestParallelRunner:
+    def test_jobs_byte_identical(self):
+        serial = ParallelRunner(jobs=1).run_many(CHEAP_IDS, seed=7, fast=True)
+        pooled = ParallelRunner(jobs=3).run_many(CHEAP_IDS, seed=7, fast=True)
+        assert list(serial) == list(pooled) == CHEAP_IDS
+        for eid in CHEAP_IDS:
+            assert serial[eid].render() == pooled[eid].render()
+
+    def test_warm_cache_byte_identical_with_counters(self, tmp_path):
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            cold = ParallelRunner(jobs=1, cache_dir=tmp_path).run_many(
+                CHEAP_IDS, seed=7, fast=True)
+            warm = ParallelRunner(jobs=1, cache_dir=tmp_path).run_many(
+                CHEAP_IDS, seed=7, fast=True)
+        for eid in CHEAP_IDS:
+            assert cold[eid].render() == warm[eid].render()
+
+        text = prometheus_text(telemetry.metrics)
+        assert f"exec_cache_hits_total {len(CHEAP_IDS)}" in text
+        assert f"exec_cache_misses_total {len(CHEAP_IDS)}" in text
+        assert f"exec_pool_tasks_total {len(CHEAP_IDS)}" in text
+        assert "exec_pool_workers" in text
+
+        jsonl = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(telemetry.metrics, jsonl)
+        snapshot = json.loads(jsonl.read_text())["snapshot"]
+        assert {"exec_cache_hits_total", "exec_cache_misses_total",
+                "exec_pool_tasks_total", "exec_pool_workers"} <= set(snapshot)
+
+    def test_duplicate_ids_run_once(self, tmp_path):
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            runner = ParallelRunner(jobs=1, cache_dir=tmp_path)
+            results = runner.run_many(["table1", "table1"], seed=1, fast=True)
+        assert list(results) == ["table1"]
+        assert telemetry.metrics.counter("exec_pool_tasks_total").value == 1
+
+
+class TestDigestIntegration:
+    @pytest.fixture()
+    def small_validation(self, monkeypatch):
+        """Shrink the validation suite so digest builds stay cheap."""
+        small = tuple(e for e in validation.EXPECTATIONS
+                      if e.experiment_id in ("worked_example", "table1"))
+        assert small
+        monkeypatch.setattr(validation, "EXPECTATIONS", small)
+
+    def test_digest_jobs_and_cache_byte_identical(self, tmp_path,
+                                                  small_validation):
+        ids = ("worked_example", "table1")
+        cold = build_digest(fast=True, experiment_ids=ids, jobs=1,
+                            cache_dir=tmp_path / "cache")
+        pooled = build_digest(fast=True, experiment_ids=ids, jobs=3)
+        warm = build_digest(fast=True, experiment_ids=ids, jobs=1,
+                            cache_dir=tmp_path / "cache")
+        assert cold == pooled == warm
+
+    def test_digest_cache_invalidates_on_seed_change(self, tmp_path,
+                                                     small_validation):
+        ids = ("worked_example",)
+        cache = tmp_path / "cache"
+        build_digest(fast=True, experiment_ids=ids, cache_dir=cache)
+        entries = set(cache.glob("*.json"))
+        build_digest(fast=True, experiment_ids=ids, cache_dir=cache,
+                     seed=999)
+        assert set(cache.glob("*.json")) > entries

@@ -116,3 +116,28 @@ class TestDerivation:
     def test_scaled_power_bad_factor(self):
         with pytest.raises(PowerModelError):
             POWER4_TABLE.scaled_power(0.0)
+
+
+class TestArrayCaching:
+    """The ndarray views are memoized, immutable scheduler hot-path inputs."""
+
+    def test_freqs_array_returns_same_readonly_object(self):
+        a = POWER4_TABLE.freqs_array()
+        assert a is POWER4_TABLE.freqs_array()
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 0.0
+
+    def test_powers_array_returns_same_readonly_object(self):
+        p = POWER4_TABLE.powers_array()
+        assert p is POWER4_TABLE.powers_array()
+        assert not p.flags.writeable
+
+    def test_cached_arrays_match_the_tuples(self):
+        assert POWER4_TABLE.freqs_array().tolist() == list(POWER4_TABLE.freqs_hz)
+        assert POWER4_TABLE.powers_array().tolist() == list(POWER4_TABLE.powers_w)
+
+    def test_derived_tables_cache_independently(self):
+        sub = POWER4_TABLE.restrict([mhz(500), mhz(750)])
+        assert sub.freqs_array() is sub.freqs_array()
+        assert sub.freqs_array() is not POWER4_TABLE.freqs_array()
