@@ -1,7 +1,7 @@
 # Canonical developer commands for the fvsst reproduction.
 
-.PHONY: install test bench bench-save bench-compare experiments validate \
-	examples all
+.PHONY: install test bench bench-save bench-sim bench-compare experiments \
+	validate examples all
 
 BENCH_BASELINE := benchmarks/BENCH_hotpaths.json
 BENCH_CURRENT  := .bench_current.json
@@ -14,6 +14,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Simulation-layer benches only: the batched advance kernel's hot paths
+# (core slice loop, cluster-scale machine spans, counter sampling).
+bench-sim:
+	pytest benchmarks/test_bench_hotpaths.py --benchmark-only \
+		-k "advance or counter"
 
 # Refresh the committed hot-path baseline (do this on the reference
 # machine after an intentional perf change, and commit the JSON).

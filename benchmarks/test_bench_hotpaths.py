@@ -12,9 +12,11 @@ from repro.core.predictor import CounterPredictor
 from repro.core.scheduler import FrequencyVoltageScheduler, ProcessorView
 from repro.model.ipc import WorkloadSignature
 from repro.model.latency import POWER4_LATENCIES
+from repro.power.supply import SupplyBank
 from repro.power.table import POWER4_TABLE
 from repro.sim.core import CoreConfig, SimulatedCore
 from repro.sim.counters import CounterReader, CounterSample
+from repro.sim.machine import MachineConfig, SMPMachine
 from repro.units import ghz
 from repro.workloads.job import Job, LoopMode
 from repro.workloads.synthetic import synthetic_phase
@@ -74,6 +76,38 @@ class TestBenchSimulatorAdvance:
 
         benchmark(advance)
         assert core.counters.instructions > 0
+
+    def test_bench_advance_16_nodes_100s(self, benchmark):
+        """Cluster-scale span advance: 16 four-core machines with supply
+        banks, one looping job plus three hot-idle cores each, 100 s of
+        simulated time per round (10 000 supply-observation chunks per
+        machine on the scalar path).  Uses only long-standing machine APIs
+        so the same bench runs against older library versions."""
+        phases = tuple(
+            synthetic_phase(r, duration_s=0.05, name=f"p{i}")
+            for i, r in enumerate((1.0, 0.5, 0.2))
+        )
+        state = {"t": 0.0}
+        machines = [
+            SMPMachine(MachineConfig(
+                num_cores=4,
+                core_config=CoreConfig(latency_jitter_sigma=0.02)),
+                supply_bank=SupplyBank.example_p630(raise_on_cascade=False),
+                seed=i)
+            for i in range(16)
+        ]
+        for i, m in enumerate(machines):
+            m.assign(0, Job(name=f"j{i}", phases=phases, loop=LoopMode.LOOP))
+
+        def advance_all():
+            for m in machines:
+                m.advance(100.0)
+            state["t"] += 100.0
+
+        benchmark(advance_all)
+        # Demand (746 W) stays under two-supply capacity: no cascades.
+        assert all(m.supply_bank.cascade_count == 0 for m in machines)
+        assert machines[0].ledger.total_energy_j > 0
 
 
 class TestBenchCounterPath:

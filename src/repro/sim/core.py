@@ -101,6 +101,12 @@ class SimulatedCore:
         #: Process-variation multiplier on this part's power draw (a leaky
         #: corner-lot part has > 1.0).  Performance is unaffected.
         self.power_scale = 1.0
+        #: Block-drawn latency-jitter values, as (sigma, z_draws, jitters).
+        #: The batched kernel refills this in blocks; ``_jitter_scale``
+        #: consumes it first, so the RNG stream stays aligned no matter how
+        #: scalar and batched advances interleave.
+        self._jitter_buf: tuple[float, list[float], list[float]] | None = None
+        self._jitter_pos = 0
 
     # -- control interface (what the daemon touches) -----------------------------
 
@@ -133,7 +139,39 @@ class SimulatedCore:
         sigma = self.config.latency_jitter_sigma
         if sigma <= 0.0:
             return 1.0
+        buf = self._jitter_buf
+        if buf is not None and self._jitter_pos < len(buf[1]):
+            i = self._jitter_pos
+            self._jitter_pos = i + 1
+            if buf[0] == sigma:
+                return buf[2][i]
+            # Sigma changed under a live buffer: reuse the z draw so the
+            # stream stays aligned, recompute the scale.
+            return float(np.exp(sigma * buf[1][i]))
         return float(np.exp(sigma * self._rng.standard_normal()))
+
+    def _refill_jitter(self, n: int) -> None:
+        """Extend the jitter buffer with ``n`` block-drawn values.
+
+        ``standard_normal(n)`` produces the same stream as ``n`` scalar
+        draws and vectorised ``exp`` matches scalar ``exp`` bit-for-bit, so
+        buffered values equal what ``_jitter_scale`` would have computed.
+        """
+        sigma = self.config.latency_jitter_sigma
+        z = self._rng.standard_normal(n)
+        zs = z.tolist()
+        js = np.exp(sigma * z).tolist()
+        buf = self._jitter_buf
+        if buf is not None and self._jitter_pos < len(buf[1]):
+            rest = buf[1][self._jitter_pos:]
+            if buf[0] == sigma:
+                zs = rest + zs
+                js = buf[2][self._jitter_pos:] + js
+            else:
+                zs = rest + zs
+                js = [float(np.exp(sigma * zz)) for zz in rest] + js
+        self._jitter_buf = (sigma, zs, js)
+        self._jitter_pos = 0
 
     def _record_residency(self, phase_name: str, freq_hz: float, dt: float) -> None:
         self.phase_time_s[phase_name] = self.phase_time_s.get(phase_name, 0.0) + dt
@@ -147,6 +185,8 @@ class SimulatedCore:
             return
         t = start_s
         end = start_s + dt
+        if end - t > _MIN_SLICE_S and kernel.try_fast_advance(self, start_s, dt):
+            return
         while end - t > _MIN_SLICE_S:
             t = self._advance_slice(t, end)
 
@@ -238,3 +278,8 @@ class SimulatedCore:
         """
         check_non_negative(dt, "dt")
         self._overhead_debt_s += dt
+
+
+# Imported at the bottom: the kernel needs the class above, and `advance`
+# only touches it after both modules are fully initialised.
+from . import kernel  # noqa: E402

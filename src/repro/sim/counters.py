@@ -59,7 +59,11 @@ class CounterBank:
 
     def snapshot(self) -> "CounterSnapshot":
         """An immutable copy of the current totals."""
-        return CounterSnapshot(**{f: getattr(self, f) for f in _FIELDS})
+        # Positional, not a getattr comprehension: this runs per core per
+        # daemon sampling tick (field order is the dataclass order).
+        return CounterSnapshot(self.instructions, self.cycles, self.n_l2,
+                               self.n_l3, self.n_mem, self.l1_stall_cycles,
+                               self.halted_cycles)
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,19 +78,24 @@ class CounterSnapshot:
     l1_stall_cycles: float
     halted_cycles: float
 
+    def as_tuple(self) -> tuple[float, ...]:
+        """Field values in ``_FIELDS`` order."""
+        return (self.instructions, self.cycles, self.n_l2, self.n_l3,
+                self.n_mem, self.l1_stall_cycles, self.halted_cycles)
+
     def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
         """Field-wise difference ``self - earlier``.
 
         Raises :class:`CounterError` on negative deltas (counter rollback),
         which would indicate a simulator bug.
         """
-        values = {}
-        for f in _FIELDS:
-            d = getattr(self, f) - getattr(earlier, f)
+        values = []
+        for name, a, b in zip(_FIELDS, self.as_tuple(), earlier.as_tuple()):
+            d = a - b
             if d < -1e-6:
-                raise CounterError(f"counter {f} went backwards by {-d}")
-            values[f] = max(0.0, d)
-        return CounterSnapshot(**values)
+                raise CounterError(f"counter {name} went backwards by {-d}")
+            values.append(max(0.0, d))
+        return CounterSnapshot(*values)
 
 
 @dataclass(frozen=True, slots=True)
@@ -185,9 +194,12 @@ class CounterReader:
         self._last = snap
         self._last_time_s = now_s
 
-        values = {f: getattr(delta, f) for f in _FIELDS}
+        values = list(delta.as_tuple())
         if self._noise_sigma > 0.0:
-            for f in _FIELDS:
-                noise = 1.0 + self._noise_sigma * float(self._rng.standard_normal())
-                values[f] = max(0.0, values[f] * noise)
-        return CounterSample(time_s=now_s, interval_s=interval, **values)
+            # One block draw: standard_normal(n) yields the exact stream of
+            # n scalar draws, so noisy samples are unchanged bit-for-bit.
+            draws = self._rng.standard_normal(len(_FIELDS))
+            for i in range(len(_FIELDS)):
+                noise = 1.0 + self._noise_sigma * float(draws[i])
+                values[i] = max(0.0, values[i] * noise)
+        return CounterSample(now_s, interval, *values)

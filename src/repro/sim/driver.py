@@ -21,6 +21,7 @@ from ..telemetry import Telemetry, get_telemetry
 from ..units import check_non_negative, check_positive
 from .clock import SimClock
 from .events import Event, EventQueue
+from .kernel import advance_machines
 from .machine import SMPMachine
 
 __all__ = ["Simulation", "PeriodicTask"]
@@ -131,8 +132,9 @@ class Simulation:
     # -- running ---------------------------------------------------------------------
 
     def _advance_machines(self, dt: float) -> None:
-        for machine in self.machines:
-            machine.advance(dt)
+        # One batched advance per machine per event-free span; each machine
+        # falls back to its scalar chunk loop when ineligible.
+        advance_machines(self.machines, dt)
 
     def run_until(self, t_end_s: float) -> None:
         """Advance simulation time to ``t_end_s``, firing events on the way."""

@@ -62,6 +62,14 @@ class IdleDetector:
         """Last observed idleness (False before any observation)."""
         return bool(self._is_idle)
 
+    @property
+    def passive(self) -> bool:
+        """True when observations cannot call back into anyone — disabled,
+        or enabled with no subscribers.  A passive detector only records the
+        last observation, so a batched advance may collapse a span's
+        repeated identical observations into one."""
+        return not self.enabled or not self._listeners
+
     def note_queue_length(self, runnable_jobs: int) -> None:
         """Observe the current number of runnable jobs on the core."""
         idle = runnable_jobs == 0

@@ -1,0 +1,437 @@
+"""Batched time-advance kernel for event-free simulation spans.
+
+``Simulation.run_until`` already computes the span to the next due event
+once, but the machines under it still advance in 10 ms Python steps: a
+machine with a supply bank re-derives an identical per-core power dict,
+re-walks every core, and re-observes the bank ~100 times per simulated
+second even when nothing can possibly change.  This module advances the
+whole event-free span at once:
+
+* per-core execution is either closed-form (offline/idle cores, via
+  ``np.cumsum`` accumulation), a tight inlined slice loop (a core running a
+  single looping job), or — when neither applies — the unmodified per-chunk
+  scalar path;
+* the per-chunk power vector is computed once (power is constant over an
+  event-free span for eligible cores) and integrated through
+  :meth:`EnergyLedger.advance_many`;
+* supply-bank overload/cascade crossings are located with a bisect over the
+  same chunk boundaries the scalar loop visits, and the real
+  :meth:`SupplyBank.observe` runs only at the state-changing boundaries.
+
+The contract is **bit-for-bit equality** with the scalar path: every float
+is produced by the same IEEE operations in the same order (``cumsum`` is
+sequential left-to-right; block ``standard_normal(n)`` draws equal ``n``
+scalar draws; vectorised ``exp`` equals scalar ``exp`` — all verified by
+``tests/test_sim_kernel.py`` against a literal re-implementation of the
+per-chunk loop).  Anything the kernel cannot reproduce exactly — subclassed
+hooks, pending frequency settling, ONCE-mode jobs that may complete
+mid-span, enabled telemetry, idle listeners — falls back to the scalar
+path via the same method-identity gating the vectorised scheduler uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..power.energy import EnergyAccumulator
+from ..telemetry import get_telemetry
+from ..workloads.job import Job, LoopMode
+from ..workloads.phase import Phase
+from .core import _MIN_SLICE_S, SimulatedCore
+from .counters import CounterBank
+from .idle import HOT_IDLE_PHASE, IdleDetector, IdleStyle
+from .os_sched import Dispatcher
+from .throttle import ThrottleActuator
+
+__all__ = ["advance_machines", "advance_machine_span", "try_fast_advance"]
+
+# Per-core execution modes over one event-free span.
+_OFFLINE = 0    # closed form: residency only
+_IDLE = 1       # closed form: one stationary idle slice per chunk
+_BUSY = 2       # inlined slice loop: single looping job, constant frequency
+_CHUNKED = 3    # unmodified scalar core.advance, one call per chunk
+
+#: Hooks whose override forces the scalar path (PR 2's gating pattern).
+_CORE_HOOKS = ("advance", "_advance_slice", "_advance_idle",
+               "_advance_overhead", "_jitter_scale", "_record_residency")
+
+
+def advance_machines(machines: Iterable, dt: float) -> None:
+    """Advance every machine across one event-free span of ``dt`` seconds.
+
+    Each machine dispatches to its batched kernel (or its scalar loop when
+    ineligible) independently; the driver and :meth:`Cluster.advance` both
+    route through here so multi-node runs pay one dispatch per machine per
+    span instead of one per 10 ms chunk.
+    """
+    for machine in machines:
+        machine.advance(dt)
+
+
+# -- eligibility ---------------------------------------------------------------
+
+
+def _hooks_intact(core: SimulatedCore) -> bool:
+    t = type(core)
+    if t is SimulatedCore:
+        return True
+    return all(getattr(t, h) is getattr(SimulatedCore, h) for h in _CORE_HOOKS)
+
+
+def _phases_plain(job: Job) -> bool:
+    ok = job.__dict__.get("_kernel_phases_plain")
+    if ok is None:
+        ok = all(type(p) is Phase for p in job.phases)
+        job.__dict__["_kernel_phases_plain"] = ok
+    return ok
+
+
+def _detector_passive(det) -> bool:
+    return type(det) is IdleDetector and det.passive
+
+
+def _fast_busy_job(core: SimulatedCore) -> Job | None:
+    """The single looping job of an inlinable busy core, or None.
+
+    Mirrors every condition under which ``_advance_slice`` could take a
+    branch the inlined loop does not reproduce.
+    """
+    if not _hooks_intact(core):
+        return None
+    act = core.actuator
+    if type(act) is not ThrottleActuator or act.pending:
+        return None
+    if not _detector_passive(core.idle_detector):
+        return None
+    if core._overhead_debt_s > _MIN_SLICE_S:
+        return None
+    disp = core.dispatcher
+    if type(disp) is not Dispatcher or type(core.counters) is not CounterBank:
+        return None
+    queue = disp._queue
+    if len(queue) != 1:
+        return None
+    job = queue[0]
+    if type(job) is not Job or job.loop is not LoopMode.LOOP:
+        return None
+    if not _phases_plain(job):
+        return None
+    return job
+
+
+def _classify(core: SimulatedCore) -> int | None:
+    """Execution mode of one core over an event-free span, or None when the
+    whole machine must take the scalar path (power not provably constant)."""
+    if not _hooks_intact(core):
+        return None
+    if core.offline:
+        return _OFFLINE
+    act = core.actuator
+    if type(act) is not ThrottleActuator or act.pending:
+        return None
+    if not _detector_passive(core.idle_detector):
+        return None
+    if type(core.dispatcher) is not Dispatcher:
+        return None
+    queue = core.dispatcher._queue
+    for job in queue:
+        # A ONCE job may complete mid-span, flipping is_idle and the power
+        # draw at an interior boundary the kernel does not re-evaluate.
+        if type(job) is not Job or job.loop is not LoopMode.LOOP:
+            return None
+    if core._overhead_debt_s > _MIN_SLICE_S:
+        return _CHUNKED
+    if type(core.counters) is not CounterBank:
+        return _CHUNKED
+    if not queue:
+        return _IDLE
+    if len(queue) == 1 and _phases_plain(queue[0]):
+        return _BUSY
+    return _CHUNKED
+
+
+# -- closed-form accumulation ---------------------------------------------------
+
+
+def _acc(initial: float, increments: np.ndarray) -> float:
+    """Sequential ``x += inc`` over ``increments`` starting from ``initial``
+    (``cumsum`` accumulates left-to-right, so this is bitwise the loop)."""
+    buf = np.empty(increments.size + 1)
+    buf[0] = initial
+    buf[1:] = increments
+    return float(buf.cumsum()[-1])
+
+
+def _advance_offline_span(core: SimulatedCore, dts: np.ndarray) -> None:
+    """Per-chunk ``_record_residency("__offline__", 0.0, dt)`` in bulk."""
+    pt = core.phase_time_s
+    pt["__offline__"] = _acc(pt.get("__offline__", 0.0), dts)
+    ft = core.freq_time_s
+    ft[0.0] = _acc(ft.get(0.0, 0.0), dts)
+
+
+def _advance_idle_span(core: SimulatedCore, starts: np.ndarray,
+                       dts: np.ndarray) -> bool:
+    """One stationary idle slice per chunk, accumulated in bulk.
+
+    Returns False (caller reruns the chunks through ``core.advance``) when a
+    chunk would leave a float residue above ``_MIN_SLICE_S`` — at very large
+    simulation times ``start + (end - start)`` can round short enough that
+    the scalar loop cuts a second degenerate slice the closed form skips.
+    """
+    ends = starts + dts
+    chunks = ends - starts
+    if np.any(ends - (starts + chunks) > _MIN_SLICE_S):
+        return False
+    use = chunks[chunks > _MIN_SLICE_S]
+    if use.size == 0:
+        return True
+    core.idle_detector.note_queue_length(0)
+    freq = core.actuator.effective_hz(float(starts[0]))
+    bank = core.counters
+    if core.config.idle_style is IdleStyle.HOT_LOOP:
+        phase = HOT_IDLE_PHASE
+        throughput = phase.throughput(core.latencies, freq)
+        instr = throughput * use
+        bank.instructions = _acc(bank.instructions, instr)
+        bank.cycles = _acc(bank.cycles, freq * use)
+        for rate, field in ((phase.n_l2_per_instr, "n_l2"),
+                            (phase.n_l3_per_instr, "n_l3"),
+                            (phase.n_mem_per_instr, "n_mem"),
+                            (phase.l1_stall_cycles_per_instr,
+                             "l1_stall_cycles")):
+            # Zero-rate adds are bitwise no-ops (x + 0.0 == x for x >= 0).
+            if rate != 0.0:
+                setattr(bank, field, _acc(getattr(bank, field), rate * instr))
+        name = phase.name
+    else:
+        bank.halted_cycles = _acc(bank.halted_cycles, freq * use)
+        name = "__halted__"
+    pt = core.phase_time_s
+    pt[name] = _acc(pt.get(name, 0.0), use)
+    ft = core.freq_time_s
+    ft[freq] = _acc(ft.get(freq, 0.0), use)
+    return True
+
+
+# -- the inlined busy-core slice loop -------------------------------------------
+
+
+def _advance_busy_fast(core: SimulatedCore, job: Job,
+                       chunks: Sequence[tuple[float, float]]) -> None:
+    """Advance a single-looping-job core over ``chunks`` of (start, dt).
+
+    This is ``_advance_slice`` with the stable conditions hoisted out:
+    constant frequency, no settling boundary, no overhead debt, an infinite
+    dispatcher slice limit (sole job), phase constants precomputed, and the
+    latency jitter drawn in blocks through the core's stream-aligned buffer.
+    Every float operation matches the scalar slice loop in kind and order.
+    """
+    t0 = chunks[0][0]
+    freq = core.actuator.effective_hz(t0)
+    core.idle_detector.note_queue_length(1)
+    job.mark_started(t0)
+
+    lat = core.latencies
+    pdata = []
+    for p in job.phases:
+        core_cpi = (1.0 / p.alpha
+                    + p.l1_stall_cycles_per_instr
+                    + p.unmodeled_stall_cycles_per_instr)
+        mem_time = (p.n_l2_per_instr * lat.t_l2_s
+                    + p.n_l3_per_instr * lat.t_l3_s
+                    + p.n_mem_per_instr * lat.t_mem_s)
+        pdata.append((p.name, p.instructions, core_cpi, mem_time,
+                      p.n_l2_per_instr, p.n_l3_per_instr,
+                      p.n_mem_per_instr, p.l1_stall_cycles_per_instr))
+    nph = len(pdata)
+
+    pidx = job.phase_index
+    prog = job.phase_progress
+    retired = job.instructions_retired
+    iters = job.iterations
+    bank = core.counters
+    ci = bank.instructions
+    cc = bank.cycles
+    c2 = bank.n_l2
+    c3 = bank.n_l3
+    cm = bank.n_mem
+    cl1 = bank.l1_stall_cycles
+    pt = core.phase_time_s
+    res: dict[str, float] = {}
+    name, pinstr, ccpi, mem, r2, r3, rm, rl1 = pdata[pidx]
+    cur_res = pt.get(name, 0.0)
+    ft = core.freq_time_s.get(freq, 0.0)
+
+    sigma = core.config.latency_jitter_sigma
+    jits: list[float] = []
+    pos = buflen = 0
+    if sigma > 0.0:
+        if core._jitter_buf is None or core._jitter_buf[0] != sigma:
+            core._refill_jitter(64)
+        jits = core._jitter_buf[2]
+        pos = core._jitter_pos
+        buflen = len(jits)
+
+    min_slice = _MIN_SLICE_S
+    try:
+        for start, dt in chunks:
+            t = start
+            end = start + dt
+            while end - t > min_slice:
+                rem = pinstr - prog
+                if sigma > 0.0:
+                    if pos >= buflen:
+                        core._jitter_pos = pos
+                        core._refill_jitter(256)
+                        jits = core._jitter_buf[2]
+                        pos = core._jitter_pos
+                        buflen = len(jits)
+                    jit = jits[pos]
+                    pos += 1
+                    cpi = ccpi + mem * jit * freq
+                else:
+                    cpi = ccpi + mem * freq
+                throughput = freq / cpi
+                if throughput <= 0.0:
+                    raise SimulationError(
+                        f"non-positive throughput on core {core.core_id}")
+                ttpe = rem / throughput
+                limit = end - t
+                chunk = limit if limit < ttpe else ttpe
+                if chunk < min_slice:
+                    chunk = min_slice
+                if chunk >= ttpe:
+                    chunk = ttpe
+                    instr = rem
+                else:
+                    instr = throughput * chunk
+                if instr <= 0.0:
+                    # Degenerate float corner: force the boundary across.
+                    instr = rem
+                    chunk = ttpe
+                ci += instr
+                cc += freq * chunk
+                c2 += r2 * instr
+                c3 += r3 * instr
+                cm += rm * instr
+                cl1 += rl1 * instr
+                cur_res += chunk
+                ft += chunk
+                prog += instr
+                retired += instr
+                if prog >= pinstr * (1.0 - 1e-12):
+                    prog = 0.0
+                    if pidx + 1 < nph:
+                        pidx += 1
+                    else:
+                        pidx = 0
+                        iters += 1
+                    res[name] = cur_res
+                    name, pinstr, ccpi, mem, r2, r3, rm, rl1 = pdata[pidx]
+                    cur_res = res.get(name)
+                    if cur_res is None:
+                        cur_res = pt.get(name, 0.0)
+                t = t + chunk
+    finally:
+        # Each slice's mutations are grouped, so the locals are consistent
+        # even when the loop raises; commit exactly what ran.
+        if sigma > 0.0:
+            core._jitter_pos = pos
+        res[name] = cur_res
+        pt.update(res)
+        core.freq_time_s[freq] = ft
+        bank.instructions = ci
+        bank.cycles = cc
+        bank.n_l2 = c2
+        bank.n_l3 = c3
+        bank.n_mem = cm
+        bank.l1_stall_cycles = cl1
+        job.phase_index = pidx
+        job.phase_progress = prog
+        job.instructions_retired = retired
+        job.iterations = iters
+
+
+def try_fast_advance(core: SimulatedCore, start_s: float, dt: float) -> bool:
+    """Core-level fast path: one event-free span on one busy core.
+
+    Returns False (caller runs the scalar slice loop) unless the core is a
+    plain ``SimulatedCore`` running exactly one looping job at constant
+    frequency with telemetry off.
+    """
+    if get_telemetry().enabled:
+        return False
+    job = _fast_busy_job(core)
+    if job is None:
+        return False
+    _advance_busy_fast(core, job, ((start_s, dt),))
+    return True
+
+
+# -- machine-level span ---------------------------------------------------------
+
+
+def advance_machine_span(machine, bounds: list[float]) -> bool:
+    """Advance one machine through every chunk boundary in ``bounds``.
+
+    ``bounds`` are the ascending supply-observation boundaries ending at the
+    span end (machine time starts at ``machine._now_s``).  Returns False
+    without touching anything when any component rules out the batched
+    path; the caller then runs the scalar per-chunk loop.
+
+    On a raising cascade the machine, like the scalar loop, is left advanced
+    through the boundary at which :meth:`SupplyBank.observe` raised.
+    """
+    if get_telemetry().enabled:
+        return False
+    ledger = machine.ledger
+    if any(type(a) is not EnergyAccumulator for a in ledger.accounts.values()):
+        return False
+    modes = []
+    for core in machine.cores:
+        mode = _classify(core)
+        if mode is None:
+            return False
+        modes.append(mode)
+
+    t0 = machine._now_s
+    meter = machine.meter
+    powers = {f"core{c.core_id}": meter.core_power_w(c, t0)
+              for c in machine.cores}
+    powers["non_cpu"] = meter.non_cpu_power_w
+    demand = machine.system_power_w()
+    n_exec, actions = machine.supply_bank.plan_constant_span(bounds, demand)
+
+    times = bounds[:n_exec]
+    barr = np.asarray(times)
+    starts = np.empty(barr.size)
+    starts[0] = t0
+    starts[1:] = barr[:-1]
+    dts = barr - starts
+
+    for core, mode in zip(machine.cores, modes):
+        if mode == _OFFLINE:
+            _advance_offline_span(core, dts)
+        elif mode == _IDLE:
+            if not _advance_idle_span(core, starts, dts):
+                mode = _CHUNKED
+        elif mode == _BUSY:
+            chunk_list = list(zip(starts.tolist(), dts.tolist()))
+            _advance_busy_fast(core, core.dispatcher._queue[0], chunk_list)
+        if mode == _CHUNKED:
+            prev = t0
+            for t_end in times:
+                core.advance(prev, t_end - prev)
+                prev = t_end
+
+    machine._now_s = times[-1]
+    ledger.advance_many(barr, powers)
+    for j in actions:
+        # The last action may raise CascadeFailureError, exactly like the
+        # scalar loop raising at that boundary.
+        machine.supply_bank.observe(bounds[j], demand)
+    return True

@@ -18,6 +18,7 @@ from ..power.table import POWER4_TABLE, FrequencyPowerTable
 from ..units import check_non_negative
 from ..workloads.job import Job
 from .core import CoreConfig, SimulatedCore
+from .kernel import advance_machine_span
 from .powermeter import PowerMeter
 from .rng import spawn_rngs
 
@@ -78,6 +79,7 @@ class SMPMachine:
         self.ledger = EnergyLedger()
         self.supply_bank = supply_bank
         self._now_s = 0.0
+        self._freq_vec: tuple[int, tuple[float, ...]] | None = None
 
     # -- introspection -------------------------------------------------------------
 
@@ -143,8 +145,21 @@ class SMPMachine:
         return self.meter.measure_cpu_w(self.cores, self._now_s)
 
     def frequency_vector_hz(self) -> list[float]:
-        """Requested operating point of every core."""
-        return [c.frequency_setting_hz for c in self.cores]
+        """Requested operating point of every core.
+
+        Cached between frequency changes: the actuators' ``transitions``
+        counters only move when a request actually changes the operating
+        point, so their sum versions the vector.
+        """
+        version = 0
+        for c in self.cores:
+            version += c.actuator.transitions
+        cached = self._freq_vec
+        if cached is not None and cached[0] == version:
+            return list(cached[1])
+        vec = [c.frequency_setting_hz for c in self.cores]
+        self._freq_vec = (version, tuple(vec))
+        return vec
 
     # -- time ------------------------------------------------------------------------
 
@@ -155,21 +170,46 @@ class SMPMachine:
         always cuts intervals at frequency-change events, so power is
         constant within one call (up to throttle settling, whose error the
         paper also ignores).
+
+        With a supply bank the span is chunked at the observation interval
+        so the bank sees demand often enough to time overload episodes
+        against its cascade deadline.  Chunk boundaries are computed by
+        index (``start + i*step``) so ``_now_s`` lands exactly on the span
+        end instead of accumulating ``dt -= step`` subtraction error, and
+        the whole span goes through the batched kernel when every component
+        is eligible (see :mod:`repro.sim.kernel`).
         """
         check_non_negative(dt, "dt")
         if dt == 0.0:
             return
-        if self.supply_bank is not None:
-            # Chunk long advances so the bank sees demand often enough to
-            # time overload episodes against its cascade deadline.
-            step = self.config.supply_observation_interval_s
-            while dt > step:
-                self._advance_once(step)
-                dt -= step
-        self._advance_once(dt)
-
-    def _advance_once(self, dt: float) -> None:
         start = self._now_s
+        end = start + dt
+        if self.supply_bank is None:
+            self._advance_to(end)
+            return
+        step = self.config.supply_observation_interval_s
+        n = int(dt / step)
+        while n and start + n * step >= end:
+            n -= 1
+        bounds = [start + i * step for i in range(1, n + 1)]
+        bounds.append(end)
+        if self._batched_eligible() and advance_machine_span(self, bounds):
+            return
+        for t_end in bounds:
+            self._advance_to(t_end)
+
+    def _batched_eligible(self) -> bool:
+        """Subclassing any pointwise hook (or component) forces the scalar
+        per-chunk path — the kernel only reproduces the stock behaviour."""
+        return (type(self)._advance_to is SMPMachine._advance_to
+                and type(self.ledger) is EnergyLedger
+                and type(self.supply_bank) is SupplyBank
+                and type(self.meter) is PowerMeter)
+
+    def _advance_to(self, t_end: float) -> None:
+        """Advance one event-free chunk ending exactly at ``t_end``."""
+        start = self._now_s
+        dt = t_end - start
         powers = {
             f"core{c.core_id}": self.meter.core_power_w(c, start)
             for c in self.cores
@@ -177,7 +217,7 @@ class SMPMachine:
         powers["non_cpu"] = self.meter.non_cpu_power_w
         for core in self.cores:
             core.advance(start, dt)
-        self._now_s = start + dt
-        self.ledger.advance_to(self._now_s, powers)
+        self._now_s = t_end
+        self.ledger.advance_to(t_end, powers)
         if self.supply_bank is not None:
-            self.supply_bank.observe(self._now_s, self.system_power_w())
+            self.supply_bank.observe(t_end, self.system_power_w())

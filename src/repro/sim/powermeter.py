@@ -46,13 +46,27 @@ class PowerMeter:
         self.halted_idle_fraction = halted_idle_fraction
         self.noise_sigma = noise_sigma
         self._rng = make_rng(rng)
+        # Memo of frequency -> operating-point power.  The table is
+        # immutable, so nearest+power_at is a pure function of the
+        # frequency; the meter runs it on every core every chunk.  Bounded
+        # in case something sweeps a continuum of frequencies.
+        self._point_power_cache: dict[float, float] = {}
+
+    def _point_power(self, freq_hz: float) -> float:
+        power = self._point_power_cache.get(freq_hz)
+        if power is None:
+            if len(self._point_power_cache) > 4096:
+                self._point_power_cache.clear()
+            power = self.table.power_at(self.table.nearest(freq_hz))
+            self._point_power_cache[freq_hz] = power
+        return power
 
     def core_power_w(self, core: SimulatedCore, now_s: float) -> float:
         """True instantaneous draw of one core."""
         if core.offline:
             return 0.0
         freq = core.effective_frequency_hz(now_s)
-        power = self.table.power_at(self.table.nearest(freq))
+        power = self._point_power(freq)
         power *= core.power_scale
         if core.is_idle and core.config.idle_style is IdleStyle.HALT:
             power *= self.halted_idle_fraction

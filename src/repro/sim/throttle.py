@@ -39,6 +39,13 @@ class ThrottleActuator:
         """The most recently requested frequency."""
         return self._pending_hz if self._pending_hz is not None else self._current_hz
 
+    @property
+    def pending(self) -> bool:
+        """True while a request is still settling — the effective frequency
+        will change at :meth:`next_change_time`, so batched advances that
+        assume a constant frequency must take the scalar path."""
+        return self._pending_hz is not None
+
     def set_frequency(self, freq_hz: float, now_s: float) -> None:
         """Request a new frequency at simulation time ``now_s``."""
         check_positive(freq_hz, "freq_hz")
