@@ -95,7 +95,13 @@ from .core import (
     UtilizationGovernor,
     StaticOracleGovernor,
 )
-from .cluster import ClusterCoordinator, CoordinatorConfig
+from .cluster import (
+    ClusterCoordinator,
+    CoordinatorConfig,
+    CrashWindow,
+    FaultSchedule,
+    fault_scenario,
+)
 from .core import (
     SinglePassScheduler,
     MultithreadedFvsstDaemon,
@@ -184,6 +190,9 @@ __all__ = [
     "StaticOracleGovernor",
     # cluster
     "ClusterCoordinator",
+    "CrashWindow",
+    "FaultSchedule",
+    "fault_scenario",
     "CoordinatorConfig",
     # extensions
     "SinglePassScheduler",

@@ -80,16 +80,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable telemetry collection and write the "
                             "JSONL event/span stream, a Prometheus text "
                             "snapshot, and a summary table into DIR")
+    run_p.add_argument("--faults", metavar="SCENARIO", default=None,
+                       help="inject a named fault scenario into the "
+                            "cluster control plane (none, light, lossy, "
+                            "partition, crash, chaos); only cluster "
+                            "experiments support it")
     return parser
 
 
 def _run_one(experiment_id: str, *, seed: int, fast: bool,
              precision: int, chart: bool = False,
-             output: str | None = None) -> ExperimentResult:
+             output: str | None = None,
+             faults: str | None = None) -> ExperimentResult:
     from .experiments import run_experiment
 
-    # Deterministic experiments ignore the seed; passing it is harmless.
-    result = run_experiment(experiment_id, seed=seed, fast=fast)
+    kwargs = {}
+    if faults is not None:
+        kwargs["faults"] = faults
+    try:
+        # Deterministic experiments ignore the seed; passing it is harmless.
+        result = run_experiment(experiment_id, seed=seed, fast=fast, **kwargs)
+    except TypeError:
+        if faults is None:
+            raise
+        raise ConfigError(
+            f"experiment {experiment_id!r} does not support --faults"
+        ) from None
     print(result.render(precision=precision))
     if chart and result.series:
         from .analysis.charts import line_chart
@@ -134,7 +150,8 @@ def _run_with_telemetry(ids: Sequence[str], args) -> int:
             for eid in ids:
                 _run_one(eid, seed=args.seed, fast=args.fast,
                          precision=args.precision, chart=args.chart,
-                         output=args.output)
+                         output=args.output,
+                         faults=getattr(args, "faults", None))
             sink.write_snapshot()
         (directory / "metrics.prom").write_text(
             prometheus_text(telemetry.metrics), encoding="utf-8")
@@ -192,12 +209,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 else:
                     from .exec import configure
                     configure(args.jobs)
+            if args.faults is not None:
+                from .cluster.faults import FAULT_SCENARIOS
+                if args.faults not in FAULT_SCENARIOS:
+                    raise ConfigError(
+                        f"unknown fault scenario {args.faults!r}; "
+                        f"available: {sorted(FAULT_SCENARIOS)}"
+                    )
             if args.telemetry is not None:
                 return _run_with_telemetry(ids, args)
             for eid in ids:
                 _run_one(eid, seed=args.seed, fast=args.fast,
                          precision=args.precision, chart=args.chart,
-                         output=args.output)
+                         output=args.output, faults=args.faults)
             return 0
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as exc:

@@ -13,11 +13,15 @@ substrate:
 * :mod:`~repro.cluster.coordinator` — the global scheduler: collects all
   node reports every ``T``, runs Figure 3 across every processor of every
   node, and pushes per-node frequency vectors back through the network.
+* :mod:`~repro.cluster.faults` — fault injection (message loss, latency
+  jitter, partitions, agent crashes) and the named ``--faults`` scenarios;
+  the coordinator's degraded mode tolerates them (docs/RESILIENCE.md).
 """
 
 from .protocol import ProcReport, NodeReport, FrequencyCommand, message_size_bytes
 from .agent import NodeAgent
 from .coordinator import ClusterCoordinator, CoordinatorConfig
+from .faults import FAULT_SCENARIOS, CrashWindow, FaultSchedule, fault_scenario
 from .nested import NestedBudgetScheduler
 
 __all__ = [
@@ -29,4 +33,8 @@ __all__ = [
     "ClusterCoordinator",
     "CoordinatorConfig",
     "NestedBudgetScheduler",
+    "FaultSchedule",
+    "CrashWindow",
+    "FAULT_SCENARIOS",
+    "fault_scenario",
 ]

@@ -7,17 +7,44 @@ the reports to processor views through the predictor, schedules, and ships
 per-node frequency commands whose *application is delayed by the network*
 — so the measured response time to a power-limit trigger includes the
 communication the paper says ``T`` amortises.
+
+With a :class:`~repro.cluster.faults.FaultSchedule` installed the
+coordinator runs every pass in *degraded mode*:
+
+* report collection tolerates drops, partitions, crashed agents, and (when
+  ``report_timeout_s`` is set) late replies — a node that misses the pass
+  keeps its counter windows for the next one;
+* missing nodes are scheduled from a last-known-good signature cache while
+  within ``staleness_bound_s``; beyond it the node is *lost* and pinned
+  pessimistically to the frequency floor, with its floor power carved out
+  of the global budget — so total scheduled power honours the active
+  limits no matter how many reports went missing (the paper's safety
+  property, extended to a faulty control plane);
+* commands carry explicit processor ids, are acknowledged by the agent,
+  and are retransmitted (bounded by ``command_retries``) until acked;
+  application is idempotent and stale commands are discarded;
+* per-node health (``healthy``/``stale``/``lost``/``recovered``) is
+  tracked and surfaced through telemetry (``node_lost``/``node_recovered``
+  events, drop/retry/stale-pass counters, health gauges).
+
+Without faults, none of the degraded machinery runs: the fault-free pass
+is byte-identical to the classic synchronous one.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .. import constants
 from ..core.logs import FvsstLog, ScheduleLogEntry
 from ..core.predictor import CounterPredictor, PredictorProtocol
-from ..core.scheduler import FrequencyVoltageScheduler, ProcessorView, Schedule
+from ..core.scheduler import (
+    FrequencyVoltageScheduler,
+    ProcessorAssignment,
+    ProcessorView,
+    Schedule,
+)
 from ..errors import ClusterError
 from ..model.latency import MemoryLatencyProfile, POWER4_LATENCIES
 from ..sim.cluster import Cluster
@@ -27,15 +54,21 @@ from ..sim.rng import spawn_seeds
 from ..telemetry import (
     EVENT_BUDGET_BREACH,
     EVENT_CURTAILMENT,
+    EVENT_NODE_LOST,
+    EVENT_NODE_RECOVERED,
     Telemetry,
     get_telemetry,
 )
 from ..units import check_positive
 from .agent import NodeAgent
+from .faults import FaultSchedule
 from .nested import NestedBudgetScheduler
 from .protocol import FrequencyCommand, NodeReport, message_size_bytes
 
 __all__ = ["CoordinatorConfig", "ClusterCoordinator"]
+
+#: Wire size of a report request / command acknowledgement frame.
+_CONTROL_FRAME_BYTES = 64
 
 
 @dataclass(frozen=True)
@@ -51,6 +84,16 @@ class CoordinatorConfig:
     power_limit_w: float | None = None
     counter_noise_sigma: float = 0.005
     idle_detection: bool = False
+    #: Degraded mode: a report whose round trip exceeds this is treated as
+    #: missing for the pass (None = accept any delay).
+    report_timeout_s: float | None = None
+    #: Degraded mode: how long a cached node signature may serve before
+    #: the node counts as lost (None = 3 scheduling periods).
+    staleness_bound_s: float | None = None
+    #: Degraded mode: retransmits of an unacknowledged command.
+    command_retries: int = 2
+    #: Degraded mode: how long to wait for a command ack before resending.
+    retry_timeout_s: float = 0.005
 
     def __post_init__(self) -> None:
         check_positive(self.sample_period_s, "sample_period_s")
@@ -59,6 +102,20 @@ class CoordinatorConfig:
             raise ClusterError("T must be at least t")
         if self.power_limit_w is not None:
             check_positive(self.power_limit_w, "power_limit_w")
+        if self.report_timeout_s is not None:
+            check_positive(self.report_timeout_s, "report_timeout_s")
+        if self.staleness_bound_s is not None:
+            check_positive(self.staleness_bound_s, "staleness_bound_s")
+        if self.command_retries < 0:
+            raise ClusterError("command_retries must be non-negative")
+        check_positive(self.retry_timeout_s, "retry_timeout_s")
+
+    @property
+    def effective_staleness_bound_s(self) -> float:
+        """The staleness bound with its period-derived default applied."""
+        if self.staleness_bound_s is not None:
+            return self.staleness_bound_s
+        return 3.0 * self.schedule_period_s
 
 
 class ClusterCoordinator:
@@ -70,6 +127,7 @@ class ClusterCoordinator:
                  predictor: PredictorProtocol | None = None,
                  latencies: MemoryLatencyProfile = POWER4_LATENCIES,
                  telemetry: Telemetry | None = None,
+                 faults: FaultSchedule | None = None,
                  seed: int | None = None) -> None:
         self.cluster = cluster
         self.config = config or CoordinatorConfig()
@@ -79,6 +137,9 @@ class ClusterCoordinator:
             table, epsilon=self.config.epsilon, telemetry=self.telemetry
         )
         self.predictor = predictor or CounterPredictor(latencies)
+        self.faults = faults
+        if faults is not None:
+            faults.install(cluster)
         seeds = spawn_seeds(seed, len(cluster.nodes))
         self.agents = [
             NodeAgent(node,
@@ -86,9 +147,16 @@ class ClusterCoordinator:
                       counter_noise_sigma=self.config.counter_noise_sigma,
                       idle_detection=self.config.idle_detection,
                       telemetry=self.telemetry,
+                      faults=faults,
                       seed=seeds[i])
             for i, node in enumerate(cluster.nodes)
         ]
+        self._agents_by_id: dict[int, NodeAgent] = {}
+        for agent in self.agents:
+            node_id = agent.node.node_id
+            if node_id in self._agents_by_id:
+                raise ClusterError(f"duplicate node id {node_id}")
+            self._agents_by_id[node_id] = agent
         self.power_limit_w = self.config.power_limit_w
         #: Optional per-node limits nested inside the global one (node
         #: supply degradation, per-rack breakers, ...).
@@ -97,6 +165,20 @@ class ClusterCoordinator:
         self.last_schedule: Schedule | None = None
         #: Wall-clock cost of the most recent global pass.
         self.last_pass_wall_s: float | None = None
+        #: Degraded-mode health per node: healthy/stale/lost/recovered.
+        self.node_health: dict[int, str] = {
+            nid: "healthy" for nid in self._agents_by_id
+        }
+        #: Last fresh per-node views: node_id -> (report time, views).
+        self._view_cache: dict[int, tuple[float, list[ProcessorView]]] = {}
+        # Plain resilience tallies (kept even with telemetry disabled so
+        # experiments and tests can read them cheaply).
+        self.reports_dropped = 0
+        self.commands_dropped = 0
+        self.command_retries = 0
+        self.stale_passes = 0
+        self.floor_scheduled_procs = 0
+        self.max_scheduled_power_w = 0.0
         self._sim: Simulation | None = None
         m = self.telemetry.metrics
         self._m_passes = m.counter(
@@ -129,6 +211,26 @@ class ClusterCoordinator:
         self._m_planned_power = m.gauge(
             "cluster_planned_power_watts",
             "Total scheduled cluster processor power of the last pass")
+        self._m_reports_dropped = m.counter(
+            "cluster_reports_dropped_total",
+            "Node reports lost to drops, partitions, crashes, or timeouts")
+        self._m_commands_dropped = m.counter(
+            "cluster_commands_dropped_total",
+            "Frequency commands lost in flight or delivered to a crashed "
+            "agent")
+        self._m_command_retries = m.counter(
+            "cluster_command_retries_total",
+            "Command retransmissions after a missing acknowledgement")
+        self._m_stale_passes = m.counter(
+            "cluster_stale_passes_total",
+            "Global passes that scheduled at least one node from cached "
+            "or floor views")
+        self._m_health = {
+            state: m.gauge(
+                f"cluster_nodes_{state}",
+                f"Nodes currently in the {state!r} health state")
+            for state in ("healthy", "stale", "lost")
+        }
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -158,10 +260,12 @@ class ClusterCoordinator:
         report_bytes = 0
         for agent in self.agents:
             report = agent.make_report(now_s)
+            agent.confirm_report()
             # Request goes out, report comes back: one round trip, with the
             # collections overlapping across nodes (asynchronous gather).
             size = message_size_bytes(report)
-            delay = self.cluster.network.round_trip_s(64, size)
+            delay = self.cluster.network.round_trip_s(_CONTROL_FRAME_BYTES,
+                                                      size)
             worst_delay = max(worst_delay, delay)
             report_bytes += size
             reports.append(report)
@@ -175,6 +279,18 @@ class ClusterCoordinator:
         views: list[ProcessorView] = []
         for report in reports:
             for proc in sorted(report.procs, key=lambda p: p.proc_id):
+                if proc.interval_s <= 0.0:
+                    # A pass that fires before the first agent sample (the
+                    # t = 0 tick, or a T == t event-ordering tie) carries
+                    # an empty window: no usable signature, and nothing
+                    # the predictor should divide by.
+                    views.append(ProcessorView(
+                        node_id=report.node_id,
+                        proc_id=proc.proc_id,
+                        signature=None,
+                        idle_signaled=proc.idle_signaled,
+                    ))
+                    continue
                 sample = CounterSample(
                     time_s=report.time_s,
                     interval_s=proc.interval_s,
@@ -213,6 +329,8 @@ class ClusterCoordinator:
         self.last_pass_wall_s = time.perf_counter() - wall0
         self._record(schedule, now_s, pass_wall_s=self.last_pass_wall_s)
         self.last_schedule = schedule
+        self.max_scheduled_power_w = max(self.max_scheduled_power_w,
+                                         schedule.total_power_w)
         if tel.enabled:
             self._m_passes.inc()
             self._m_pass_seconds.observe(self.last_pass_wall_s)
@@ -228,6 +346,8 @@ class ClusterCoordinator:
         return schedule
 
     def _global_pass_body(self, now_s: float) -> tuple[Schedule, float]:
+        if self.faults is not None:
+            return self._global_pass_body_degraded(now_s)
         reports, collect_delay = self._collect(now_s)
         views = self._views_from_reports(reports)
         if self.node_limits_w and isinstance(self.scheduler,
@@ -242,6 +362,188 @@ class ClusterCoordinator:
         self._dispatch(schedule, decision_time)
         return schedule, collect_delay
 
+    # -- degraded mode -------------------------------------------------------------
+
+    def _global_pass_body_degraded(self, now_s: float
+                                   ) -> tuple[Schedule, float]:
+        """One global pass over a faulty control plane."""
+        tel = self.telemetry
+        network = self.cluster.network
+        timeout = self.config.report_timeout_s
+        bound = self.config.effective_staleness_bound_s
+        fresh: dict[int, NodeReport] = {}
+        worst_delay = 0.0
+        report_bytes = 0
+        dropped = 0
+        for agent in self.agents:
+            node_id = agent.node.node_id
+            if agent.crashed(now_s):
+                dropped += 1
+                continue
+            request = network.try_send(_CONTROL_FRAME_BYTES, now_s=now_s,
+                                       node_id=node_id)
+            if request is None:
+                dropped += 1
+                continue
+            report = agent.make_report(now_s)
+            size = message_size_bytes(report)
+            reply = network.try_send(size, now_s=now_s, node_id=node_id)
+            if reply is None:
+                # The report died on the wire; the agent keeps its counter
+                # windows (unconfirmed) so nothing is lost.
+                dropped += 1
+                continue
+            delay = request + reply
+            if timeout is not None and delay > timeout:
+                dropped += 1
+                continue
+            agent.confirm_report()
+            fresh[node_id] = report
+            worst_delay = max(worst_delay, delay)
+            report_bytes += size
+        self.reports_dropped += dropped
+        if tel.enabled:
+            self._m_report_bytes.inc(report_bytes)
+            self._m_collect_delay.observe(worst_delay)
+            if dropped:
+                self._m_reports_dropped.inc(dropped)
+
+        views: list[ProcessorView] = []
+        stale_nodes: list[int] = []
+        lost_nodes: list[int] = []
+        for agent in self.agents:
+            node_id = agent.node.node_id
+            if node_id in fresh:
+                node_views = self._views_from_reports([fresh[node_id]])
+                self._view_cache[node_id] = (now_s, node_views)
+                recovered = self.node_health[node_id] == "lost"
+                self._set_health(node_id, "recovered" if recovered
+                                 else "healthy", now_s)
+                views.extend(node_views)
+                continue
+            cached = self._view_cache.get(node_id)
+            if (cached is not None and now_s - cached[0] <= bound
+                    and self.node_health[node_id] != "lost"):
+                stale_nodes.append(node_id)
+                self._set_health(node_id, "stale", now_s)
+                views.extend(cached[1])
+            else:
+                lost_nodes.append(node_id)
+                self._set_health(node_id, "lost", now_s)
+        if stale_nodes or lost_nodes:
+            self.stale_passes += 1
+            if tel.enabled:
+                self._m_stale_passes.inc()
+        self._update_health_gauges()
+
+        schedule = self._schedule_degraded(views, lost_nodes)
+        decision_time = now_s + worst_delay
+        self._dispatch(schedule, decision_time)
+        return schedule, worst_delay
+
+    def _set_health(self, node_id: int, state: str, now_s: float) -> None:
+        previous = self.node_health[node_id]
+        if previous == state:
+            return
+        self.node_health[node_id] = state
+        if self.telemetry.enabled:
+            if state == "lost":
+                self.telemetry.emit(EVENT_NODE_LOST, sim_time_s=now_s,
+                                    node=node_id, previous=previous)
+            elif previous == "lost":
+                self.telemetry.emit(EVENT_NODE_RECOVERED, sim_time_s=now_s,
+                                    node=node_id)
+
+    def _update_health_gauges(self) -> None:
+        if not self.telemetry.enabled:
+            return
+        counts = {"healthy": 0, "stale": 0, "lost": 0}
+        for state in self.node_health.values():
+            # "recovered" is a transitional healthy state.
+            counts["healthy" if state == "recovered" else state] += 1
+        for state, gauge in self._m_health.items():
+            gauge.set(counts[state])
+
+    def _schedule_degraded(self, views: list[ProcessorView],
+                           lost_nodes: list[int]) -> Schedule:
+        """Schedule live views, with lost nodes pinned to the floor.
+
+        Lost nodes are commanded to ``f_min`` and their floor power is
+        carved out of the global budget before the live nodes are
+        scheduled — so the combined scheduled power honours the limit
+        whenever it is honourable at all.
+        """
+        sched = self.scheduler
+        f_min = sched.table.f_min_hz
+        floor_assignments: list[ProcessorAssignment] = []
+        floor_power = 0.0
+        infeasible = False
+        lost = set(lost_nodes)
+        for node_id in lost_nodes:
+            node_floor = 0.0
+            for proc_id in range(self.cluster.node(node_id).num_procs):
+                power = sched.power_for(node_id, proc_id, f_min)
+                floor_assignments.append(ProcessorAssignment(
+                    node_id=node_id, proc_id=proc_id, freq_hz=f_min,
+                    voltage=sched.voltages.min_voltage(node_id, proc_id,
+                                                       f_min),
+                    power_w=power,
+                    predicted_loss=sched.predicted_loss(None, f_min),
+                    eps_freq_hz=f_min,
+                ))
+                node_floor += power
+            floor_power += node_floor
+            node_limit = self.node_limits_w.get(node_id)
+            if node_limit is not None and node_floor > node_limit + 1e-9:
+                infeasible = True
+        self.floor_scheduled_procs += len(floor_assignments)
+
+        limit = self.power_limit_w
+        if not views:
+            # Every node is lost: the whole cluster sits at the floor.
+            total = floor_power
+            if limit is not None and total > limit + 1e-9:
+                infeasible = True
+            return Schedule(
+                assignments=tuple(sorted(
+                    floor_assignments,
+                    key=lambda a: (a.node_id, a.proc_id))),
+                total_power_w=total,
+                power_limit_w=limit,
+                epsilon=sched.epsilon,
+                infeasible=infeasible,
+            )
+
+        live_limit = None if limit is None else limit - floor_power
+        if live_limit is not None and live_limit <= 0.0:
+            # The lost nodes' floor power alone saturates the budget: the
+            # best DVFS can do is pin the live nodes to the floor too.
+            live = sched.schedule(views, None, max_freq_hz=f_min)
+            infeasible = True
+        else:
+            node_limits_live = {n: w for n, w in self.node_limits_w.items()
+                                if n not in lost}
+            if node_limits_live and isinstance(sched, NestedBudgetScheduler):
+                live = sched.schedule_nested(
+                    views, live_limit, node_limits_live,
+                    on_infeasible="floor")
+            else:
+                live = sched.schedule(views, live_limit,
+                                      on_infeasible="floor")
+        assignments = tuple(sorted(
+            live.assignments + tuple(floor_assignments),
+            key=lambda a: (a.node_id, a.proc_id)))
+        return Schedule(
+            assignments=assignments,
+            total_power_w=live.total_power_w + floor_power,
+            power_limit_w=limit,
+            epsilon=sched.epsilon,
+            infeasible=infeasible or live.infeasible,
+            reduction_steps=live.reduction_steps,
+        )
+
+    # -- dispatch ------------------------------------------------------------------
+
     def _dispatch(self, schedule: Schedule, decision_time_s: float) -> None:
         by_node: dict[int, list] = {}
         for a in schedule.assignments:
@@ -253,24 +555,86 @@ class ClusterCoordinator:
                 time_s=decision_time_s,
                 freqs_hz=tuple(a.freq_hz for a in assignments),
                 voltages=tuple(a.voltage for a in assignments),
+                proc_ids=tuple(a.proc_id for a in assignments),
             )
-            size = message_size_bytes(command)
-            delay = self.cluster.network.send(size)
-            if self.telemetry.enabled:
-                self._m_commands.inc()
-                self._m_command_bytes.inc(size)
-                self._m_command_delay.observe(delay)
-            agent = self.agents[self._agent_index(node_id)]
-            apply_at = decision_time_s + delay
-            self.sim.at(apply_at,
-                        lambda t, a=agent, c=command: a.apply_command(c, t),
-                        name=f"apply-cmd-n{node_id}")
+            if self.faults is None:
+                size = message_size_bytes(command)
+                delay = self.cluster.network.send(size)
+                if self.telemetry.enabled:
+                    self._m_commands.inc()
+                    self._m_command_bytes.inc(size)
+                    self._m_command_delay.observe(delay)
+                agent = self._agent_for(node_id)
+                apply_at = decision_time_s + delay
+                self.sim.at(apply_at,
+                            lambda t, a=agent, c=command: a.apply_command(c, t),
+                            name=f"apply-cmd-n{node_id}")
+            else:
+                self._send_command(command, decision_time_s, attempt=0,
+                                   state={"acked": False})
 
-    def _agent_index(self, node_id: int) -> int:
-        for i, agent in enumerate(self.agents):
-            if agent.node.node_id == node_id:
-                return i
-        raise ClusterError(f"no agent for node {node_id}")
+    def _send_command(self, command: FrequencyCommand, now_s: float,
+                      attempt: int, state: dict) -> None:
+        """One (re)transmission of a command over the faulty network."""
+        node_id = command.node_id
+        tel = self.telemetry
+        size = message_size_bytes(command)
+        delay = self.cluster.network.try_send(size, now_s=now_s,
+                                              node_id=node_id)
+        if attempt:
+            self.command_retries += 1
+        if tel.enabled:
+            self._m_commands.inc()
+            self._m_command_bytes.inc(size)
+            if attempt:
+                self._m_command_retries.inc()
+        if delay is None:
+            self.commands_dropped += 1
+            if tel.enabled:
+                self._m_commands_dropped.inc()
+        else:
+            if tel.enabled:
+                self._m_command_delay.observe(delay)
+            self.sim.at(
+                now_s + delay,
+                lambda t, c=command, s=state: self._deliver_command(c, t, s),
+                name=f"apply-cmd-n{node_id}")
+        if attempt < self.config.command_retries:
+            self.sim.at(
+                now_s + self.config.retry_timeout_s,
+                lambda t, c=command, s=state, a=attempt:
+                    self._maybe_retry(c, t, a, s),
+                name=f"retry-cmd-n{node_id}")
+
+    def _maybe_retry(self, command: FrequencyCommand, now_s: float,
+                     prev_attempt: int, state: dict) -> None:
+        if state["acked"]:
+            return
+        self._send_command(command, now_s, prev_attempt + 1, state)
+
+    def _deliver_command(self, command: FrequencyCommand, now_s: float,
+                         state: dict) -> None:
+        """A command arrived at its node: apply and acknowledge."""
+        agent = self._agent_for(command.node_id)
+        if agent.crashed(now_s):
+            self.commands_dropped += 1
+            if self.telemetry.enabled:
+                self._m_commands_dropped.inc()
+            return
+        agent.apply_command(command, now_s)
+        ack_delay = self.cluster.network.try_send(
+            _CONTROL_FRAME_BYTES, now_s=now_s, node_id=command.node_id)
+        if ack_delay is not None:
+            def _ack(_t: float, s=state) -> None:
+                s["acked"] = True
+            self.sim.at(now_s + ack_delay, _ack,
+                        name=f"ack-cmd-n{command.node_id}")
+
+    def _agent_for(self, node_id: int) -> NodeAgent:
+        try:
+            return self._agents_by_id[node_id]
+        except KeyError:
+            raise ClusterError(f"no agent for node {node_id}") from None
 
     def _record(self, schedule: Schedule, now_s: float, *,
                 pass_wall_s: float | None = None) -> None:

@@ -58,14 +58,28 @@ class FrequencyCommand:
 
     node_id: int
     time_s: float
-    #: Frequency per processor, indexed by proc id.
+    #: Frequency per commanded processor (parallel to :attr:`proc_ids`).
     freqs_hz: tuple[float, ...]
-    #: Voltage per processor, same indexing.
+    #: Voltage per commanded processor, same indexing.
     voltages: tuple[float, ...]
+    #: Which processor each slot addresses.  ``None`` is the legacy
+    #: positional encoding (slot i = processor i), which is only sound
+    #: when the command covers every processor of the node — the agent
+    #: enforces that.
+    proc_ids: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if len(self.freqs_hz) != len(self.voltages):
             raise ClusterError("frequency and voltage vectors differ in length")
+        if self.proc_ids is not None:
+            if len(self.proc_ids) != len(self.freqs_hz):
+                raise ClusterError(
+                    "proc_ids and frequency vectors differ in length")
+            if any(p < 0 for p in self.proc_ids):
+                raise ClusterError("proc ids must be non-negative")
+            if len(set(self.proc_ids)) != len(self.proc_ids):
+                raise ClusterError(
+                    f"command for node {self.node_id}: duplicate proc ids")
 
 
 def message_size_bytes(message: NodeReport | FrequencyCommand) -> int:
@@ -74,5 +88,9 @@ def message_size_bytes(message: NodeReport | FrequencyCommand) -> int:
         per_proc = 9 * _FIELD_BYTES + 1  # 9 numeric fields + idle flag
         return _HEADER_BYTES + per_proc * len(message.procs)
     if isinstance(message, FrequencyCommand):
+        # Proc ids pack into the per-slot field estimate (a u16 rides in
+        # the slack of the 8-byte float fields), so carrying them does not
+        # change the wire-size estimate — and therefore not the delays of
+        # existing fault-free runs.
         return _HEADER_BYTES + 2 * _FIELD_BYTES * len(message.freqs_hz)
     raise ClusterError(f"unknown message type {type(message).__name__}")

@@ -9,12 +9,20 @@ coordinator against uniform scaling at equal budgets.
 fvsst's advantage is exactly the paper's thesis: the db tier's processors
 are saturated well below f_max, so the coordinator harvests their power
 headroom first and the CPU-bound tiers keep their frequency.
+
+With ``faults=<scenario>`` (the CLI's ``--faults`` knob) a fourth run
+repeats the fvsst policy over an unreliable control plane — injected
+message loss, latency jitter, partitions, agent crashes — and reports the
+degraded-mode story: drop/retry/stale-pass counts and whether the
+*scheduled* cluster power ever exceeded the budget (it must not; that is
+the safety property docs/RESILIENCE.md pins).
 """
 
 from __future__ import annotations
 
 from ..analysis.report import ExperimentResult, TableResult
 from ..cluster.coordinator import ClusterCoordinator, CoordinatorConfig
+from ..cluster.faults import fault_scenario
 from ..core.baselines import uniform_cap_frequency
 from ..exec.pool import parallel_map
 from ..sim.cluster import Cluster
@@ -40,7 +48,8 @@ def _throughput(cluster: Cluster) -> float:
     )
 
 
-def _run_policy(policy: str, *, seed: int, fast: bool) -> dict[str, float]:
+def _run_policy(policy: str, *, seed: int, fast: bool,
+                faults_name: str | None = None) -> dict[str, float]:
     duration = 3.0 if fast else 8.0
     cluster = Cluster.homogeneous(
         NODES, machine_config=MachineConfig(num_cores=PROCS), seed=seed
@@ -52,9 +61,13 @@ def _run_policy(policy: str, *, seed: int, fast: bool) -> dict[str, float]:
     budget = BUDGET_FRACTION * peak
 
     sim = Simulation(cluster.machines)
+    coordinator = None
     if policy == "fvsst":
+        faults = (fault_scenario(faults_name, seed=seed + 101)
+                  if faults_name else None)
         coordinator = ClusterCoordinator(
-            cluster, CoordinatorConfig(power_limit_w=budget), seed=seed + 1
+            cluster, CoordinatorConfig(power_limit_w=budget),
+            faults=faults, seed=seed + 1
         )
         coordinator.attach(sim)
     elif policy == "uniform":
@@ -66,32 +79,50 @@ def _run_policy(policy: str, *, seed: int, fast: bool) -> dict[str, float]:
         pass
 
     sim.run_for(duration)
-    return {
+    result = {
         "throughput": _throughput(cluster) / duration,
         "power_w": cluster.cpu_power_w(),
         "budget_w": budget,
         "messages": float(cluster.network.messages_sent),
     }
+    if coordinator is not None:
+        result.update({
+            "max_sched_power_w": coordinator.max_scheduled_power_w,
+            "report_drops": float(coordinator.reports_dropped),
+            "cmd_drops": float(coordinator.commands_dropped),
+            "retries": float(coordinator.command_retries),
+            "stale_passes": float(coordinator.stale_passes),
+            "messages_dropped": float(cluster.network.messages_dropped),
+        })
+    return result
 
 
-def _policy_task(task: tuple[str, int, bool]) -> dict[str, float]:
+def _policy_task(task: tuple[str, int, bool, str | None]) -> dict[str, float]:
     """Picklable wrapper so the policy runs can fan across a pool."""
-    policy, seed, fast = task
-    return _run_policy(policy, seed=seed, fast=fast)
+    policy, seed, fast, faults_name = task
+    return _run_policy(policy, seed=seed, fast=fast, faults_name=faults_name)
 
 
-def run(seed: int = 2005, fast: bool = False) -> ExperimentResult:
+def run(seed: int = 2005, fast: bool = False,
+        faults: str | None = None) -> ExperimentResult:
     """Run the cluster capping comparison.
 
-    The three policy runs are independent (each gets its own pre-spawned
-    seed), so they fan across worker processes when ``--jobs`` is set.
+    The policy runs are independent (each gets its own pre-spawned seed),
+    so they fan across worker processes when ``--jobs`` is set.  With a
+    fault scenario named, a fourth fvsst run repeats the curtailment over
+    the unreliable control plane.
     """
-    seeds = spawn_seeds(seed, 3)
-    reference, fvsst, uniform = parallel_map(_policy_task, [
-        ("none", seeds[0], fast),
-        ("fvsst", seeds[1], fast),
-        ("uniform", seeds[2], fast),
-    ])
+    with_faults = faults is not None and faults != "none"
+    seeds = spawn_seeds(seed, 4 if with_faults else 3)
+    tasks: list[tuple[str, int, bool, str | None]] = [
+        ("none", seeds[0], fast, None),
+        ("fvsst", seeds[1], fast, None),
+        ("uniform", seeds[2], fast, None),
+    ]
+    if with_faults:
+        tasks.append(("fvsst", seeds[3], fast, faults))
+    results = parallel_map(_policy_task, tasks)
+    reference, fvsst, uniform = results[:3]
 
     def norm(r: dict[str, float]) -> float:
         return r["throughput"] / reference["throughput"]
@@ -112,17 +143,47 @@ def run(seed: int = 2005, fast: bool = False) -> ExperimentResult:
         title=f"Global cap at {BUDGET_FRACTION:.0%} of peak, "
               f"{NODES} nodes x {PROCS} procs (web/app/db tiers)",
     )
+    tables = [table]
+    scalars = {
+        "fvsst_norm_throughput": norm(fvsst),
+        "uniform_norm_throughput": norm(uniform),
+    }
+    notes = [
+        "fvsst-global should retain more cluster throughput than "
+        "uniform scaling at the same budget by slowing the saturated "
+        "db tier instead of everything.",
+    ]
+    if with_faults:
+        faulted = results[3]
+        compliant = (faulted["max_sched_power_w"]
+                     <= faulted["budget_w"] + 1e-9)
+        tables.append(TableResult(
+            headers=("scenario", "norm_throughput", "max_sched_power_w",
+                     "budget_w", "report_drops", "cmd_drops", "retries",
+                     "stale_passes", "budget_compliant"),
+            rows=(
+                (f"fvsst+{faults}", round(norm(faulted), 3),
+                 round(faulted["max_sched_power_w"], 1),
+                 round(faulted["budget_w"], 1),
+                 int(faulted["report_drops"]), int(faulted["cmd_drops"]),
+                 int(faulted["retries"]), int(faulted["stale_passes"]),
+                 "yes" if compliant else "NO"),
+            ),
+            title=f"Degraded-mode fvsst under injected faults "
+                  f"({faults!r} scenario)",
+        ))
+        scalars["faults_norm_throughput"] = norm(faulted)
+        scalars["faults_budget_compliant"] = 1.0 if compliant else 0.0
+        notes.append(
+            "Under injected control-plane faults the scheduled cluster "
+            "power must never exceed the budget: missing nodes are served "
+            "from the signature cache, lost nodes are pinned to the "
+            "frequency floor.",
+        )
     return ExperimentResult(
         experiment_id="cluster_cap",
         description="tiered cluster under global curtailment",
-        tables=[table],
-        scalars={
-            "fvsst_norm_throughput": norm(fvsst),
-            "uniform_norm_throughput": norm(uniform),
-        },
-        notes=[
-            "fvsst-global should retain more cluster throughput than "
-            "uniform scaling at the same budget by slowing the saturated "
-            "db tier instead of everything.",
-        ],
+        tables=tables,
+        scalars=scalars,
+        notes=notes,
     )

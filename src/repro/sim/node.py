@@ -21,12 +21,24 @@ class ClusterNode:
             raise ClusterError("node_id must be non-negative")
         self.node_id = node_id
         self.machine = machine
+        #: Manual crash injection: while True the node's agent is down
+        #: (no samples, no reports, no command application).  The
+        #: scheduled analogue is :class:`repro.cluster.faults.CrashWindow`.
+        self.crashed = False
 
     @classmethod
     def build(cls, node_id: int, *, config: MachineConfig | None = None,
               seed: int | None = None) -> "ClusterNode":
         """Construct a node with a fresh machine."""
         return cls(node_id, SMPMachine(config, seed=seed))
+
+    def crash(self) -> None:
+        """Take the node's agent down (fault injection)."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Bring the node's agent back up."""
+        self.crashed = False
 
     @property
     def num_procs(self) -> int:

@@ -32,6 +32,8 @@ from .events import (
     EVENT_CURTAILMENT,
     EVENT_FREQUENCY_CHANGE,
     EVENT_KINDS,
+    EVENT_NODE_LOST,
+    EVENT_NODE_RECOVERED,
     EVENT_PHASE_TRANSITION,
     EVENT_PSU_FAILURE,
     EVENT_PSU_RESTORED,
@@ -77,6 +79,8 @@ __all__ = [
     "EVENT_PSU_RESTORED",
     "EVENT_CURTAILMENT",
     "EVENT_PHASE_TRANSITION",
+    "EVENT_NODE_LOST",
+    "EVENT_NODE_RECOVERED",
     "EVENT_KINDS",
     "JsonlSink",
     "write_metrics_jsonl",

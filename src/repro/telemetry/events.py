@@ -28,6 +28,8 @@ __all__ = [
     "EVENT_PSU_RESTORED",
     "EVENT_CURTAILMENT",
     "EVENT_PHASE_TRANSITION",
+    "EVENT_NODE_LOST",
+    "EVENT_NODE_RECOVERED",
     "EVENT_KINDS",
 ]
 
@@ -43,6 +45,11 @@ EVENT_PSU_RESTORED = "psu_restored"
 EVENT_CURTAILMENT = "curtailment"
 #: A workload crossed a phase boundary (or looped back to phase 0).
 EVENT_PHASE_TRANSITION = "phase_transition"
+#: The coordinator lost a node: no report within the staleness bound
+#: (crash, partition, or persistent loss); it is floor-scheduled.
+EVENT_NODE_LOST = "node_lost"
+#: A lost node delivered a fresh report again.
+EVENT_NODE_RECOVERED = "node_recovered"
 
 EVENT_KINDS = (
     EVENT_FREQUENCY_CHANGE,
@@ -51,6 +58,8 @@ EVENT_KINDS = (
     EVENT_PSU_RESTORED,
     EVENT_CURTAILMENT,
     EVENT_PHASE_TRANSITION,
+    EVENT_NODE_LOST,
+    EVENT_NODE_RECOVERED,
 )
 
 

@@ -60,7 +60,7 @@ class TestProtocol:
 
 
 class TestNodeAgent:
-    def test_report_aggregates_window_and_clears(self):
+    def test_report_aggregates_window_and_clears_on_confirm(self):
         cluster = quiet_cluster(nodes=1)
         node = cluster.nodes[0]
         agent = NodeAgent(node, counter_noise_sigma=0.0, seed=1)
@@ -70,6 +70,11 @@ class TestNodeAgent:
         report = agent.make_report(sim.now_s)
         assert len(report.procs) == 2
         assert report.procs[0].instructions > 0
+        # Windows survive until delivery is confirmed: an unconfirmed
+        # report is superseded, not destroyed.
+        resend = agent.make_report(sim.now_s)
+        assert resend.procs[0].instructions == report.procs[0].instructions
+        agent.confirm_report()
         empty = agent.make_report(sim.now_s)
         assert empty.procs[0].instructions == 0.0
 

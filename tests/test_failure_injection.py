@@ -2,16 +2,22 @@
 
 import pytest
 
+from repro.cluster.coordinator import ClusterCoordinator, CoordinatorConfig
+from repro.cluster.faults import CrashWindow, FaultSchedule
 from repro.core.daemon import DaemonConfig, FvsstDaemon, OverheadModel
 from repro.core.predictor import CounterPredictor
 from repro.sim.counters import CounterReader
 from repro.model.latency import POWER4_LATENCIES
+from repro.sim.cluster import Cluster
 from repro.sim.core import CoreConfig
 from repro.sim.driver import Simulation
 from repro.sim.machine import MachineConfig, SMPMachine
+from repro.sim.network import NetworkFaults, PartitionWindow
+from repro.telemetry import EVENT_NODE_LOST, EVENT_NODE_RECOVERED, Telemetry
 from repro.units import ghz, mhz
 from repro.workloads.profiles import profile_by_name
 from repro.workloads.synthetic import two_phase_benchmark
+from repro.workloads.tiers import tiered_cluster_assignment
 
 
 def build(num_cores=1, *, jitter=0.0, settling=0.0, seed=0) -> SMPMachine:
@@ -198,3 +204,191 @@ class TestCounterDropouts:
         sim.run_for(0.5)          # counters now dark
         # The daemon keeps operating on its last knowledge.
         assert m.core(0).frequency_setting_hz == healthy
+
+
+NODES, PROCS = 3, 2
+
+
+def faulty_coordinator(faults, *, budget=None, seed=7, telemetry=None,
+                       **cfg_kwargs):
+    """A tiered quiet cluster under a coordinator with a fault plan."""
+    cluster = Cluster.homogeneous(
+        NODES,
+        machine_config=MachineConfig(
+            num_cores=PROCS,
+            core_config=CoreConfig(latency_jitter_sigma=0.0),
+        ),
+        seed=0,
+    )
+    cluster.assign_all(tiered_cluster_assignment(NODES, PROCS,
+                                                 web_nodes=1, app_nodes=1))
+    coord = ClusterCoordinator(
+        cluster,
+        CoordinatorConfig(power_limit_w=budget, counter_noise_sigma=0.0,
+                          **cfg_kwargs),
+        faults=faults, telemetry=telemetry, seed=seed,
+    )
+    sim = Simulation(cluster.machines)
+    coord.attach(sim)
+    return cluster, coord, sim
+
+
+def budget_for(cluster, fraction):
+    table = cluster.nodes[0].machine.table
+    return fraction * NODES * PROCS * table.max_power_w
+
+
+class TestFaultyControlPlane:
+    """Coordinator-level scenarios over an unreliable control plane.
+
+    The safety property under every scenario: total *scheduled* power
+    never exceeds the active limits — missing nodes are served from the
+    signature cache, lost nodes are pinned to the frequency floor with
+    their floor power carved out of the budget.  (Actual dissipated power
+    can transiently exceed the budget when a slow-down command is lost in
+    flight; the guarantee the paper's algorithm makes is about what it
+    schedules.)
+    """
+
+    def test_dropped_reports_budget_never_exceeded(self):
+        plan = FaultSchedule(network=NetworkFaults(loss_prob=0.3, seed=11))
+        cluster, coord, sim = faulty_coordinator(plan, budget=None)
+        budget = budget_for(cluster, 0.6)
+        coord.set_power_limit(budget, 0.0)
+        sim.run_for(2.0)
+        assert coord.reports_dropped > 0
+        assert coord.stale_passes > 0
+        assert coord.max_scheduled_power_w <= budget + 1e-9
+        table = cluster.nodes[0].machine.table
+        for node in cluster.nodes:
+            for f in node.machine.frequency_vector_hz():
+                assert f in table
+
+    def test_lost_commands_are_retransmitted(self):
+        plan = FaultSchedule(network=NetworkFaults(loss_prob=0.4, seed=13))
+        cluster, coord, sim = faulty_coordinator(
+            plan, budget=None)
+        budget = budget_for(cluster, 0.6)
+        coord.set_power_limit(budget, 0.0)
+        sim.run_for(2.0)
+        assert coord.commands_dropped > 0
+        assert coord.command_retries > 0
+        assert coord.max_scheduled_power_w <= budget + 1e-9
+        assert coord.last_schedule is not None
+        # Retransmits got through: the cluster is not still at f_max
+        # everywhere despite 40% loss.
+        f_max = cluster.nodes[0].machine.table.f_max_hz
+        freqs = [f for n in cluster.nodes
+                 for f in n.machine.frequency_vector_hz()]
+        assert min(freqs) < f_max
+
+    def test_partition_during_curtailment_floors_lost_node(self):
+        plan = FaultSchedule(network=NetworkFaults(
+            partitions=(PartitionWindow(0.5, 5.0,
+                                        node_ids=frozenset({1})),),
+            seed=17))
+        cluster, coord, sim = faulty_coordinator(plan)
+        budget = budget_for(cluster, 0.6)
+        sim.run_for(0.5)                        # healthy warm-up
+        coord.max_scheduled_power_w = 0.0       # track the limited phase only
+        coord.set_power_limit(budget, sim.now_s)  # curtailment hits now
+        sim.run_for(1.0)                        # partition outlives staleness
+        assert coord.node_health[1] == "lost"
+        assert coord.floor_scheduled_procs > 0
+        assert coord.max_scheduled_power_w <= budget + 1e-9
+        f_min = cluster.nodes[0].machine.table.f_min_hz
+        lost = [a for a in coord.last_schedule.assignments if a.node_id == 1]
+        assert len(lost) == PROCS
+        assert all(a.freq_hz == f_min for a in lost)
+        # The healthy nodes are still scheduled from live reports.
+        live = [a for a in coord.last_schedule.assignments if a.node_id != 1]
+        assert len(live) == (NODES - 1) * PROCS
+
+    def test_recovery_reconverges_to_fault_free_schedule(self):
+        def final_state(faults):
+            cluster, coord, sim = faulty_coordinator(
+                faults, budget=None)
+            coord.set_power_limit(budget_for(cluster, 0.7), 0.0)
+            sim.run_for(3.0)
+            return cluster, coord
+
+        plan = FaultSchedule(network=NetworkFaults(
+            partitions=(PartitionWindow(0.5, 1.2,
+                                        node_ids=frozenset({1})),),
+            seed=19))
+        faulted_cluster, faulted = final_state(plan)
+        clean_cluster, _clean = final_state(None)
+        # The partition healed 1.8 s ago: every node reports fresh again
+        # and the schedule is indistinguishable from a fault-free run.
+        assert all(h in ("healthy", "recovered")
+                   for h in faulted.node_health.values())
+        for f_node, c_node in zip(faulted_cluster.nodes,
+                                  clean_cluster.nodes):
+            assert f_node.machine.frequency_vector_hz() == \
+                c_node.machine.frequency_vector_hz()
+
+    def test_crash_emits_lost_and_recovered_events(self):
+        tel = Telemetry()
+        plan = FaultSchedule(
+            network=NetworkFaults(seed=23),
+            crashes=(CrashWindow(node_id=1, start_s=0.5, end_s=1.0),))
+        cluster, coord, sim = faulty_coordinator(plan, telemetry=tel)
+        sim.run_for(2.0)
+        assert tel.events.count(EVENT_NODE_LOST) >= 1
+        assert tel.events.count(EVENT_NODE_RECOVERED) >= 1
+        lost = tel.events.events_of(EVENT_NODE_LOST)[0]
+        assert lost.attrs["node"] == 1
+        assert coord.node_health[1] in ("healthy", "recovered")
+
+    def test_telemetry_counts_drops_and_retries(self):
+        def series_value(snapshot, name):
+            return snapshot["metrics"][name]["series"][0]["value"]
+
+        tel = Telemetry()
+        plan = FaultSchedule(network=NetworkFaults(loss_prob=0.3, seed=29))
+        cluster, coord, sim = faulty_coordinator(plan, telemetry=tel)
+        sim.run_for(2.0)
+        snap = tel.snapshot()
+        assert series_value(snap, "cluster_reports_dropped_total") == \
+            coord.reports_dropped > 0
+        assert series_value(snap, "cluster_commands_dropped_total") == \
+            coord.commands_dropped
+        assert series_value(snap, "cluster_command_retries_total") == \
+            coord.command_retries
+        assert series_value(snap, "cluster_stale_passes_total") == \
+            coord.stale_passes > 0
+        health = {state: series_value(snap, f"cluster_nodes_{state}")
+                  for state in ("healthy", "stale", "lost")}
+        assert sum(health.values()) == NODES
+
+    def test_report_timeout_treats_slow_replies_as_missing(self):
+        # Every reply jitters; an impossibly tight timeout rejects all of
+        # them, so every pass runs from cache until nodes go lost — and
+        # the budget still holds.
+        plan = FaultSchedule(network=NetworkFaults(jitter_sigma=0.2,
+                                                   seed=31))
+        cluster, coord, sim = faulty_coordinator(
+            plan, budget=None, report_timeout_s=1e-9)
+        budget = budget_for(cluster, 0.6)
+        coord.set_power_limit(budget, 0.0)
+        sim.run_for(1.0)
+        assert coord.reports_dropped > 0
+        assert all(h == "lost" for h in coord.node_health.values())
+        assert coord.max_scheduled_power_w <= budget + 1e-9
+        f_min = cluster.nodes[0].machine.table.f_min_hz
+        assert all(a.freq_hz == f_min
+                   for a in coord.last_schedule.assignments)
+
+    def test_faults_none_is_byte_identical_to_no_faults(self):
+        def frequency_log(faults):
+            _cluster, coord, sim = faulty_coordinator(faults)
+            coord.set_power_limit(200.0, 0.0)
+            sim.run_for(1.0)
+            return [(e.time_s, e.node_id, e.proc_id, e.freq_hz)
+                    for e in coord.log.schedule_entries]
+
+        # An installed-but-empty fault plan exercises the degraded code
+        # path; with nothing going wrong it must reproduce the classic
+        # synchronous pass decision-for-decision.
+        empty = FaultSchedule(network=NetworkFaults(seed=37))
+        assert frequency_log(empty) == frequency_log(None)
