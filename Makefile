@@ -33,7 +33,9 @@ bench-compare:
 	pytest benchmarks/test_bench_hotpaths.py --benchmark-only \
 		--benchmark-json=$(BENCH_CURRENT)
 	python benchmarks/compare_baseline.py $(BENCH_BASELINE) \
-		$(BENCH_CURRENT) --max-ratio 3.0
+		$(BENCH_CURRENT) --max-ratio 3.0 \
+		--max-ratio-for test_bench_frequency_residency=5.0 \
+		--max-ratio-for test_bench_power_series=5.0
 
 experiments:
 	fvsst run all

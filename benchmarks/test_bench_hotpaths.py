@@ -156,3 +156,97 @@ class TestBenchSinglePassScheduler:
         schedule = benchmark(lambda: sched.schedule(views,
                                                     power_limit_w=budget))
         assert schedule.total_power_w <= budget
+
+
+def _node_reports(nodes: int, procs: int, seed: int = 17):
+    from repro.cluster.protocol import NodeReport, ProcReport
+    rng = np.random.default_rng(seed)
+    reports = []
+    for n in range(nodes):
+        prs = []
+        for p in range(procs):
+            instr = float(rng.uniform(5e5, 5e6))
+            prs.append(ProcReport(
+                proc_id=p, instructions=instr,
+                cycles=instr * float(rng.uniform(0.8, 2.5)),
+                n_l2=float(rng.uniform(0.0, 2e4)),
+                n_l3=float(rng.uniform(0.0, 8e3)),
+                n_mem=float(rng.uniform(0.0, 4e3)),
+                l1_stall_cycles=float(rng.uniform(0.0, 1e5)),
+                halted_cycles=0.0, interval_s=0.1, idle_signaled=False))
+        reports.append(NodeReport(node_id=n, time_s=0.1, procs=tuple(prs)))
+    return reports
+
+
+def _coordinator(columnar: bool):
+    from repro.cluster.coordinator import ClusterCoordinator, CoordinatorConfig
+    from repro.sim.cluster import Cluster
+    from repro.sim.core import CoreConfig
+    from repro.sim.machine import MachineConfig
+    cluster = Cluster.homogeneous(
+        1,
+        machine_config=MachineConfig(
+            num_cores=1, core_config=CoreConfig(latency_jitter_sigma=0.0)),
+        seed=1)
+    return ClusterCoordinator(
+        cluster, CoordinatorConfig(power_limit_w=None, columnar=columnar),
+        seed=2)
+
+
+class TestBenchClusterPass:
+    """The coordinator's global-pass hot path (views -> schedule -> record)
+    at 64 nodes x 4 processors, columnar vs the per-object reference."""
+
+    def _run(self, benchmark, columnar: bool):
+        from repro.core.logs import FvsstLog
+        coord = _coordinator(columnar)
+        reports = _node_reports(64, 4)
+
+        def one_pass():
+            coord.log = FvsstLog()
+            if columnar:
+                views = coord._view_batch_from_reports(reports)
+            else:
+                views = coord._views_from_reports(reports)
+            schedule = coord.scheduler.schedule(views, None,
+                                                on_infeasible="floor")
+            coord._record(schedule, 0.1)
+            return schedule
+
+        schedule = benchmark(one_pass)
+        assert len(schedule.assignments) == 256
+
+    def test_bench_cluster_pass_64x4_columnar(self, benchmark):
+        self._run(benchmark, columnar=True)
+
+    def test_bench_cluster_pass_64x4_object(self, benchmark):
+        self._run(benchmark, columnar=False)
+
+
+class TestBenchLogQueries:
+    """Vectorised query paths of the columnar scheduling log."""
+
+    def _populated_log(self, passes: int = 200, procs: int = 256):
+        from repro.core.logs import FvsstLog
+        rng = np.random.default_rng(5)
+        log = FvsstLog()
+        node_ids = [i // 4 for i in range(procs)]
+        proc_ids = [i % 4 for i in range(procs)]
+        freqs = POWER4_TABLE.freqs_hz
+        for k in range(passes):
+            f = [freqs[int(r)] for r in rng.integers(0, len(freqs), procs)]
+            log.record_schedule_pass(
+                0.1 * (k + 1), node_ids, proc_ids, f, f,
+                [1.1] * procs, [70.0] * procs, [0.01] * procs,
+                power_limit_w=None, infeasible=False)
+        return log
+
+    def test_bench_power_series(self, benchmark):
+        log = self._populated_log()
+        times, power = benchmark(log.power_series)
+        assert len(times) == 200
+
+    def test_bench_frequency_residency(self, benchmark):
+        log = self._populated_log()
+        residency = benchmark(log.frequency_residency, node_id=0, proc_id=0)
+        assert abs(sum(residency.values()) - 1.0) < 1e-9

@@ -33,8 +33,11 @@ is byte-identical to the classic synchronous one.
 
 from __future__ import annotations
 
+import operator
 import time
 from dataclasses import dataclass
+
+import numpy as np
 
 from .. import constants
 from ..core.logs import FvsstLog, ScheduleLogEntry
@@ -44,6 +47,7 @@ from ..core.scheduler import (
     ProcessorAssignment,
     ProcessorView,
     Schedule,
+    ViewBatch,
 )
 from ..errors import ClusterError
 from ..model.latency import MemoryLatencyProfile, POWER4_LATENCIES
@@ -59,11 +63,18 @@ from ..telemetry import (
     Telemetry,
     get_telemetry,
 )
-from ..units import check_positive
+from ..units import check_non_negative, check_positive
 from .agent import NodeAgent
 from .faults import FaultSchedule
 from .nested import NestedBudgetScheduler
-from .protocol import FrequencyCommand, NodeReport, message_size_bytes
+from .protocol import (
+    FrequencyCommand,
+    NodeReport,
+    ProcReport,
+    message_size_bytes,
+)
+
+_by_proc_id = operator.attrgetter("proc_id")
 
 __all__ = ["CoordinatorConfig", "ClusterCoordinator"]
 
@@ -94,6 +105,19 @@ class CoordinatorConfig:
     command_retries: int = 2
     #: Degraded mode: how long to wait for a command ack before resending.
     retry_timeout_s: float = 0.005
+    #: Columnar control plane: signature columns straight from the reports
+    #: (one batched predictor evaluation per pass) and bulk array recording
+    #: into the log.  Outputs are byte-identical to the per-object path,
+    #: which is kept (``columnar=False``) as the reference for equivalence
+    #: and regression comparisons.
+    columnar: bool = True
+    #: Opt-in signature-stability fast path: a pass whose signatures all
+    #: lie within this relative tolerance of the batch that produced the
+    #: last schedule — same processors, same idle flags, same limits —
+    #: reuses that schedule without rescheduling or re-dispatching.  None
+    #: (the default) disables the fast path, leaving every output
+    #: byte-identical.  Requires ``columnar``.
+    reschedule_tolerance: float | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.sample_period_s, "sample_period_s")
@@ -109,6 +133,13 @@ class CoordinatorConfig:
         if self.command_retries < 0:
             raise ClusterError("command_retries must be non-negative")
         check_positive(self.retry_timeout_s, "retry_timeout_s")
+        if self.reschedule_tolerance is not None:
+            check_non_negative(self.reschedule_tolerance,
+                               "reschedule_tolerance")
+            if not self.columnar:
+                raise ClusterError(
+                    "reschedule_tolerance requires the columnar pass"
+                )
 
     @property
     def effective_staleness_bound_s(self) -> float:
@@ -179,6 +210,13 @@ class ClusterCoordinator:
         self.stale_passes = 0
         self.floor_scheduled_procs = 0
         self.max_scheduled_power_w = 0.0
+        #: Passes served from the last schedule by the signature-stability
+        #: fast path (``reschedule_tolerance``).
+        self.passes_skipped = 0
+        #: The view batch and limits that produced ``last_schedule`` (only
+        #: tracked when the fast path is armed).
+        self._last_sched_batch: ViewBatch | None = None
+        self._last_sched_limits: tuple | None = None
         self._sim: Simulation | None = None
         m = self.telemetry.metrics
         self._m_passes = m.counter(
@@ -225,6 +263,10 @@ class ClusterCoordinator:
             "cluster_stale_passes_total",
             "Global passes that scheduled at least one node from cached "
             "or floor views")
+        self._m_passes_skipped = m.counter(
+            "cluster_passes_skipped_total",
+            "Global passes that reused the last schedule because every "
+            "signature stayed within reschedule_tolerance")
         self._m_health = {
             state: m.gauge(
                 f"cluster_nodes_{state}",
@@ -310,6 +352,46 @@ class ClusterCoordinator:
                 ))
         return views
 
+    def _view_batch_from_reports(self, reports: list[NodeReport]
+                                 ) -> ViewBatch:
+        """Columnar :meth:`_views_from_reports`: one extraction loop over
+        the reports, one batched predictor evaluation, no per-processor
+        sample/signature/view objects.  Row order and values match the
+        object path exactly."""
+        batch_eval = getattr(self.predictor, "signatures_from_arrays", None)
+        if batch_eval is None:
+            # Predictor without a batch path: fall back through objects.
+            return ViewBatch.from_views(self._views_from_reports(reports))
+        node_ids: list[int] = []
+        procs: list[ProcReport] = []
+        for report in reports:
+            row = sorted(report.procs, key=_by_proc_id)
+            node_ids.extend([report.node_id] * len(row))
+            procs.extend(row)
+        # Per-field comprehensions beat one loop of interleaved appends.
+        proc_ids = [p.proc_id for p in procs]
+        idle = [p.idle_signaled for p in procs]
+        interval = [p.interval_s for p in procs]
+        has_sig, core_cpi, mem_time = batch_eval(
+            [p.instructions for p in procs],
+            [p.cycles for p in procs],
+            [p.n_l2 for p in procs],
+            [p.n_l3 for p in procs],
+            [p.n_mem for p in procs],
+            [p.l1_stall_cycles for p in procs],
+            interval)
+        # An empty window (the t = 0 tick, or a T == t ordering tie) never
+        # reaches the predictor on the object path; enforce the same rule
+        # here for predictors that would accept it (AlphaPredictor ignores
+        # interval_s).
+        empty = np.asarray(interval, dtype=float) <= 0.0
+        if empty.any():
+            has_sig = has_sig & ~empty
+            core_cpi = np.where(empty, 1.0, core_cpi)
+            mem_time = np.where(empty, 0.0, mem_time)
+        return ViewBatch(node_ids, proc_ids, has_sig, core_cpi, mem_time,
+                         idle)
+
     def _on_schedule_tick(self, now_s: float) -> None:
         self.run_global_pass(now_s)
 
@@ -349,7 +431,16 @@ class ClusterCoordinator:
         if self.faults is not None:
             return self._global_pass_body_degraded(now_s)
         reports, collect_delay = self._collect(now_s)
-        views = self._views_from_reports(reports)
+        track = self.config.reschedule_tolerance is not None
+        if self.config.columnar:
+            views: ViewBatch | list[ProcessorView] = \
+                self._view_batch_from_reports(reports)
+            if track:
+                reused = self._try_reuse_schedule(views)
+                if reused is not None:
+                    return reused, collect_delay
+        else:
+            views = self._views_from_reports(reports)
         if self.node_limits_w and isinstance(self.scheduler,
                                              NestedBudgetScheduler):
             schedule = self.scheduler.schedule_nested(
@@ -358,9 +449,47 @@ class ClusterCoordinator:
         else:
             schedule = self.scheduler.schedule(views, self.power_limit_w,
                                                on_infeasible="floor")
+        if track:
+            self._last_sched_batch = views
+            self._last_sched_limits = (self.power_limit_w,
+                                       dict(self.node_limits_w))
         decision_time = now_s + collect_delay
         self._dispatch(schedule, decision_time)
         return schedule, collect_delay
+
+    def _try_reuse_schedule(self, batch: ViewBatch) -> Schedule | None:
+        """The signature-stability fast path: reuse the last schedule when
+        nothing that could change the decision has moved.
+
+        The anchor is the batch that *produced* the last schedule (not the
+        previous tick's batch), so slow drift cannot creep arbitrarily far
+        from the last scheduled operating point."""
+        last = self._last_sched_batch
+        schedule = self.last_schedule
+        if last is None or schedule is None:
+            return None
+        if self._last_sched_limits != (self.power_limit_w,
+                                       self.node_limits_w):
+            return None
+        tol = self.config.reschedule_tolerance
+        if (len(batch) != len(last)
+                or not np.array_equal(batch.node_ids, last.node_ids)
+                or not np.array_equal(batch.proc_ids, last.proc_ids)
+                or not np.array_equal(batch.has_signature,
+                                      last.has_signature)
+                or not np.array_equal(batch.idle_signaled,
+                                      last.idle_signaled)):
+            return None
+        if not (np.allclose(batch.core_cpi, last.core_cpi,
+                            rtol=tol, atol=0.0)
+                and np.allclose(batch.mem_time_per_instr_s,
+                                last.mem_time_per_instr_s,
+                                rtol=tol, atol=0.0)):
+            return None
+        self.passes_skipped += 1
+        if self.telemetry.enabled:
+            self._m_passes_skipped.inc()
+        return schedule
 
     # -- degraded mode -------------------------------------------------------------
 
@@ -414,7 +543,7 @@ class ClusterCoordinator:
         for agent in self.agents:
             node_id = agent.node.node_id
             if node_id in fresh:
-                node_views = self._views_from_reports([fresh[node_id]])
+                node_views = self._node_views_from_report(fresh[node_id])
                 self._view_cache[node_id] = (now_s, node_views)
                 recovered = self.node_health[node_id] == "lost"
                 self._set_health(node_id, "recovered" if recovered
@@ -440,6 +569,17 @@ class ClusterCoordinator:
         decision_time = now_s + worst_delay
         self._dispatch(schedule, decision_time)
         return schedule, worst_delay
+
+    def _node_views_from_report(self, report: NodeReport
+                                ) -> list[ProcessorView]:
+        """One node's views, through the batched predictor when columnar.
+
+        The degraded pass mixes fresh and cached nodes, so it still works
+        in view objects; the batch path only replaces the per-proc scalar
+        predictor calls (values are bit-identical either way)."""
+        if self.config.columnar:
+            return self._view_batch_from_reports([report]).views()
+        return self._views_from_reports([report])
 
     def _set_health(self, node_id: int, state: str, now_s: float) -> None:
         previous = self.node_health[node_id]
@@ -545,11 +685,23 @@ class ClusterCoordinator:
     # -- dispatch ------------------------------------------------------------------
 
     def _dispatch(self, schedule: Schedule, decision_time_s: float) -> None:
+        # One pass: Schedule.assignments is (node, proc)-sorted by
+        # construction, so per-node groups come out proc-sorted for free.
+        # A cheap monotonicity check guards against a hand-built schedule
+        # with interleaved nodes or out-of-order procs.
         by_node: dict[int, list] = {}
+        needs_sort = False
         for a in schedule.assignments:
-            by_node.setdefault(a.node_id, []).append(a)
+            group = by_node.get(a.node_id)
+            if group is None:
+                by_node[a.node_id] = [a]
+            else:
+                if group[-1].proc_id > a.proc_id:
+                    needs_sort = True
+                group.append(a)
         for node_id, assignments in by_node.items():
-            assignments.sort(key=lambda a: a.proc_id)
+            if needs_sort:
+                assignments.sort(key=lambda a: a.proc_id)
             command = FrequencyCommand(
                 node_id=node_id,
                 time_s=decision_time_s,
@@ -638,7 +790,20 @@ class ClusterCoordinator:
 
     def _record(self, schedule: Schedule, now_s: float, *,
                 pass_wall_s: float | None = None) -> None:
-        for a in schedule.assignments:
+        assignments = schedule.assignments
+        if self.config.columnar:
+            # Assignments are NamedTuples: one zip transposes every field.
+            (node_ids, proc_ids, freqs_hz, voltages, powers_w,
+             predicted_losses, eps_freqs_hz) = zip(*assignments)
+            self.log.record_schedule_pass(
+                now_s, node_ids, proc_ids, freqs_hz, eps_freqs_hz,
+                voltages, powers_w, predicted_losses,
+                power_limit_w=self.power_limit_w,
+                infeasible=schedule.infeasible,
+                pass_wall_s=pass_wall_s,
+            )
+            return
+        for a in assignments:
             self.log.record_schedule(ScheduleLogEntry(
                 time_s=now_s,
                 node_id=a.node_id,

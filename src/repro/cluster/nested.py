@@ -13,17 +13,27 @@ runs Figure 3's step 2 twice:
 Per-node passes never *raise* frequencies, so a schedule satisfying every
 node limit before the global pass still satisfies them after it (the
 global pass only lowers further) — the invariant the property tests pin.
+
+The whole pass runs in rung-index space off one ``(P x F)`` loss matrix
+and one power-ladder matrix: per-node passes are row slices of those
+matrices fed to the same heap reduction the global pass uses.  Because
+the matrices are elementwise over rows, a slice is bit-identical to
+recomputing the matrix over the sub-views, so the schedule matches the
+per-node-rebuild formulation exactly.
 """
 
 from __future__ import annotations
 
 from typing import Literal, Mapping, Sequence
 
+import numpy as np
+
 from ..core.scheduler import (
     FrequencyVoltageScheduler,
-    ProcessorAssignment,
     ProcessorView,
     Schedule,
+    ViewBatch,
+    _view_columns,
 )
 from ..errors import SchedulingError
 from ..units import check_positive
@@ -36,7 +46,7 @@ class NestedBudgetScheduler(FrequencyVoltageScheduler):
 
     def schedule_nested(
         self,
-        views: Sequence[ProcessorView],
+        views: Sequence[ProcessorView] | ViewBatch,
         global_limit_w: float | None = None,
         node_limits_w: Mapping[int, float] | None = None,
         *,
@@ -44,73 +54,69 @@ class NestedBudgetScheduler(FrequencyVoltageScheduler):
         on_infeasible: Literal["floor", "raise"] = "floor",
     ) -> Schedule:
         """Run step 1, the per-node passes, the global pass, and step 3."""
-        if not views:
+        n = len(views)
+        if not n:
             raise SchedulingError("no processors to schedule")
-        keys = [(v.node_id, v.proc_id) for v in views]
-        if len(set(keys)) != len(keys):
+        nodes_list, procs_list, idle = _view_columns(views)
+        if len(set(zip(nodes_list, procs_list))) != n:
             raise SchedulingError("duplicate (node, proc) in views")
         node_limits = dict(node_limits_w or {})
         for node_id, limit in node_limits.items():
             check_positive(limit, f"node_limits_w[{node_id}]")
-        cap_hz = None
+        cap_idx: int | None = None
         if max_freq_hz is not None:
-            cap_hz = self.table.quantize_down(max_freq_hz)
+            cap_idx = self.table.index_of(self.table.quantize_down(max_freq_hz))
 
-        # Step 1 (+ optional ceiling).
-        freqs: list[float] = []
-        eps_freqs: list[float] = []
-        for view in views:
-            if view.idle_signaled:
-                f = self.table.f_min_hz
-            else:
-                f, _ = self.epsilon_constrained(view.signature)
-            eps_freqs.append(f)
-            if cap_hz is not None:
-                f = min(f, cap_hz)
-            freqs.append(f)
+        # Step 1 (+ optional ceiling), in rung-index space.
+        losses = self._loss_matrix(views)
+        idx = self._step1_indices(views, losses)
+        idx[idle] = 0
+        eps_idx = idx.copy()
+        if cap_idx is not None:
+            np.minimum(idx, cap_idx, out=idx)
 
         infeasible = False
         reduction_steps = 0
+        # Idle processors cost nothing to slow down (step-2 metric only).
+        step2_losses = np.where(idle[:, None], 0.0, losses) \
+            if idle.any() else losses
+        ladders = self._power_ladders(views)
 
-        # Step 2a: per-node passes.
-        for node_id, limit in sorted(node_limits.items()):
-            idxs = [i for i, v in enumerate(views) if v.node_id == node_id]
-            if not idxs:
-                raise SchedulingError(
-                    f"node limit for unknown node {node_id}"
-                )
-            sub_views = [views[i] for i in idxs]
-            sub_freqs = [freqs[i] for i in idxs]
-            node_infeasible, node_steps, _ = self._reduce_to_budget(
-                sub_views, sub_freqs, limit, on_infeasible)
-            infeasible = infeasible or node_infeasible
-            reduction_steps += node_steps
-            for i, f in zip(idxs, sub_freqs):
-                freqs[i] = f
+        # Step 2a: per-node passes over row slices of the shared matrices.
+        if node_limits:
+            nodes_arr = np.asarray(nodes_list)
+            for node_id, limit in sorted(node_limits.items()):
+                rows = np.flatnonzero(nodes_arr == node_id)
+                if rows.size == 0:
+                    raise SchedulingError(
+                        f"node limit for unknown node {node_id}"
+                    )
+                row_list = rows.tolist()
+                sub_idx = idx[rows]
+                node_infeasible, node_steps, _ = self._reduce_indices(
+                    [nodes_list[i] for i in row_list],
+                    [procs_list[i] for i in row_list],
+                    sub_idx, step2_losses[rows], ladders[rows], limit,
+                    on_infeasible)
+                idx[rows] = sub_idx
+                infeasible = infeasible or node_infeasible
+                reduction_steps += node_steps
 
         # Step 2b: the global pass.
         if global_limit_w is not None:
             check_positive(global_limit_w, "global_limit_w")
-            global_infeasible, global_steps, _ = self._reduce_to_budget(
-                views, freqs, global_limit_w, on_infeasible)
+            global_infeasible, global_steps, _ = self._reduce_indices(
+                nodes_list, procs_list, idx, step2_losses, ladders,
+                global_limit_w, on_infeasible)
             infeasible = infeasible or global_infeasible
             reduction_steps += global_steps
 
-        # Step 3 + assembly.
-        assignments = []
-        for view, f, eps_f in zip(views, freqs, eps_freqs):
-            loss = 0.0 if view.idle_signaled else self.predicted_loss(
-                view.signature, f)
-            assignments.append(ProcessorAssignment(
-                node_id=view.node_id, proc_id=view.proc_id, freq_hz=f,
-                voltage=self.voltages.min_voltage(view.node_id,
-                                                  view.proc_id, f),
-                power_w=self.power_for(view.node_id, view.proc_id, f),
-                predicted_loss=loss, eps_freq_hz=eps_f,
-            ))
+        # Step 3 + assembly, shared with the base pass.
+        assignments, total = self._assemble_assignments(
+            nodes_list, procs_list, idx, eps_idx, losses, idle)
         return Schedule(
-            assignments=tuple(assignments),
-            total_power_w=sum(a.power_w for a in assignments),
+            assignments=assignments,
+            total_power_w=total,
             power_limit_w=global_limit_w,
             epsilon=self.epsilon,
             infeasible=infeasible,

@@ -12,9 +12,15 @@
   uniform scaling, node power-down, utilization-driven, static oracle).
 """
 
-from .predictor import CounterPredictor, AlphaPredictor, PredictorProtocol
+from .predictor import (
+    CounterPredictor,
+    AlphaPredictor,
+    PredictorProtocol,
+    SignatureArrays,
+)
 from .scheduler import (
     ProcessorView,
+    ViewBatch,
     ProcessorAssignment,
     Schedule,
     FrequencyVoltageScheduler,
@@ -42,7 +48,9 @@ __all__ = [
     "CounterPredictor",
     "AlphaPredictor",
     "PredictorProtocol",
+    "SignatureArrays",
     "ProcessorView",
+    "ViewBatch",
     "ProcessorAssignment",
     "Schedule",
     "FrequencyVoltageScheduler",

@@ -36,7 +36,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from typing import Literal, NamedTuple, Sequence
 
 import numpy as np
 
@@ -51,6 +51,7 @@ from .voltage import VoltageSelector
 
 __all__ = [
     "ProcessorView",
+    "ViewBatch",
     "ProcessorAssignment",
     "Schedule",
     "FrequencyVoltageScheduler",
@@ -69,9 +70,137 @@ class ProcessorView:
     idle_signaled: bool = False
 
 
-@dataclass(frozen=True, slots=True)
-class ProcessorAssignment:
-    """One processor's scheduled operating point."""
+class ViewBatch:
+    """Structure-of-arrays form of a population of :class:`ProcessorView`.
+
+    The scheduler's vectorised pass never needs the per-processor objects —
+    only the signature columns, the idle mask, and the (node, proc) keys.
+    A ``ViewBatch`` carries exactly those as numpy arrays, so a producer
+    that already has columns (the cluster coordinator's batched predictor
+    path) can skip building N·P ``ProcessorView``/``WorkloadSignature``
+    objects per pass, and the scheduler can skip re-extracting arrays from
+    them.
+
+    Rows without a usable signature (``has_signature`` False) must hold the
+    neutral placeholder values ``core_cpi = 1.0`` and
+    ``mem_time_per_instr_s = 0.0`` — the same placeholders the vectorised
+    loss matrix uses before masking — which the batched predictors emit.
+
+    The batch also quacks like ``Sequence[ProcessorView]``: iteration and
+    indexing lazily materialise (and cache) the equivalent view objects, so
+    pointwise fallback paths (subclasses overriding ``predicted_loss``,
+    ``epsilon_constrained`` or ``power_for``) and existing callers keep
+    working unchanged, just at object-construction cost.
+    """
+
+    __slots__ = ("node_ids", "proc_ids", "has_signature", "core_cpi",
+                 "mem_time_per_instr_s", "idle_signaled", "_views")
+
+    def __init__(self, node_ids, proc_ids, has_signature, core_cpi,
+                 mem_time_per_instr_s, idle_signaled=None) -> None:
+        self.node_ids = np.asarray(node_ids, dtype=np.int64)
+        self.proc_ids = np.asarray(proc_ids, dtype=np.int64)
+        self.has_signature = np.asarray(has_signature, dtype=bool)
+        self.core_cpi = np.asarray(core_cpi, dtype=float)
+        self.mem_time_per_instr_s = np.asarray(mem_time_per_instr_s,
+                                               dtype=float)
+        n = self.node_ids.size
+        if idle_signaled is None:
+            self.idle_signaled = np.zeros(n, dtype=bool)
+        else:
+            self.idle_signaled = np.asarray(idle_signaled, dtype=bool)
+        for name in ("proc_ids", "has_signature", "core_cpi",
+                     "mem_time_per_instr_s", "idle_signaled"):
+            if getattr(self, name).shape != (n,):
+                raise SchedulingError(
+                    f"ViewBatch column {name!r} has shape "
+                    f"{getattr(self, name).shape}, expected ({n},)"
+                )
+        self._views: list[ProcessorView] | None = None
+
+    @classmethod
+    def from_views(cls, views: Sequence[ProcessorView]) -> "ViewBatch":
+        """Column form of existing view objects (the thin adapter)."""
+        n = len(views)
+        batch = cls(
+            node_ids=[v.node_id for v in views],
+            proc_ids=[v.proc_id for v in views],
+            has_signature=np.fromiter(
+                (v.signature is not None for v in views), dtype=bool,
+                count=n),
+            core_cpi=[v.signature.core_cpi if v.signature is not None
+                      else 1.0 for v in views],
+            mem_time_per_instr_s=[
+                v.signature.mem_time_per_instr_s
+                if v.signature is not None else 0.0 for v in views],
+            idle_signaled=np.fromiter(
+                (v.idle_signaled for v in views), dtype=bool, count=n),
+        )
+        batch._views = list(views)
+        return batch
+
+    # -- Sequence[ProcessorView] compatibility ---------------------------------
+
+    def views(self) -> list[ProcessorView]:
+        """The equivalent view objects (materialised once, then cached)."""
+        if self._views is None:
+            sigs = [
+                WorkloadSignature(core_cpi=c, mem_time_per_instr_s=m)
+                if h else None
+                for h, c, m in zip(self.has_signature.tolist(),
+                                   self.core_cpi.tolist(),
+                                   self.mem_time_per_instr_s.tolist())
+            ]
+            self._views = [
+                ProcessorView(node_id=nd, proc_id=pc, signature=sig,
+                              idle_signaled=idle)
+                for nd, pc, sig, idle in zip(self.node_ids.tolist(),
+                                             self.proc_ids.tolist(), sigs,
+                                             self.idle_signaled.tolist())
+            ]
+        return self._views
+
+    def __len__(self) -> int:
+        return self.node_ids.size
+
+    def __iter__(self):
+        return iter(self.views())
+
+    def __getitem__(self, index):
+        return self.views()[index]
+
+    def __repr__(self) -> str:
+        return (f"ViewBatch({len(self)} procs, "
+                f"{int(self.has_signature.sum())} with signatures, "
+                f"{int(self.idle_signaled.sum())} idle)")
+
+
+def _view_columns(views: "Sequence[ProcessorView] | ViewBatch"
+                  ) -> tuple[list[int], list[int], np.ndarray]:
+    """``(node_ids, proc_ids, idle mask)`` of a view population.
+
+    The id lists come out as plain Python values (heap keys and assignment
+    fields want them scalar); the idle mask as a bool array.  A
+    :class:`ViewBatch` hands its columns over directly.
+    """
+    if isinstance(views, ViewBatch):
+        return (views.node_ids.tolist(), views.proc_ids.tolist(),
+                views.idle_signaled)
+    n = len(views)
+    return ([v.node_id for v in views], [v.proc_id for v in views],
+            np.fromiter((v.idle_signaled for v in views), dtype=bool,
+                        count=n))
+
+
+class ProcessorAssignment(NamedTuple):
+    """One processor's scheduled operating point.
+
+    A ``NamedTuple`` rather than a dataclass: a global pass materialises
+    one per processor, and tuple construction is ~3x cheaper than a frozen
+    dataclass ``__init__`` — it is the dominant per-processor cost once
+    the rest of the pass is columnar.  Field access, equality, and
+    ``repr`` are unchanged.
+    """
 
     node_id: int
     proc_id: int
@@ -218,13 +347,19 @@ class FrequencyVoltageScheduler:
                 [self.predicted_loss(v.signature, f) for f in self.table.freqs_hz]
                 for v in views
             ])
-        n = len(views)
-        has_sig = np.fromiter((v.signature is not None for v in views),
-                              dtype=bool, count=n)
-        c0 = np.array([v.signature.core_cpi if v.signature is not None
-                       else 1.0 for v in views])
-        m = np.array([v.signature.mem_time_per_instr_s
-                      if v.signature is not None else 0.0 for v in views])
+        if isinstance(views, ViewBatch):
+            # Columns arrive ready-made; no per-view extraction at all.
+            has_sig = views.has_signature
+            c0 = views.core_cpi
+            m = views.mem_time_per_instr_s
+        else:
+            n = len(views)
+            has_sig = np.fromiter((v.signature is not None for v in views),
+                                  dtype=bool, count=n)
+            c0 = np.array([v.signature.core_cpi if v.signature is not None
+                           else 1.0 for v in views])
+            m = np.array([v.signature.mem_time_per_instr_s
+                          if v.signature is not None else 0.0 for v in views])
         ipc = 1.0 / (c0[:, None] + m[:, None] * freqs[None, :])
         perf = ipc * freqs[None, :]
         ref = perf[:, -1:]
@@ -271,7 +406,7 @@ class FrequencyVoltageScheduler:
 
     # -- the full pass ------------------------------------------------------------
 
-    def schedule(self, views: Sequence[ProcessorView],
+    def schedule(self, views: "Sequence[ProcessorView] | ViewBatch",
                  power_limit_w: float | None = None, *,
                  max_freq_hz: float | None = None,
                  on_infeasible: Literal["floor", "raise"] = "floor") -> Schedule:
@@ -284,10 +419,12 @@ class FrequencyVoltageScheduler:
         the ladder and applied after step 1 (the epsilon-constrained
         "desired" frequency is recorded unclamped).
         """
-        if not views:
+        n = len(views)
+        if not n:
             raise SchedulingError("no processors to schedule")
-        keys = [(v.node_id, v.proc_id) for v in views]
-        if len(set(keys)) != len(keys):
+        nodes_list, procs_list, idle = _view_columns(views)
+        keys = set(zip(nodes_list, procs_list))
+        if len(keys) != n:
             raise SchedulingError("duplicate (node, proc) in views")
         if power_limit_w is not None:
             check_positive(power_limit_w, "power_limit_w")
@@ -303,10 +440,6 @@ class FrequencyVoltageScheduler:
 
         tel = self.telemetry
         wall0 = time.perf_counter() if tel.enabled else 0.0
-
-        n = len(views)
-        idle = np.fromiter((v.idle_signaled for v in views), dtype=bool,
-                           count=n)
 
         # Step 1: one (P x F) loss matrix, the epsilon rule as a vectorised
         # first-admissible-rung selection, idle pins, then the ceiling.
@@ -326,35 +459,12 @@ class FrequencyVoltageScheduler:
             step2_losses = np.where(idle[:, None], 0.0, losses) \
                 if idle.any() else losses
             infeasible, steps, loss_evals = self._reduce_indices(
-                views, idx, step2_losses, self._power_ladders(views),
-                power_limit_w, on_infeasible)
+                nodes_list, procs_list, idx, step2_losses,
+                self._power_ladders(views), power_limit_w, on_infeasible)
 
-        # Step 3: voltages, and assembly.  Scalar lookups run off plain
-        # Python lists — numpy scalar indexing costs more than the maths
-        # here — and homogeneous parts read power straight off the table's
-        # rung tuple (``power_for`` resolves to exactly that entry).
-        freqs_list = self.table.freqs_hz
-        idx_list = idx.tolist()
-        eps_list = eps_idx.tolist()
-        loss_list = losses[np.arange(n), idx].tolist()
-        homogeneous = type(self).power_for is FrequencyVoltageScheduler.power_for
-        powers_list = self.table.powers_w
-        min_voltage = self.voltages.min_voltage
-        assignments = []
-        for i, view in enumerate(views):
-            k = idx_list[i]
-            f = freqs_list[k]
-            assignments.append(ProcessorAssignment(
-                node_id=view.node_id,
-                proc_id=view.proc_id,
-                freq_hz=f,
-                voltage=min_voltage(view.node_id, view.proc_id, f),
-                power_w=powers_list[k] if homogeneous
-                else self.power_for(view.node_id, view.proc_id, f),
-                predicted_loss=0.0 if view.idle_signaled else loss_list[i],
-                eps_freq_hz=freqs_list[eps_list[i]],
-            ))
-        total = sum(a.power_w for a in assignments)
+        # Step 3: voltages, and assembly.
+        assignments, total = self._assemble_assignments(
+            nodes_list, procs_list, idx, eps_idx, losses, idle)
         if tel.enabled:
             self._m_passes.inc()
             self._m_step1.inc(step1_evals)
@@ -364,7 +474,7 @@ class FrequencyVoltageScheduler:
             self._m_loss.inc(step1_evals * len(self.table) + loss_evals)
             self._m_pass_seconds.observe(time.perf_counter() - wall0)
         return Schedule(
-            assignments=tuple(assignments),
+            assignments=assignments,
             total_power_w=total,
             power_limit_w=power_limit_w,
             epsilon=self.epsilon,
@@ -372,15 +482,58 @@ class FrequencyVoltageScheduler:
             reduction_steps=steps,
         )
 
-    def _reduce_indices(self, views: Sequence[ProcessorView],
+    def _assemble_assignments(self, nodes_list: list[int],
+                              procs_list: list[int], idx: np.ndarray,
+                              eps_idx: np.ndarray, losses: np.ndarray,
+                              idle: np.ndarray
+                              ) -> tuple[tuple[ProcessorAssignment, ...],
+                                         float]:
+        """Step 3 plus assembly: the final per-processor operating points.
+
+        Works column-wise: per-field lists indexed by rung, then one
+        positional ``map`` over the columns — scalar lookups off plain
+        Python lists beat numpy scalar indexing at this size, and one
+        ``map`` beats P keyword constructor calls.  Homogeneous parts read
+        power straight off the table's rung tuple (``power_for`` resolves
+        to exactly that entry), and a plain :class:`VoltageSelector` with
+        no per-processor overrides collapses to one voltage per rung.
+        """
+        n = len(nodes_list)
+        freqs_list = self.table.freqs_hz
+        idx_list = idx.tolist()
+        freq_i = [freqs_list[k] for k in idx_list]
+        eps_i = [freqs_list[k] for k in eps_idx.tolist()]
+        loss_i = np.where(idle, 0.0, losses[np.arange(n), idx]).tolist()
+        rung_volts = self.voltages.rung_voltages(freqs_list) \
+            if type(self.voltages) is VoltageSelector else None
+        if rung_volts is not None:
+            volt_i = [rung_volts[k] for k in idx_list]
+        else:
+            min_voltage = self.voltages.min_voltage
+            volt_i = [min_voltage(nodes_list[i], procs_list[i], freq_i[i])
+                      for i in range(n)]
+        if type(self).power_for is FrequencyVoltageScheduler.power_for:
+            powers_list = self.table.powers_w
+            power_i = [powers_list[k] for k in idx_list]
+        else:
+            power_for = self.power_for
+            power_i = [power_for(nodes_list[i], procs_list[i], freq_i[i])
+                       for i in range(n)]
+        assignments = tuple(map(ProcessorAssignment, nodes_list, procs_list,
+                                freq_i, volt_i, power_i, loss_i, eps_i))
+        return assignments, sum(power_i)
+
+    def _reduce_indices(self, node_ids: Sequence[int],
+                        proc_ids: Sequence[int],
                         idx: np.ndarray, losses: np.ndarray,
                         ladders: np.ndarray, limit_w: float,
                         on_infeasible: Literal["floor", "raise"]
                         ) -> tuple[bool, int, int]:
         """Heap-based step 2, in place on the rung indices ``idx``.
 
-        ``losses`` are step-2 incremental-loss rows (idle rows zeroed by
-        the caller); ``ladders`` is the ``(P x F)`` per-processor power
+        ``node_ids``/``proc_ids`` supply the deterministic heap tie-break
+        keys; ``losses`` are step-2 incremental-loss rows (idle rows zeroed
+        by the caller); ``ladders`` is the ``(P x F)`` per-processor power
         matrix.  Each processor holds exactly one live heap entry — its
         next downward rung keyed by ``(loss, node, proc)`` — so the pop
         order reproduces Figure 3's rescanning greedy exactly, in
@@ -389,7 +542,7 @@ class FrequencyVoltageScheduler:
         Returns ``(infeasible, reduction_steps, loss_evaluations)`` so the
         caller can both flag the breach and feed the telemetry counters.
         """
-        n = len(views)
+        n = len(node_ids)
         idx_list = idx.tolist()
         # Python-sum in view order, exactly as a per-processor rescan would.
         total = sum(ladders[np.arange(n), idx].tolist())
@@ -405,11 +558,11 @@ class FrequencyVoltageScheduler:
         loss_rows = losses.tolist()
         heap: list[tuple[float, int, int, int]] = []  # (loss, node, proc, i)
         loss_evals = 0
-        for i, view in enumerate(views):
+        for i in range(n):
             k = idx_list[i]
             if k > 0:
                 heap.append((loss_rows[i][k - 1],
-                             view.node_id, view.proc_id, i))
+                             node_ids[i], proc_ids[i], i))
                 loss_evals += 1
         heapq.heapify(heap)
         heappop, heappush = heapq.heappop, heapq.heappush
@@ -441,7 +594,7 @@ class FrequencyVoltageScheduler:
             idx[:] = idx_list
         return False, steps, loss_evals
 
-    def _reduce_to_budget(self, views: Sequence[ProcessorView],
+    def _reduce_to_budget(self, views: "Sequence[ProcessorView] | ViewBatch",
                           freqs: list[float], limit_w: float,
                           on_infeasible: Literal["floor", "raise"]
                           ) -> tuple[bool, int, int]:
@@ -452,13 +605,12 @@ class FrequencyVoltageScheduler:
         scheduler's scoped per-node passes.  Returns
         ``(infeasible, reduction_steps, loss_evaluations)``.
         """
+        nodes_list, procs_list, idle = _view_columns(views)
         idx = np.array([self.table.index_of(f) for f in freqs])
         losses = self._loss_matrix(views)
-        idle = np.fromiter((v.idle_signaled for v in views), dtype=bool,
-                           count=len(views))
         if idle.any():
             losses = np.where(idle[:, None], 0.0, losses)
-        result = self._reduce_indices(views, idx, losses,
+        result = self._reduce_indices(nodes_list, procs_list, idx, losses,
                                       self._power_ladders(views), limit_w,
                                       on_infeasible)
         freqs_arr = self.table.freqs_array()

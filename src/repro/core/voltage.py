@@ -13,6 +13,7 @@ the V(f) recovered by the Lava fit of Table 1.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Sequence
 
 from ..power.lava import fit_lava_model
 from ..power.table import POWER4_TABLE
@@ -53,3 +54,12 @@ class VoltageSelector:
         if v is None:
             v = self._cache[key] = curve.min_voltage(freq_hz)
         return v
+
+    def rung_voltages(self, freqs_hz: Sequence[float]) -> list[float] | None:
+        """Per-rung voltages when every processor shares the default curve,
+        or ``None`` when process-variation overrides make the answer
+        processor-dependent.  Lets a scheduling pass replace P per-processor
+        lookups with one list indexed by rung."""
+        if self._overrides:
+            return None
+        return [self.min_voltage(0, 0, f) for f in freqs_hz]

@@ -1,0 +1,536 @@
+"""The columnar control plane: batched predictors, ViewBatch, the
+columnar log, the reschedule fast path — and the equivalence of it all
+with the per-object reference path (``CoordinatorConfig(columnar=False)``).
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator, CoordinatorConfig
+from repro.cluster.faults import fault_scenario
+from repro.cluster.nested import NestedBudgetScheduler
+from repro.cluster.protocol import NodeReport, ProcReport
+from repro.core.hetero import HeterogeneousScheduler
+from repro.core.logs import FvsstLog, ScheduleLogEntry
+from repro.core.predictor import AlphaPredictor, CounterPredictor
+from repro.core.scheduler import (
+    FrequencyVoltageScheduler,
+    ProcessorView,
+    Schedule,
+    ViewBatch,
+)
+from repro.errors import ClusterError, SchedulingError
+from repro.model.ipc import WorkloadSignature
+from repro.model.latency import POWER4_LATENCIES
+from repro.power.table import POWER4_TABLE
+from repro.sim.cluster import Cluster
+from repro.sim.core import CoreConfig
+from repro.sim.counters import CounterSample
+from repro.sim.driver import Simulation
+from repro.sim.machine import MachineConfig
+from repro.telemetry import Telemetry
+from repro.workloads.tiers import tiered_cluster_assignment
+
+
+def quiet_cluster(nodes=2, procs=2, seed=0) -> Cluster:
+    return Cluster.homogeneous(
+        nodes,
+        machine_config=MachineConfig(
+            num_cores=procs,
+            core_config=CoreConfig(latency_jitter_sigma=0.0),
+        ),
+        seed=seed,
+    )
+
+
+def random_window_arrays(n, seed=0):
+    """Counter windows spanning the predictor's whole input space,
+    degenerate rows included."""
+    rng = np.random.default_rng(seed)
+    instr = rng.uniform(1.0, 5e6, n)
+    cycles = instr * rng.uniform(0.7, 3.0, n)
+    n_l2 = rng.uniform(0.0, 3e4, n)
+    n_l3 = rng.uniform(0.0, 1e4, n)
+    n_mem = rng.uniform(0.0, 5e3, n)
+    l1 = rng.uniform(0.0, 2e5, n)
+    interval = rng.uniform(1e-3, 0.2, n)
+    # Degenerate rows: below min_instructions, zero cycles (fully halted
+    # window), zero/negative interval, and a heavy-memory row that trips
+    # the core-CPI clamp.
+    instr[0] = 999.0
+    instr[1] = 0.0
+    cycles[2] = 0.0
+    interval[3] = 0.0
+    interval[4] = -0.01
+    n_mem[5] = 5e5
+    cycles[5] = instr[5] * 0.8
+    return instr, cycles, n_l2, n_l3, n_mem, l1, interval
+
+
+class TestPredictorBatchEquivalence:
+    """signatures_from_arrays is bit-equal to N scalar calls."""
+
+    @pytest.mark.parametrize("make", [
+        lambda: CounterPredictor(POWER4_LATENCIES),
+        lambda: AlphaPredictor(POWER4_LATENCIES, alpha=0.8),
+    ])
+    def test_batch_matches_scalar_bitwise(self, make):
+        predictor = make()
+        cols = random_window_arrays(64, seed=3)
+        has, core_cpi, mem_time = predictor.signatures_from_arrays(*cols)
+        instr, cycles, n_l2, n_l3, n_mem, l1, interval = cols
+        for i in range(64):
+            sig = predictor.signature_from_sample(CounterSample(
+                time_s=0.0, interval_s=interval[i],
+                instructions=instr[i], cycles=cycles[i], n_l2=n_l2[i],
+                n_l3=n_l3[i], n_mem=n_mem[i], l1_stall_cycles=l1[i],
+                halted_cycles=0.0))
+            if sig is None:
+                assert not has[i]
+                assert core_cpi[i] == 1.0 and mem_time[i] == 0.0
+            else:
+                assert has[i]
+                # Bit-for-bit, not approx: the elementwise ops mirror the
+                # scalar path exactly.
+                assert core_cpi[i] == sig.core_cpi
+                assert mem_time[i] == sig.mem_time_per_instr_s
+
+    def test_counter_predictor_masks_degenerate_rows(self):
+        predictor = CounterPredictor(POWER4_LATENCIES)
+        cols = random_window_arrays(8, seed=1)
+        has, _, _ = predictor.signatures_from_arrays(*cols)
+        assert not has[0]   # below min_instructions
+        assert not has[1]   # zero instructions
+        assert not has[2]   # zero cycles
+        assert not has[3]   # zero interval
+        assert not has[4]   # negative interval
+
+    def test_alpha_predictor_ignores_cycles_and_interval(self):
+        predictor = AlphaPredictor(POWER4_LATENCIES, alpha=0.8)
+        cols = random_window_arrays(8, seed=1)
+        has, _, _ = predictor.signatures_from_arrays(*cols)
+        assert not has[0] and not has[1]     # instruction floor still holds
+        assert has[2] and has[3] and has[4]  # alpha needs no observation
+
+    def test_core_cpi_clamp_applies_in_batch(self):
+        predictor = CounterPredictor(POWER4_LATENCIES)
+        cols = random_window_arrays(8, seed=1)
+        has, core_cpi, _ = predictor.signatures_from_arrays(*cols)
+        assert has[5] and core_cpi[5] == 0.05
+
+
+def _views(n, seed=0):
+    rng = np.random.default_rng(seed)
+    views = []
+    for i in range(n):
+        roll = rng.uniform()
+        if roll < 0.1:
+            sig = None
+        else:
+            sig = WorkloadSignature(
+                core_cpi=float(rng.uniform(0.5, 2.0)),
+                mem_time_per_instr_s=float(rng.uniform(0.0, 2e-9)))
+        views.append(ProcessorView(node_id=i // 4, proc_id=i % 4,
+                                   signature=sig,
+                                   idle_signaled=bool(roll > 0.9)))
+    return views
+
+
+class TestViewBatch:
+    def test_round_trip_and_sequence_protocol(self):
+        views = _views(16, seed=2)
+        batch = ViewBatch.from_views(views)
+        assert len(batch) == 16
+        assert list(batch) == views
+        assert batch[3] == views[3]
+
+    def test_materialises_equal_views_from_columns(self):
+        views = _views(16, seed=2)
+        adapter = ViewBatch.from_views(views)
+        rebuilt = ViewBatch(adapter.node_ids, adapter.proc_ids,
+                            adapter.has_signature, adapter.core_cpi,
+                            adapter.mem_time_per_instr_s,
+                            adapter.idle_signaled)
+        assert rebuilt.views() == views
+
+    def test_column_shape_mismatch_rejected(self):
+        with pytest.raises(SchedulingError):
+            ViewBatch([0, 0], [0], [True], [1.0], [0.0])
+
+    @pytest.mark.parametrize("limit", [None, 300.0])
+    def test_schedule_identical_to_view_list(self, limit):
+        views = _views(32, seed=4)
+        sched = FrequencyVoltageScheduler(POWER4_TABLE)
+        assert sched.schedule(views, limit) == \
+            sched.schedule(ViewBatch.from_views(views), limit)
+
+    def test_schedule_nested_identical_to_view_list(self):
+        views = _views(32, seed=5)
+        sched = NestedBudgetScheduler(POWER4_TABLE)
+        a = sched.schedule_nested(views, 280.0, {1: 70.0, 3: 60.0})
+        b = sched.schedule_nested(ViewBatch.from_views(views), 280.0,
+                                  {1: 70.0, 3: 60.0})
+        assert a == b
+
+    def test_heterogeneous_scheduler_accepts_batch(self):
+        views = _views(16, seed=6)
+        rng = np.random.default_rng(1)
+        sched = HeterogeneousScheduler.from_scales(
+            POWER4_TABLE,
+            {(v.node_id, v.proc_id): float(rng.uniform(0.9, 1.2))
+             for v in views})
+        assert sched.schedule(views, 120.0) == \
+            sched.schedule(ViewBatch.from_views(views), 120.0)
+
+    def test_duplicate_keys_rejected_through_batch(self):
+        views = [ProcessorView(0, 0, None), ProcessorView(0, 0, None)]
+        sched = FrequencyVoltageScheduler(POWER4_TABLE)
+        with pytest.raises(SchedulingError):
+            sched.schedule(ViewBatch.from_views(views))
+
+
+def _comparable_entries(log):
+    """Schedule entries with the wall-clock field (the one legitimately
+    nondeterministic value) zeroed."""
+    return [dataclasses.replace(e, pass_wall_s=None)
+            for e in log.schedule_entries]
+
+
+def _comparable_metrics(telemetry):
+    """Metric snapshot minus the wall-clock histograms (the only
+    nondeterministic values between two otherwise identical runs)."""
+    snap = telemetry.snapshot()["metrics"]
+    return {name: value for name, value in snap.items()
+            if "pass_seconds" not in name}
+
+
+def _run_pair(config_kwargs, *, scenario=None, seconds=0.55, limit_w=330.0,
+              node_limit=(1, 80.0), workloads=True):
+    """Run one columnar and one object-path coordinator over identical
+    clusters (same seeds, same faults, same triggers); return both."""
+    out = []
+    for columnar in (True, False):
+        cluster = quiet_cluster(nodes=3, procs=2, seed=11)
+        if workloads:
+            cluster.assign_all(tiered_cluster_assignment(
+                3, 2, web_nodes=1, app_nodes=1))
+        telemetry = Telemetry()
+        faults = fault_scenario(scenario, seed=13) if scenario else None
+        coord = ClusterCoordinator(
+            cluster,
+            CoordinatorConfig(power_limit_w=limit_w,
+                              counter_noise_sigma=0.0,
+                              columnar=columnar, **config_kwargs),
+            telemetry=telemetry, faults=faults, seed=21)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(seconds)
+        coord.set_power_limit(limit_w * 0.8, sim.now_s)
+        sim.run_for(0.15)
+        if node_limit is not None:
+            coord.set_node_limit(*node_limit, sim.now_s)
+            sim.run_for(0.15)
+        out.append((cluster, coord, telemetry))
+    return out
+
+
+class TestCoordinatorColumnarEquivalence:
+    """The acceptance gate: schedules, logs, and telemetry counters are
+    bit-identical between the columnar and object paths, fault-free and
+    degraded."""
+
+    @pytest.mark.parametrize("scenario", [None, "lossy", "crash"])
+    def test_paths_bit_identical(self, scenario):
+        (cl_a, co_a, tel_a), (cl_b, co_b, tel_b) = _run_pair(
+            {}, scenario=scenario)
+        assert co_a.last_schedule == co_b.last_schedule
+        assert _comparable_entries(co_a.log) == _comparable_entries(co_b.log)
+        for node in range(3):
+            assert cl_a.nodes[node].machine.frequency_vector_hz() == \
+                cl_b.nodes[node].machine.frequency_vector_hz()
+        assert _comparable_metrics(tel_a) == _comparable_metrics(tel_b)
+        assert (co_a.reports_dropped, co_a.stale_passes,
+                co_a.floor_scheduled_procs) == \
+            (co_b.reports_dropped, co_b.stale_passes,
+             co_b.floor_scheduled_procs)
+
+    def test_alpha_predictor_paths_identical(self):
+        # AlphaPredictor ignores interval_s, so the coordinator must mask
+        # empty windows itself on the batch path (the t = 0 pass would
+        # otherwise get signatures the object path never builds).
+        results = []
+        for columnar in (True, False):
+            cluster = quiet_cluster(nodes=2, procs=2, seed=3)
+            coord = ClusterCoordinator(
+                cluster,
+                CoordinatorConfig(counter_noise_sigma=0.0,
+                                  columnar=columnar),
+                predictor=AlphaPredictor(POWER4_LATENCIES, alpha=0.8),
+                seed=9)
+            sim = Simulation(cluster.machines)
+            coord.attach(sim)
+            coord.run_global_pass(0.0)   # empty windows: interval_s == 0
+            sim.run_for(0.25)
+            results.append(_comparable_entries(coord.log))
+        assert results[0] == results[1]
+
+    def test_batchless_predictor_falls_back(self):
+        class ScalarOnly:
+            def __init__(self):
+                self.inner = CounterPredictor(POWER4_LATENCIES)
+
+            def signature_from_sample(self, sample):
+                return self.inner.signature_from_sample(sample)
+
+        cluster = quiet_cluster(nodes=2, procs=2, seed=3)
+        coord = ClusterCoordinator(
+            cluster, CoordinatorConfig(counter_noise_sigma=0.0),
+            predictor=ScalarOnly(), seed=9)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(0.25)
+        assert coord.last_schedule is not None
+
+
+class TestPowerSeriesDedup:
+    """Satellite: a trigger pass at the same instant as a periodic pass
+    must supersede it in power_series, not add to it."""
+
+    def _entry(self, t, node, proc, power):
+        return ScheduleLogEntry(
+            time_s=t, node_id=node, proc_id=proc, freq_hz=1e9,
+            eps_freq_hz=1e9, voltage=1.1, power_w=power,
+            predicted_loss=0.0, predicted_ipc=None, power_limit_w=None,
+            infeasible=False)
+
+    def test_same_instant_pass_supersedes(self):
+        log = FvsstLog()
+        # Periodic pass at t=1.0 ...
+        log.record_schedule(self._entry(1.0, 0, 0, 20.0))
+        log.record_schedule(self._entry(1.0, 0, 1, 22.0))
+        # ... then a set_power_limit trigger pass at the same instant.
+        log.record_schedule(self._entry(1.0, 0, 0, 10.0))
+        log.record_schedule(self._entry(1.0, 0, 1, 11.0))
+        times, power = log.power_series()
+        assert times.tolist() == [1.0]
+        # Pre-fix this summed both passes to 63 W.
+        assert power.tolist() == [21.0]
+
+    def test_distinct_procs_still_sum(self):
+        log = FvsstLog()
+        log.record_schedule(self._entry(1.0, 0, 0, 20.0))
+        log.record_schedule(self._entry(1.0, 1, 0, 30.0))
+        log.record_schedule(self._entry(2.0, 0, 0, 25.0))
+        times, power = log.power_series()
+        assert times.tolist() == [1.0, 2.0]
+        assert power.tolist() == [50.0, 25.0]
+
+    def test_trigger_at_pass_time_via_coordinator(self):
+        cluster = quiet_cluster(nodes=1, procs=2, seed=2)
+        coord = ClusterCoordinator(
+            cluster, CoordinatorConfig(counter_noise_sigma=0.0), seed=4)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(0.2)
+        now = sim.now_s
+        coord.run_global_pass(now)          # "periodic" pass at now
+        coord.set_power_limit(250.0, now)   # trigger pass, same instant
+        times, power = coord.log.power_series()
+        at_now = power[np.flatnonzero(times == now)]
+        limited = coord.last_schedule.total_power_w
+        assert at_now.tolist() == [limited]
+
+
+class TestRescheduleTolerance:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            CoordinatorConfig(reschedule_tolerance=-0.1)
+        with pytest.raises(ClusterError):
+            CoordinatorConfig(reschedule_tolerance=0.1, columnar=False)
+
+    def test_default_off(self):
+        cluster = quiet_cluster(nodes=2, procs=2, seed=5)
+        coord = ClusterCoordinator(
+            cluster, CoordinatorConfig(counter_noise_sigma=0.0), seed=6)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(0.45)
+        assert coord.passes_skipped == 0
+
+    def test_stable_signatures_skip_and_reuse(self):
+        cluster = quiet_cluster(nodes=2, procs=2, seed=5)
+        telemetry = Telemetry()
+        coord = ClusterCoordinator(
+            cluster,
+            CoordinatorConfig(counter_noise_sigma=0.0,
+                              reschedule_tolerance=10.0),
+            telemetry=telemetry, seed=6)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(0.15)           # first real pass: schedules + anchors
+        first = coord.last_schedule
+        assert coord.passes_skipped == 0
+
+        def commands_sent():
+            snap = telemetry.snapshot()["metrics"]
+            series = snap["cluster_commands_sent_total"]["series"]
+            return sum(pt["value"] for pt in series)
+
+        sent_before = commands_sent()
+        sim.run_for(0.3)            # steady workload: passes skip
+        assert coord.passes_skipped >= 1
+        assert coord.last_schedule is first
+        # Skipped passes dispatch nothing...
+        assert commands_sent() == sent_before
+        # ...but still record, so the log stays gap-free.
+        passes = {e.time_s for e in coord.log.schedule_entries}
+        assert len(passes) >= 3
+        snap = telemetry.snapshot()["metrics"]
+        skipped_series = snap["cluster_passes_skipped_total"]["series"]
+        assert sum(pt["value"] for pt in skipped_series) == \
+            coord.passes_skipped
+
+    def test_limit_change_invalidates_reuse(self):
+        cluster = quiet_cluster(nodes=2, procs=2, seed=5)
+        coord = ClusterCoordinator(
+            cluster,
+            CoordinatorConfig(counter_noise_sigma=0.0,
+                              reschedule_tolerance=10.0),
+            seed=6)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(0.45)
+        skipped = coord.passes_skipped
+        assert skipped >= 1
+        before = coord.last_schedule
+        coord.set_power_limit(260.0, sim.now_s)
+        assert coord.passes_skipped == skipped   # trigger pass ran for real
+        assert coord.last_schedule is not before
+        assert coord.last_schedule.power_limit_w == 260.0
+
+    def test_zero_tolerance_never_skips_under_noise(self):
+        cluster = quiet_cluster(nodes=2, procs=2, seed=5)
+        cluster.assign_all(tiered_cluster_assignment(2, 2, web_nodes=1,
+                                                     app_nodes=1))
+        coord = ClusterCoordinator(
+            cluster,
+            CoordinatorConfig(counter_noise_sigma=0.01,
+                              reschedule_tolerance=0.0),
+            seed=6)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(0.45)
+        assert coord.passes_skipped == 0
+
+
+class TestDispatchGrouping:
+    def test_out_of_order_assignments_still_sorted_per_node(self):
+        cluster = quiet_cluster(nodes=1, procs=2, seed=7)
+        coord = ClusterCoordinator(
+            cluster, CoordinatorConfig(counter_noise_sigma=0.0), seed=8)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        table = coord.scheduler.table
+        f_lo, f_hi = table.freqs_hz[0], table.freqs_hz[-1]
+        mk = coord.scheduler.voltages.min_voltage
+        # Hand-built schedule with proc 1 before proc 0.
+        assignments = (
+            ProcessorAssignmentFor(1, f_lo, mk(0, 1, f_lo), table),
+            ProcessorAssignmentFor(0, f_hi, mk(0, 0, f_hi), table),
+        )
+        schedule = Schedule(assignments=assignments, total_power_w=0.0,
+                            power_limit_w=None, epsilon=0.1)
+        coord._dispatch(schedule, sim.now_s)
+        sim.run_for(0.01)
+        machine = cluster.nodes[0].machine
+        assert machine.frequency_vector_hz() == [f_hi, f_lo]
+
+
+def ProcessorAssignmentFor(proc_id, freq_hz, voltage, table):
+    from repro.core.scheduler import ProcessorAssignment
+    return ProcessorAssignment(
+        node_id=0, proc_id=proc_id, freq_hz=freq_hz, voltage=voltage,
+        power_w=table.power_at(freq_hz), predicted_loss=0.0,
+        eps_freq_hz=freq_hz)
+
+
+def synthetic_reports(nodes, procs, seed=0):
+    rng = np.random.default_rng(seed)
+    reports = []
+    for n in range(nodes):
+        prs = []
+        for p in range(procs):
+            instr = float(rng.uniform(5e5, 5e6))
+            prs.append(ProcReport(
+                proc_id=p, instructions=instr,
+                cycles=instr * float(rng.uniform(0.8, 2.5)),
+                n_l2=float(rng.uniform(0.0, 2e4)),
+                n_l3=float(rng.uniform(0.0, 8e3)),
+                n_mem=float(rng.uniform(0.0, 4e3)),
+                l1_stall_cycles=float(rng.uniform(0.0, 1e5)),
+                halted_cycles=0.0, interval_s=0.1, idle_signaled=False))
+        reports.append(NodeReport(node_id=n, time_s=0.1, procs=tuple(prs)))
+    return reports
+
+
+def _pass_core(coord, reports, now_s):
+    """The pass hot path under measurement: views from reports, the
+    schedule, and the log record (collect and dispatch are identical
+    between the two paths and excluded)."""
+    if coord.config.columnar:
+        views = coord._view_batch_from_reports(reports)
+    else:
+        views = coord._views_from_reports(reports)
+    schedule = coord.scheduler.schedule(views, coord.power_limit_w,
+                                        on_infeasible="floor")
+    coord._record(schedule, now_s)
+    return schedule
+
+
+class TestClusterPassSpeedup:
+    """Acceptance: the columnar pass is >= 5x the object path at 64x4."""
+
+    def test_bench_cluster_pass_64_nodes(self):
+        # No global limit: step 2's heap reduction is identical shared
+        # code either way (pinned by the equivalence suite above); the
+        # ratio measures the columnarised data path — views from reports,
+        # the matrix pass, assembly, and the log record.
+        reports = synthetic_reports(64, 4, seed=17)
+        cluster = quiet_cluster(nodes=1, procs=1, seed=1)
+        coords = {
+            columnar: ClusterCoordinator(
+                cluster,
+                CoordinatorConfig(power_limit_w=None, columnar=columnar),
+                seed=2)
+            for columnar in (True, False)
+        }
+
+        # Same decision either way (the equivalence half of the gate).
+        sched_cols = _pass_core(coords[True], reports, 0.1)
+        sched_objs = _pass_core(coords[False], reports, 0.1)
+        assert sched_cols == sched_objs
+        assert _comparable_entries(coords[True].log) == \
+            _comparable_entries(coords[False].log)
+
+        def best_of(coord, repeats=7, inner=3):
+            best = float("inf")
+            for _ in range(repeats):
+                coord.log = FvsstLog()   # keep record cost flat
+                t0 = time.perf_counter()
+                for _ in range(inner):
+                    _pass_core(coord, reports, 0.1)
+                best = min(best, (time.perf_counter() - t0) / inner)
+            return best
+
+        best_of(coords[True], repeats=2)   # warm caches on both paths
+        best_of(coords[False], repeats=2)
+        columnar_s = best_of(coords[True])
+        object_s = best_of(coords[False])
+        speedup = object_s / columnar_s
+        assert speedup >= 5.0, (
+            f"columnar pass {columnar_s * 1e6:.0f} us vs object "
+            f"{object_s * 1e6:.0f} us: only {speedup:.1f}x"
+        )
