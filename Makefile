@@ -1,7 +1,7 @@
 # Canonical developer commands for the fvsst reproduction.
 
-.PHONY: install test bench bench-save bench-sim bench-compare experiments \
-	validate examples all
+.PHONY: install test bench bench-save bench-sim bench-hier bench-compare \
+	chaos-hier experiments validate examples all
 
 BENCH_BASELINE := benchmarks/BENCH_hotpaths.json
 BENCH_CURRENT  := .bench_current.json
@@ -21,6 +21,17 @@ bench-sim:
 	pytest benchmarks/test_bench_hotpaths.py --benchmark-only \
 		-k "advance or counter"
 
+# The hierarchical control plane's hot path only: one full fleet round
+# (256 shard passes + water-fill) over 1024 nodes.
+bench-hier:
+	pytest benchmarks/test_bench_hotpaths.py --benchmark-only -k hier
+
+# Datacenter-scale chaos smoke: 1024 nodes / 256 shards through the
+# partition/crash/chaos fleet fault scenarios, three seeds.  Costs a few
+# minutes per seed; CI runs one seed per matrix entry (-k seed2005 etc.).
+chaos-hier:
+	pytest benchmarks/test_chaos_hier.py
+
 # Refresh the committed hot-path baseline (do this on the reference
 # machine after an intentional perf change, and commit the JSON).
 bench-save:
@@ -35,7 +46,8 @@ bench-compare:
 	python benchmarks/compare_baseline.py $(BENCH_BASELINE) \
 		$(BENCH_CURRENT) --max-ratio 3.0 \
 		--max-ratio-for test_bench_frequency_residency=5.0 \
-		--max-ratio-for test_bench_power_series=5.0
+		--max-ratio-for test_bench_power_series=5.0 \
+		--max-ratio-for test_bench_hier_round_1024_nodes=5.0
 
 experiments:
 	fvsst run all

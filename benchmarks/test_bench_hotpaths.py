@@ -158,11 +158,11 @@ class TestBenchSinglePassScheduler:
         assert schedule.total_power_w <= budget
 
 
-def _node_reports(nodes: int, procs: int, seed: int = 17):
+def _node_reports(nodes: int, procs: int, seed: int = 17, start: int = 0):
     from repro.cluster.protocol import NodeReport, ProcReport
     rng = np.random.default_rng(seed)
     reports = []
-    for n in range(nodes):
+    for n in range(start, start + nodes):
         prs = []
         for p in range(procs):
             instr = float(rng.uniform(5e5, 5e6))
@@ -221,6 +221,58 @@ class TestBenchClusterPass:
 
     def test_bench_cluster_pass_64x4_object(self, benchmark):
         self._run(benchmark, columnar=False)
+
+
+class TestBenchHierarchicalPass:
+    """One full hierarchical round at datacenter scale: 1024 nodes in 256
+    four-node shards (4096 processors).  Per shard: columnar views from
+    the rack's reports -> Figure 3 pass against the delegated budget ->
+    record -> summary ladder; then one fleet water-fill over all 256
+    ladders.  The fleet tier itself touches O(shards x rungs) floats, so
+    the round should cost ~256x the 4-node shard pass plus noise."""
+
+    def test_bench_hier_round_1024_nodes(self, benchmark):
+        from repro.cluster.coordinator import ClusterCoordinator, \
+            CoordinatorConfig
+        from repro.cluster.hierarchy import FleetAllocator, FleetConfig, \
+            water_fill_budgets
+        from repro.core.logs import FvsstLog
+        from repro.sim.cluster import Cluster
+        from repro.sim.core import CoreConfig
+        from repro.sim.machine import MachineConfig
+
+        nodes, procs, shard_size = 1024, 4, 4
+        budget = nodes * procs * 75.0
+        cluster = Cluster.homogeneous(
+            nodes,
+            machine_config=MachineConfig(
+                num_cores=procs,
+                core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            seed=1)
+        alloc = FleetAllocator(
+            cluster, CoordinatorConfig(power_limit_w=budget, columnar=True),
+            fleet=FleetConfig(shard_size=shard_size), seed=2)
+        shard_reports = [
+            _node_reports(shard_size, procs, seed=17 + i,
+                          start=i * shard_size)
+            for i in range(alloc.num_shards)
+        ]
+
+        def one_round():
+            ladders = []
+            for shard, reports in zip(alloc.shards, shard_reports):
+                shard.log = FvsstLog()
+                views = shard._view_batch_from_reports(reports)
+                schedule = shard.scheduler.schedule(
+                    views, shard.power_limit_w, on_infeasible="floor")
+                shard._record(schedule, 0.1)
+                shard.last_schedule = schedule
+                ladders.append(shard.make_summary(0.1).capped_demand_w)
+            return water_fill_budgets(np.asarray(ladders), budget)
+
+        budgets, infeasible = benchmark(one_round)
+        assert len(budgets) == 256 and not infeasible
+        assert float(budgets.sum()) <= budget + 1e-6
 
 
 class TestBenchLogQueries:

@@ -80,31 +80,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable telemetry collection and write the "
                             "JSONL event/span stream, a Prometheus text "
                             "snapshot, and a summary table into DIR")
+    from .cluster.faults import FAULT_SCENARIOS
+    # argparse treats '%' in help strings as a format spec; descriptions
+    # mention loss percentages, so escape them.
+    scenarios = "; ".join(f"{name}: {desc}"
+                          for name, desc in FAULT_SCENARIOS.items()
+                          ).replace("%", "%%")
     run_p.add_argument("--faults", metavar="SCENARIO", default=None,
                        help="inject a named fault scenario into the "
-                            "cluster control plane (none, light, lossy, "
-                            "partition, crash, chaos); only cluster "
-                            "experiments support it")
+                            "cluster control plane (only cluster "
+                            f"experiments support it) — {scenarios}")
+    run_p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="run cluster experiments through the "
+                            "hierarchical control plane with N nodes per "
+                            "shard (only cluster experiments support it)")
     return parser
 
 
 def _run_one(experiment_id: str, *, seed: int, fast: bool,
              precision: int, chart: bool = False,
              output: str | None = None,
-             faults: str | None = None) -> ExperimentResult:
+             faults: str | None = None,
+             shards: int | None = None) -> ExperimentResult:
     from .experiments import run_experiment
 
     kwargs = {}
     if faults is not None:
         kwargs["faults"] = faults
+    if shards is not None:
+        kwargs["shards"] = shards
     try:
         # Deterministic experiments ignore the seed; passing it is harmless.
         result = run_experiment(experiment_id, seed=seed, fast=fast, **kwargs)
     except TypeError:
-        if faults is None:
+        if not kwargs:
             raise
+        flags = " / ".join(f"--{name}" for name in kwargs)
         raise ConfigError(
-            f"experiment {experiment_id!r} does not support --faults"
+            f"experiment {experiment_id!r} does not support {flags}"
         ) from None
     print(result.render(precision=precision))
     if chart and result.series:
@@ -151,7 +164,8 @@ def _run_with_telemetry(ids: Sequence[str], args) -> int:
                 _run_one(eid, seed=args.seed, fast=args.fast,
                          precision=args.precision, chart=args.chart,
                          output=args.output,
-                         faults=getattr(args, "faults", None))
+                         faults=getattr(args, "faults", None),
+                         shards=getattr(args, "shards", None))
             sink.write_snapshot()
         (directory / "metrics.prom").write_text(
             prometheus_text(telemetry.metrics), encoding="utf-8")
@@ -210,18 +224,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                     from .exec import configure
                     configure(args.jobs)
             if args.faults is not None:
-                from .cluster.faults import FAULT_SCENARIOS
+                from .cluster.faults import FAULT_SCENARIOS, scenario_catalog
                 if args.faults not in FAULT_SCENARIOS:
                     raise ConfigError(
                         f"unknown fault scenario {args.faults!r}; "
-                        f"available: {sorted(FAULT_SCENARIOS)}"
+                        f"available:\n{scenario_catalog()}"
                     )
+            if args.shards is not None and args.shards < 1:
+                raise ConfigError("--shards must be at least 1")
             if args.telemetry is not None:
                 return _run_with_telemetry(ids, args)
             for eid in ids:
                 _run_one(eid, seed=args.seed, fast=args.fast,
                          precision=args.precision, chart=args.chart,
-                         output=args.output, faults=args.faults)
+                         output=args.output, faults=args.faults,
+                         shards=args.shards)
             return 0
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as exc:

@@ -16,18 +16,44 @@ substrate:
 * :mod:`~repro.cluster.faults` — fault injection (message loss, latency
   jitter, partitions, agent crashes) and the named ``--faults`` scenarios;
   the coordinator's degraded mode tolerates them (docs/RESILIENCE.md).
+* :mod:`~repro.cluster.hierarchy` — the two-tier control plane: per-rack
+  :class:`ShardCoordinator` instances under a :class:`FleetAllocator`
+  that water-fills the fleet power budget across shards from compact
+  demand summaries (``fvsst run --shards``).
 """
 
-from .protocol import ProcReport, NodeReport, FrequencyCommand, message_size_bytes
+from .protocol import (
+    ProcReport,
+    NodeReport,
+    FrequencyCommand,
+    ShardSummary,
+    BudgetLease,
+    message_size_bytes,
+)
 from .agent import NodeAgent
 from .coordinator import ClusterCoordinator, CoordinatorConfig
-from .faults import FAULT_SCENARIOS, CrashWindow, FaultSchedule, fault_scenario
+from .faults import (
+    FAULT_SCENARIOS,
+    CrashWindow,
+    FaultSchedule,
+    fault_scenario,
+    fleet_fault_scenario,
+    scenario_catalog,
+)
+from .hierarchy import (
+    FleetAllocator,
+    FleetConfig,
+    ShardCoordinator,
+    water_fill_budgets,
+)
 from .nested import NestedBudgetScheduler
 
 __all__ = [
     "ProcReport",
     "NodeReport",
     "FrequencyCommand",
+    "ShardSummary",
+    "BudgetLease",
     "message_size_bytes",
     "NodeAgent",
     "ClusterCoordinator",
@@ -37,4 +63,10 @@ __all__ = [
     "CrashWindow",
     "FAULT_SCENARIOS",
     "fault_scenario",
+    "fleet_fault_scenario",
+    "scenario_catalog",
+    "FleetAllocator",
+    "FleetConfig",
+    "ShardCoordinator",
+    "water_fill_budgets",
 ]

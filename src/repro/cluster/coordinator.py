@@ -130,6 +130,15 @@ class CoordinatorConfig:
             check_positive(self.report_timeout_s, "report_timeout_s")
         if self.staleness_bound_s is not None:
             check_positive(self.staleness_bound_s, "staleness_bound_s")
+        if (self.report_timeout_s is not None
+                and self.report_timeout_s > self.effective_staleness_bound_s):
+            raise ClusterError(
+                f"report_timeout_s ({self.report_timeout_s:g} s) exceeds "
+                f"the staleness bound "
+                f"({self.effective_staleness_bound_s:g} s): a report slow "
+                f"enough to need the timeout would already be stale, so "
+                f"every pass would silently schedule from cached views"
+            )
         if self.command_retries < 0:
             raise ClusterError("command_retries must be non-negative")
         check_positive(self.retry_timeout_s, "retry_timeout_s")

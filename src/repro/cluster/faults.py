@@ -29,7 +29,10 @@ __all__ = [
     "CrashWindow",
     "FaultSchedule",
     "FAULT_SCENARIOS",
+    "FLEET_FAULT_SCENARIOS",
     "fault_scenario",
+    "fleet_fault_scenario",
+    "scenario_catalog",
 ]
 
 
@@ -100,6 +103,12 @@ FAULT_SCENARIOS: dict[str, str] = {
 }
 
 
+def scenario_catalog(scenarios: dict[str, str] | None = None) -> str:
+    """One line per scenario, ``name — description`` (CLI help, errors)."""
+    catalog = FAULT_SCENARIOS if scenarios is None else scenarios
+    return "\n".join(f"  {name} — {desc}" for name, desc in catalog.items())
+
+
 def fault_scenario(name: str, *, seed: int | None = None
                    ) -> FaultSchedule | None:
     """Build a named scenario (``None`` for the fault-free ``"none"``).
@@ -110,8 +119,8 @@ def fault_scenario(name: str, *, seed: int | None = None
     """
     if name not in FAULT_SCENARIOS:
         raise ClusterError(
-            f"unknown fault scenario {name!r}; available: "
-            f"{sorted(FAULT_SCENARIOS)}"
+            f"unknown fault scenario {name!r}; available:\n"
+            f"{scenario_catalog()}"
         )
     if name == "none":
         return None
@@ -146,3 +155,54 @@ def fault_scenario(name: str, *, seed: int | None = None
                                         node_ids=frozenset({1})),)),
         crashes=(CrashWindow(node_id=2, start_s=2.0, end_s=2.6),),
         name=name)
+
+
+#: Fleet-scale scenarios for the hierarchical control plane (sized to the
+#: cluster, unlike the fixed-node-id :data:`FAULT_SCENARIOS`).
+FLEET_FAULT_SCENARIOS: dict[str, str] = {
+    "partition": "a quarter of the shard uplinks partitioned during "
+                 "[0.35 s, 0.85 s), plus 2% loss",
+    "crash": "every 64th node's agent down during [0.4 s, 0.9 s)",
+    "chaos": "5% loss, jitter, the uplink partition and the agent crashes",
+}
+
+
+def fleet_fault_scenario(name: str, *, num_nodes: int, shard_size: int,
+                         seed: int | None = None) -> FaultSchedule:
+    """Build a fleet-scale scenario sized to ``num_nodes`` shards.
+
+    A shard's uplink to the fleet tier is its *first* node
+    (:attr:`~repro.cluster.hierarchy.ShardCoordinator.uplink_node_id`),
+    so partitioning node ids ``k * shard_size`` cuts whole shards off the
+    allocator while their intra-rack control plane keeps running.
+    Windows land inside the short chaos-run horizons (~1.2 s).
+    """
+    if name not in FLEET_FAULT_SCENARIOS:
+        raise ClusterError(
+            f"unknown fleet fault scenario {name!r}; available:\n"
+            f"{scenario_catalog(FLEET_FAULT_SCENARIOS)}"
+        )
+    if num_nodes < 1 or shard_size < 1:
+        raise ClusterError("num_nodes and shard_size must be positive")
+    net_seed = spawn_seeds(seed, 1)[0]
+    num_shards = (num_nodes + shard_size - 1) // shard_size
+    # Uplinks of the second quarter of the shards: a contiguous band, as a
+    # rack-row switch failure would cut it.
+    band = range(num_shards // 4, num_shards // 2)
+    uplinks = frozenset(s * shard_size for s in band) or frozenset({0})
+    partition = PartitionWindow(0.35, 0.85, node_ids=uplinks)
+    crashes = tuple(CrashWindow(node_id=n, start_s=0.4, end_s=0.9)
+                    for n in range(0, num_nodes, 64))
+    if name == "partition":
+        return FaultSchedule(
+            network=NetworkFaults(loss_prob=0.02, seed=net_seed,
+                                  partitions=(partition,)),
+            name=name)
+    if name == "crash":
+        return FaultSchedule(network=NetworkFaults(seed=net_seed),
+                             crashes=crashes, name=name)
+    # "chaos"
+    return FaultSchedule(
+        network=NetworkFaults(loss_prob=0.05, jitter_sigma=0.2,
+                              seed=net_seed, partitions=(partition,)),
+        crashes=crashes, name=name)

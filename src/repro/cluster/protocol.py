@@ -5,6 +5,12 @@ a per-processor counter summary, and one command per node carrying its
 frequency vector.  Sizes are estimated so the network model can charge
 realistic latency — the communication overhead the paper amortises with a
 large ``T``.
+
+The hierarchical control plane (:mod:`repro.cluster.hierarchy`) adds two
+messages on the rack→datacenter tier: a :class:`ShardSummary` (one compact
+fixed-size record per shard per rebalance round — columnar aggregates, no
+per-processor payload, so the fleet tier's traffic is O(shards)) and a
+:class:`BudgetLease` delegating a power budget back down to a shard.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from dataclasses import dataclass
 from ..errors import ClusterError
 
 __all__ = ["ProcReport", "NodeReport", "FrequencyCommand",
-           "message_size_bytes"]
+           "ShardSummary", "BudgetLease", "message_size_bytes"]
 
 #: Encoded size of one float field on the wire.
 _FIELD_BYTES = 8
@@ -82,7 +88,78 @@ class FrequencyCommand:
                     f"command for node {self.node_id}: duplicate proc ids")
 
 
-def message_size_bytes(message: NodeReport | FrequencyCommand) -> int:
+@dataclass(frozen=True, slots=True)
+class ShardSummary:
+    """One shard's compact state for the fleet allocator.
+
+    Fixed-size per shard: a handful of scalars plus one power-demand value
+    per ladder rung (``capped_demand_w[k]`` = the shard's total scheduled
+    power if every processor were capped at rung ``k`` while keeping its
+    step-1 epsilon-constrained frequency where that is already lower).
+    The fleet tier never sees per-processor state — the top of the tree
+    scales as O(shards), not O(processors).
+    """
+
+    shard_id: int
+    time_s: float
+    nodes: int
+    procs: int
+    #: Power-demand ladder over the rung index (nondecreasing);
+    #: ``capped_demand_w[0]`` is the shard floor, ``capped_demand_w[-1]``
+    #: the shard's unconstrained step-1 demand.
+    capped_demand_w: tuple[float, ...]
+    #: Mean predicted performance loss of the shard's last local schedule.
+    mean_loss: float
+    #: Delegated budget the shard is currently scheduling against
+    #: (ground truth for the allocator's committed-power accounting).
+    budget_w: float | None
+    healthy_nodes: int
+    stale_nodes: int
+    lost_nodes: int
+
+    def __post_init__(self) -> None:
+        if not self.capped_demand_w:
+            raise ClusterError(
+                f"shard {self.shard_id}: empty demand ladder")
+        if any(b > a + 1e-9 for a, b in zip(self.capped_demand_w[1:],
+                                            self.capped_demand_w[:-1])):
+            raise ClusterError(
+                f"shard {self.shard_id}: demand ladder must be "
+                f"nondecreasing")
+
+    @property
+    def floor_w(self) -> float:
+        """Shard power with every processor at the frequency floor."""
+        return self.capped_demand_w[0]
+
+    @property
+    def demand_w(self) -> float:
+        """Shard power at the unconstrained step-1 operating points."""
+        return self.capped_demand_w[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetLease:
+    """The fleet allocator's delegated budget for one shard.
+
+    Idempotent, and stale-guarded by ``time_s`` exactly like
+    :class:`FrequencyCommand`: a delayed duplicate of an old rebalance
+    decision must not override a newer one.
+    """
+
+    shard_id: int
+    time_s: float
+    budget_w: float | None
+
+    def __post_init__(self) -> None:
+        if self.budget_w is not None and self.budget_w < 0.0:
+            raise ClusterError(
+                f"shard {self.shard_id}: negative budget lease")
+
+
+def message_size_bytes(
+        message: NodeReport | FrequencyCommand | ShardSummary | BudgetLease
+) -> int:
     """Wire-size estimate for the network model."""
     if isinstance(message, NodeReport):
         per_proc = 9 * _FIELD_BYTES + 1  # 9 numeric fields + idle flag
@@ -93,4 +170,9 @@ def message_size_bytes(message: NodeReport | FrequencyCommand) -> int:
         # change the wire-size estimate — and therefore not the delays of
         # existing fault-free runs.
         return _HEADER_BYTES + 2 * _FIELD_BYTES * len(message.freqs_hz)
+    if isinstance(message, ShardSummary):
+        # 7 scalar fields plus one float per ladder rung.
+        return _HEADER_BYTES + (7 + len(message.capped_demand_w)) * _FIELD_BYTES
+    if isinstance(message, BudgetLease):
+        return _HEADER_BYTES + 3 * _FIELD_BYTES
     raise ClusterError(f"unknown message type {type(message).__name__}")

@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..analysis.report import ExperimentResult, TableResult
 from ..cluster.coordinator import ClusterCoordinator, CoordinatorConfig
 from ..cluster.faults import fault_scenario
+from ..cluster.hierarchy import FleetAllocator, FleetConfig
 from ..core.baselines import uniform_cap_frequency
 from ..exec.pool import parallel_map
 from ..sim.cluster import Cluster
@@ -49,7 +50,8 @@ def _throughput(cluster: Cluster) -> float:
 
 
 def _run_policy(policy: str, *, seed: int, fast: bool,
-                faults_name: str | None = None) -> dict[str, float]:
+                faults_name: str | None = None,
+                shard_size: int | None = None) -> dict[str, float]:
     duration = 3.0 if fast else 8.0
     cluster = Cluster.homogeneous(
         NODES, machine_config=MachineConfig(num_cores=PROCS), seed=seed
@@ -62,7 +64,17 @@ def _run_policy(policy: str, *, seed: int, fast: bool,
 
     sim = Simulation(cluster.machines)
     coordinator = None
-    if policy == "fvsst":
+    allocator = None
+    if policy == "hier":
+        faults = (fault_scenario(faults_name, seed=seed + 101)
+                  if faults_name else None)
+        allocator = FleetAllocator(
+            cluster, CoordinatorConfig(power_limit_w=budget),
+            fleet=FleetConfig(shard_size=shard_size or 1),
+            faults=faults, seed=seed + 1
+        )
+        allocator.attach(sim)
+    elif policy == "fvsst":
         faults = (fault_scenario(faults_name, seed=seed + 101)
                   if faults_name else None)
         coordinator = ClusterCoordinator(
@@ -94,33 +106,55 @@ def _run_policy(policy: str, *, seed: int, fast: bool,
             "stale_passes": float(coordinator.stale_passes),
             "messages_dropped": float(cluster.network.messages_dropped),
         })
+    if allocator is not None:
+        committed_ok = (allocator.max_committed_w <= budget + 1e-9)
+        result.update({
+            "shards": float(allocator.num_shards),
+            "rebalances": float(allocator.rebalances),
+            "leases": float(allocator.leases_sent),
+            "summary_drops": float(allocator.summaries_dropped),
+            "max_committed_w": allocator.max_committed_w,
+            "committed_compliant": 1.0 if committed_ok else 0.0,
+        })
     return result
 
 
-def _policy_task(task: tuple[str, int, bool, str | None]) -> dict[str, float]:
+def _policy_task(task: tuple[str, int, bool, str | None, int | None]
+                 ) -> dict[str, float]:
     """Picklable wrapper so the policy runs can fan across a pool."""
-    policy, seed, fast, faults_name = task
-    return _run_policy(policy, seed=seed, fast=fast, faults_name=faults_name)
+    policy, seed, fast, faults_name, shard_size = task
+    return _run_policy(policy, seed=seed, fast=fast,
+                       faults_name=faults_name, shard_size=shard_size)
 
 
 def run(seed: int = 2005, fast: bool = False,
-        faults: str | None = None) -> ExperimentResult:
+        faults: str | None = None,
+        shards: int | None = None) -> ExperimentResult:
     """Run the cluster capping comparison.
 
     The policy runs are independent (each gets its own pre-spawned seed),
     so they fan across worker processes when ``--jobs`` is set.  With a
     fault scenario named, a fourth fvsst run repeats the curtailment over
-    the unreliable control plane.
+    the unreliable control plane.  With ``shards`` (the CLI's
+    ``--shards``), another run drives the same curtailment through the
+    hierarchical control plane (``shards`` nodes per shard, fleet budget
+    water-filled across the shard coordinators), combining with the fault
+    scenario when both are given.
     """
     with_faults = faults is not None and faults != "none"
-    seeds = spawn_seeds(seed, 4 if with_faults else 3)
-    tasks: list[tuple[str, int, bool, str | None]] = [
-        ("none", seeds[0], fast, None),
-        ("fvsst", seeds[1], fast, None),
-        ("uniform", seeds[2], fast, None),
+    with_shards = shards is not None
+    seeds = spawn_seeds(seed, 3 + (1 if with_faults else 0)
+                        + (1 if with_shards else 0))
+    tasks: list[tuple[str, int, bool, str | None, int | None]] = [
+        ("none", seeds[0], fast, None, None),
+        ("fvsst", seeds[1], fast, None, None),
+        ("uniform", seeds[2], fast, None, None),
     ]
     if with_faults:
-        tasks.append(("fvsst", seeds[3], fast, faults))
+        tasks.append(("fvsst", seeds[3], fast, faults, None))
+    if with_shards:
+        tasks.append(("hier", seeds[-1], fast,
+                      faults if with_faults else None, shards))
     results = parallel_map(_policy_task, tasks)
     reference, fvsst, uniform = results[:3]
 
@@ -179,6 +213,32 @@ def run(seed: int = 2005, fast: bool = False,
             "power must never exceed the budget: missing nodes are served "
             "from the signature cache, lost nodes are pinned to the "
             "frequency floor.",
+        )
+    if with_shards:
+        hier = results[-1]
+        label = f"fvsst-hier({shards}/shard)"
+        if with_faults:
+            label += f"+{faults}"
+        tables.append(TableResult(
+            headers=("policy", "norm_throughput", "cpu_power_w",
+                     "shards", "rebalances", "leases", "summary_drops",
+                     "max_committed_w", "committed<=budget"),
+            rows=(
+                (label, round(norm(hier), 3), round(hier["power_w"], 0),
+                 int(hier["shards"]), int(hier["rebalances"]),
+                 int(hier["leases"]), int(hier["summary_drops"]),
+                 round(hier["max_committed_w"], 1),
+                 "yes" if hier["committed_compliant"] else "NO"),
+            ),
+            title="Hierarchical control plane at the same budget "
+                  "(fleet water-fill over shard demand ladders)",
+        ))
+        scalars["hier_norm_throughput"] = norm(hier)
+        scalars["hier_budget_compliant"] = hier["committed_compliant"]
+        notes.append(
+            "The fleet allocator never commits more budget to shards than "
+            "the fleet limit, even while leases and summaries are in "
+            "flight or lost (pessimistic committed accounting).",
         )
     return ExperimentResult(
         experiment_id="cluster_cap",

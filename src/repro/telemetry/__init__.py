@@ -37,6 +37,9 @@ from .events import (
     EVENT_PHASE_TRANSITION,
     EVENT_PSU_FAILURE,
     EVENT_PSU_RESTORED,
+    EVENT_SHARD_LOST,
+    EVENT_SHARD_REBALANCE,
+    EVENT_SHARD_RECOVERED,
     EventBus,
     TelemetryEvent,
 )
@@ -81,6 +84,9 @@ __all__ = [
     "EVENT_PHASE_TRANSITION",
     "EVENT_NODE_LOST",
     "EVENT_NODE_RECOVERED",
+    "EVENT_SHARD_LOST",
+    "EVENT_SHARD_RECOVERED",
+    "EVENT_SHARD_REBALANCE",
     "EVENT_KINDS",
     "JsonlSink",
     "write_metrics_jsonl",

@@ -30,6 +30,9 @@ __all__ = [
     "EVENT_PHASE_TRANSITION",
     "EVENT_NODE_LOST",
     "EVENT_NODE_RECOVERED",
+    "EVENT_SHARD_LOST",
+    "EVENT_SHARD_RECOVERED",
+    "EVENT_SHARD_REBALANCE",
     "EVENT_KINDS",
 ]
 
@@ -50,6 +53,13 @@ EVENT_PHASE_TRANSITION = "phase_transition"
 EVENT_NODE_LOST = "node_lost"
 #: A lost node delivered a fresh report again.
 EVENT_NODE_RECOVERED = "node_recovered"
+#: The fleet allocator lost a shard: no summary within the staleness
+#: bound (uplink partition or persistent loss); its budget is frozen.
+EVENT_SHARD_LOST = "shard_lost"
+#: A lost shard delivered a fresh summary again.
+EVENT_SHARD_RECOVERED = "shard_recovered"
+#: The fleet allocator rebalanced delegated budgets across shards.
+EVENT_SHARD_REBALANCE = "shard_rebalance"
 
 EVENT_KINDS = (
     EVENT_FREQUENCY_CHANGE,
@@ -60,6 +70,9 @@ EVENT_KINDS = (
     EVENT_PHASE_TRANSITION,
     EVENT_NODE_LOST,
     EVENT_NODE_RECOVERED,
+    EVENT_SHARD_LOST,
+    EVENT_SHARD_RECOVERED,
+    EVENT_SHARD_REBALANCE,
 )
 
 

@@ -22,6 +22,23 @@ class TestParser:
             ["run", "fig8", "--fast", "--seed", "7", "--precision", "2"])
         assert args.fast and args.seed == 7 and args.precision == 2
 
+    def test_run_shards_flag(self):
+        args = build_parser().parse_args(
+            ["run", "cluster_cap", "--shards", "4"])
+        assert args.shards == 4
+        assert build_parser().parse_args(["run", "cluster_cap"]).shards \
+            is None
+
+    def test_faults_help_lists_scenario_descriptions(self):
+        from repro.cluster.faults import FAULT_SCENARIOS
+        parser = build_parser()
+        text = parser.format_help()
+        for sub in parser._subparsers._group_actions[0].choices.values():
+            text += sub.format_help()
+        flat = " ".join(text.split())   # undo argparse line wrapping
+        for description in FAULT_SCENARIOS.values():
+            assert description.split(",")[0] in flat
+
 
 class TestCommands:
     def test_list_names_every_experiment(self, capsys):
@@ -43,6 +60,17 @@ class TestCommands:
     def test_unknown_experiment_fails_cleanly(self, capsys):
         assert main(["run", "tableX"]) == 1
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_fault_scenario_lists_descriptions(self, capsys):
+        from repro.cluster.faults import FAULT_SCENARIOS
+        assert main(["run", "cluster_cap", "--faults", "bogus"]) == 1
+        err = capsys.readouterr().err
+        for name, description in FAULT_SCENARIOS.items():
+            assert name in err and description in err
+
+    def test_shards_rejected_for_non_cluster_experiment(self, capsys):
+        assert main(["run", "worked_example", "--shards", "2"]) == 1
+        assert "--shards" in capsys.readouterr().err
 
     def test_fast_run_of_a_simulated_experiment(self, capsys):
         assert main(["run", "fig5", "--fast"]) == 0

@@ -130,6 +130,22 @@ class TestFaultSchedule:
         assert [a.drops(0, 0.0) for _ in range(32)] == \
             [b.drops(0, 0.0) for _ in range(32)]
 
+    def test_unknown_scenario_error_lists_descriptions(self):
+        # The error must carry the catalog *descriptions*, not just names,
+        # so a CLI user can pick without opening the source.
+        with pytest.raises(ClusterError) as excinfo:
+            fault_scenario("bogus")
+        message = str(excinfo.value)
+        for name, description in FAULT_SCENARIOS.items():
+            assert name in message
+            assert description in message
+
+    def test_scenario_catalog_covers_every_scenario(self):
+        from repro.cluster.faults import scenario_catalog
+        catalog = scenario_catalog()
+        for name, description in FAULT_SCENARIOS.items():
+            assert f"{name} — {description}" in catalog
+
 
 class TestCommandProcIds:
     """Regression: positional zip silently retuned the wrong cores."""

@@ -101,6 +101,60 @@ class TestNestedScheduler:
             assert schedule.total_power_w <= global_limit + 1e-9
 
 
+class TestDelegatedBudgetShrink:
+    """The hierarchy's rebalance shrinks a shard's *global* budget
+    mid-run; the scheduler must never respond by raising any processor
+    above its pre-shrink rung (the greedy reduction at the lower limit is
+    a superset of the reductions at the higher one)."""
+
+    def test_shrink_never_raises_any_processor(self):
+        sched = NestedBudgetScheduler(POWER4_TABLE, epsilon=0.04)
+        v = views_for({0: [10.0, 0.3], 1: [5.0, 0.08]})
+        before = sched.schedule_nested(v, 400.0, {0: 180.0})
+        after = sched.schedule_nested(v, 300.0, {0: 180.0})
+        for a, b in zip(before.assignments, after.assignments):
+            assert (b.node_id, b.proc_id) == (a.node_id, a.proc_id)
+            assert b.freq_hz <= a.freq_hz + 1e-9
+
+    @given(
+        node_sizes=st.lists(st.integers(1, 3), min_size=1, max_size=3),
+        seed=st.integers(0, 1000),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shrink_monotone_property(self, node_sizes, seed, data):
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        node_ratios = {
+            n: [float(np.exp(rng.uniform(np.log(0.05), np.log(20))))
+                for _ in range(k)]
+            for n, k in enumerate(node_sizes)
+        }
+        v = views_for(node_ratios)
+        total = sum(node_sizes)
+        floor = total * POWER4_TABLE.min_power_w
+        b1 = data.draw(st.floats(floor, total * 140.0), label="budget")
+        b2 = data.draw(st.floats(floor, b1), label="shrunk")
+        sched = NestedBudgetScheduler(POWER4_TABLE, epsilon=0.04)
+        before = sched.schedule_nested(v, b1, {}, on_infeasible="floor")
+        after = sched.schedule_nested(v, b2, {}, on_infeasible="floor")
+        for a, b in zip(before.assignments, after.assignments):
+            assert b.freq_hz <= a.freq_hz + 1e-9
+        assert after.total_power_w <= b2 + 1e-9
+
+    def test_shrink_to_floor_never_raises(self):
+        sched = NestedBudgetScheduler(POWER4_TABLE, epsilon=0.04)
+        v = views_for({0: [10.0, 10.0], 1: [0.075, 0.3]})
+        before = sched.schedule_nested(v, 350.0, {1: 120.0})
+        floor = 4 * POWER4_TABLE.min_power_w
+        after = sched.schedule_nested(v, floor, {1: 120.0},
+                                      on_infeasible="floor")
+        for a, b in zip(before.assignments, after.assignments):
+            assert b.freq_hz <= a.freq_hz + 1e-9
+        assert all(b.freq_hz == POWER4_TABLE.f_min_hz
+                   for b in after.assignments)
+
+
 class TestCoordinatorNodeLimits:
     def _cluster(self, seed=6):
         cluster = Cluster.homogeneous(
