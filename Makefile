@@ -1,7 +1,7 @@
 # Canonical developer commands for the fvsst reproduction.
 
-.PHONY: install test bench bench-save bench-sim bench-hier bench-compare \
-	chaos-hier experiments validate examples all
+.PHONY: install test bench bench-save bench-sim bench-fleet bench-hier \
+	bench-compare chaos-hier experiments validate examples all
 
 BENCH_BASELINE := benchmarks/BENCH_hotpaths.json
 BENCH_CURRENT  := .bench_current.json
@@ -20,6 +20,12 @@ bench:
 bench-sim:
 	pytest benchmarks/test_bench_hotpaths.py --benchmark-only \
 		-k "advance or counter"
+
+# The fleet-wide columnar kernel's hot path only: 1024 bankless machines
+# through the event loop, every span one numpy pass over all lanes.
+bench-fleet:
+	pytest benchmarks/test_bench_hotpaths.py --benchmark-only \
+		-k advance_1024_nodes
 
 # The hierarchical control plane's hot path only: one full fleet round
 # (256 shard passes + water-fill) over 1024 nodes.
@@ -47,7 +53,8 @@ bench-compare:
 		$(BENCH_CURRENT) --max-ratio 3.0 \
 		--max-ratio-for test_bench_frequency_residency=5.0 \
 		--max-ratio-for test_bench_power_series=5.0 \
-		--max-ratio-for test_bench_hier_round_1024_nodes=5.0
+		--max-ratio-for test_bench_hier_round_1024_nodes=5.0 \
+		--max-ratio-for test_bench_advance_1024_nodes_10s=5.0
 
 experiments:
 	fvsst run all

@@ -109,6 +109,39 @@ class TestBenchSimulatorAdvance:
         assert all(m.supply_bank.cascade_count == 0 for m in machines)
         assert machines[0].ledger.total_energy_j > 0
 
+    def test_bench_advance_1024_nodes_10s(self, benchmark):
+        """Fleet-scale span advance: 1024 bankless single-core machines
+        driven through the event loop with a 10 ms periodic tick — the
+        chaos-smoke access pattern.  Every span goes through the fleet
+        columns (one numpy pass over all 1024 lanes), which is the layer-6
+        win; disabling the fleet kernel makes this bench ~2 orders of
+        magnitude slower."""
+        from repro.sim.driver import Simulation
+
+        phases = tuple(
+            synthetic_phase(r, duration_s=0.05, name=f"p{i}")
+            for i, r in enumerate((1.0, 0.5, 0.2))
+        )
+        machines = [
+            SMPMachine(MachineConfig(
+                num_cores=1,
+                core_config=CoreConfig(latency_jitter_sigma=0.0)),
+                seed=i)
+            for i in range(1024)
+        ]
+        for i, m in enumerate(machines):
+            if i % 2 == 0:
+                m.assign(0, Job(name=f"j{i}", phases=phases,
+                                loop=LoopMode.LOOP))
+        sim = Simulation(machines)
+        sim.every(0.010, lambda t: None)
+
+        def advance_all():
+            sim.run_for(10.0)
+
+        benchmark(advance_all)
+        assert machines[0].cores[0].counters.instructions > 0
+
 
 class TestBenchCounterPath:
     def test_bench_counter_sampling(self, benchmark):

@@ -116,11 +116,44 @@ class EnergyLedger:
         Equivalent to calling :meth:`advance_to` once per time with the same
         ``powers_w``, without rebuilding the powers dict per step — the bulk
         path the simulation kernel uses for event-free spans.
+
+        Stock accumulators integrate in a single 2-D cumsum (one numpy pass
+        for the whole ledger instead of one per account); each row of an
+        axis-1 cumsum accumulates left-to-right exactly like the 1-D case,
+        so the result is bit-for-bit the per-account loop.  A zero-power
+        row only adds ``+0.0`` terms, which leave the non-negative total
+        bit-unchanged, matching the scalar shortcut.
         """
         if len(times_s) == 0:
             return
         for name in powers_w:
             self.account(name)
+        accs = list(self.accounts.values())
+        if len(accs) > 1 and all(type(a) is EnergyAccumulator for a in accs):
+            t = np.asarray(times_s, dtype=float)
+            if np.any(t[1:] < t[:-1]):
+                raise SimulationError("time went backwards in bulk advance")
+            powers = np.empty(len(accs))
+            for k, name in enumerate(self.accounts):
+                p = powers_w.get(name, 0.0)
+                check_non_negative(p, "power_w")
+                powers[k] = p
+            last = np.array([a.last_time_s for a in accs])
+            if np.any(t[0] < last):
+                raise SimulationError(
+                    "time went backwards in bulk advance"
+                )
+            buf = np.empty((len(accs), t.size + 1))
+            buf[:, 0] = [a.energy_j for a in accs]
+            buf[:, 1] = powers * (t[0] - last)
+            if t.size > 1:
+                buf[:, 2:] = powers[:, None] * (t[1:] - t[:-1])[None, :]
+            totals = buf.cumsum(axis=1)[:, -1]
+            t_last = float(t[-1])
+            for k, acc in enumerate(accs):
+                acc.energy_j = float(totals[k])
+                acc.last_time_s = t_last
+            return
         for name, acc in self.accounts.items():
             acc.advance_many(times_s, powers_w.get(name, 0.0))
 

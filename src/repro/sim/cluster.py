@@ -28,11 +28,17 @@ class Cluster:
                  network: Network | None = None) -> None:
         if not nodes:
             raise ClusterError("a cluster needs at least one node")
-        ids = [n.node_id for n in nodes]
-        if len(set(ids)) != len(ids):
-            raise ClusterError("duplicate node ids")
         self.nodes: list[ClusterNode] = list(nodes)
+        self._nodes_by_id: dict[int, ClusterNode] = {}
+        for n in self.nodes:
+            if n.node_id in self._nodes_by_id:
+                raise ClusterError("duplicate node ids")
+            self._nodes_by_id[n.node_id] = n
         self.network = network or Network()
+        # One stable list for the simulator: the fleet kernel keys its
+        # resident state on list contents, and rebuilding the list on every
+        # property access costs O(N) per event-free span at cluster scale.
+        self._machines: list[SMPMachine] = [n.machine for n in self.nodes]
 
     @classmethod
     def homogeneous(cls, num_nodes: int, *,
@@ -56,15 +62,16 @@ class Cluster:
 
     @property
     def machines(self) -> list[SMPMachine]:
-        """All member machines (for simulation drivers)."""
-        return [n.machine for n in self.nodes]
+        """All member machines (for simulation drivers).  The same list
+        object is returned every time; treat it as read-only."""
+        return self._machines
 
     def node(self, node_id: int) -> ClusterNode:
-        """Node lookup by id."""
-        for n in self.nodes:
-            if n.node_id == node_id:
-                return n
-        raise ClusterError(f"no node with id {node_id}")
+        """Node lookup by id (O(1))."""
+        try:
+            return self._nodes_by_id[node_id]
+        except KeyError:
+            raise ClusterError(f"no node with id {node_id}") from None
 
     @property
     def total_procs(self) -> int:

@@ -77,6 +77,10 @@ class SimulatedCore:
         self.core_id = core_id
         self.latencies = latencies
         self.config = config or CoreConfig()
+        #: Fleet-kernel residency handle, set by :mod:`repro.sim.fleet` while
+        #: this core's state lives in fleet columns.  Mutators call
+        #: :meth:`_fleet_invalidate` so the fleet re-derives the lane.
+        self._fleet = None
         self.dispatcher = Dispatcher(quantum_s=self.config.quantum_s)
         self.actuator = ThrottleActuator(
             initial_freq_hz, settling_time_s=self.config.settling_time_s
@@ -97,10 +101,10 @@ class SimulatedCore:
         self.overhead_executed_s = 0.0
         #: Powered-off flag (the node power-down baseline): an offline core
         #: executes nothing, draws nothing, and its jobs stall in place.
-        self.offline = False
+        self._offline = False
         #: Process-variation multiplier on this part's power draw (a leaky
         #: corner-lot part has > 1.0).  Performance is unaffected.
-        self.power_scale = 1.0
+        self._power_scale = 1.0
         #: Block-drawn latency-jitter values, as (sigma, z_draws, jitters).
         #: The batched kernel refills this in blocks; ``_jitter_scale``
         #: consumes it first, so the RNG stream stays aligned no matter how
@@ -110,9 +114,36 @@ class SimulatedCore:
 
     # -- control interface (what the daemon touches) -----------------------------
 
+    def _fleet_invalidate(self) -> None:
+        """Tell the resident fleet (if any) this core's lane is stale."""
+        fleet = self._fleet
+        if fleet is not None:
+            fleet.invalidate_core(self)
+
+    @property
+    def offline(self) -> bool:
+        """Powered-off flag (the node power-down baseline)."""
+        return self._offline
+
+    @offline.setter
+    def offline(self, value: bool) -> None:
+        self._offline = value
+        self._fleet_invalidate()
+
+    @property
+    def power_scale(self) -> float:
+        """Process-variation multiplier on this part's power draw."""
+        return self._power_scale
+
+    @power_scale.setter
+    def power_scale(self, value: float) -> None:
+        self._power_scale = value
+        self._fleet_invalidate()
+
     def set_frequency(self, freq_hz: float, now_s: float) -> None:
         """Request an operating-point change."""
         self.actuator.set_frequency(freq_hz, now_s)
+        self._fleet_invalidate()
 
     @property
     def frequency_setting_hz(self) -> float:
@@ -127,6 +158,7 @@ class SimulatedCore:
         """Assign a job to this core (lifetime affinity)."""
         self.dispatcher.add_job(job)
         self.idle_detector.note_queue_length(self.dispatcher.runnable)
+        self._fleet_invalidate()
 
     @property
     def is_idle(self) -> bool:
@@ -278,6 +310,7 @@ class SimulatedCore:
         """
         check_non_negative(dt, "dt")
         self._overhead_debt_s += dt
+        self._fleet_invalidate()
 
 
 # Imported at the bottom: the kernel needs the class above, and `advance`

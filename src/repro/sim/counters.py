@@ -58,7 +58,16 @@ class CounterBank:
         self.halted_cycles += cycles
 
     def snapshot(self) -> "CounterSnapshot":
-        """An immutable copy of the current totals."""
+        """An immutable copy of the current totals.
+
+        While the owning core is resident in the fleet kernel, its running
+        totals live in fleet columns and the bank's fields lag behind; the
+        fleet installs ``_fleet_flush`` here so a snapshot (the only way
+        agents and readers observe counters) synchronises first.
+        """
+        flush = getattr(self, "_fleet_flush", None)
+        if flush is not None:
+            flush()
         # Positional, not a getattr comprehension: this runs per core per
         # daemon sampling tick (field order is the dataclass order).
         return CounterSnapshot(self.instructions, self.cycles, self.n_l2,

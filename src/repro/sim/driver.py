@@ -21,6 +21,7 @@ from ..telemetry import Telemetry, get_telemetry
 from ..units import check_non_negative, check_positive
 from .clock import SimClock
 from .events import Event, EventQueue
+from .fleet import flush_machines
 from .kernel import advance_machines
 from .machine import SMPMachine
 
@@ -132,9 +133,10 @@ class Simulation:
     # -- running ---------------------------------------------------------------------
 
     def _advance_machines(self, dt: float) -> None:
-        # One batched advance per machine per event-free span; each machine
-        # falls back to its scalar chunk loop when ineligible.
-        advance_machines(self.machines, dt)
+        # One batched advance per machine per event-free span; resident
+        # machines stay in fleet columns between spans (counters still
+        # synchronise on snapshot) and flush when run_until returns.
+        advance_machines(self.machines, dt, flush=False)
 
     def run_until(self, t_end_s: float) -> None:
         """Advance simulation time to ``t_end_s``, firing events on the way."""
@@ -143,20 +145,23 @@ class Simulation:
                 f"cannot run to {t_end_s} (now is {self.now_s})"
             )
         instrumented = self.telemetry.enabled
-        while True:
-            next_event = self.events.next_time()
-            if next_event is None or next_event > t_end_s:
-                self._advance_machines(t_end_s - self.now_s)
-                self.clock.advance_to(t_end_s)
+        try:
+            while True:
+                next_event = self.events.next_time()
+                if next_event is None or next_event > t_end_s:
+                    self._advance_machines(t_end_s - self.now_s)
+                    self.clock.advance_to(t_end_s)
+                    if instrumented:
+                        self._flush_dispatch_stats()
+                    return
+                self._advance_machines(max(0.0, next_event - self.now_s))
+                self.clock.advance_to(max(next_event, self.now_s))
                 if instrumented:
-                    self._flush_dispatch_stats()
-                return
-            self._advance_machines(max(0.0, next_event - self.now_s))
-            self.clock.advance_to(max(next_event, self.now_s))
-            if instrumented:
-                self._run_due_instrumented(self.now_s)
-            else:
-                self.events.run_due(self.now_s)
+                    self._run_due_instrumented(self.now_s)
+                else:
+                    self.events.run_due(self.now_s)
+        finally:
+            flush_machines(self.machines)
 
     def _run_due_instrumented(self, now_s: float) -> None:
         """``EventQueue.run_due`` with per-callback latency accounting."""

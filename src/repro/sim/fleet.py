@@ -1,0 +1,749 @@
+"""Fleet-wide columnar advance: one numpy pass over every core in the cluster.
+
+PR 3's kernel batches the chunks *within* one machine, but a cluster span
+still costs one Python dispatch per machine: the 1024-node chaos smoke
+makes ~3M ``machine.advance`` calls per simulated second, and the per-call
+overhead — not the arithmetic — dominates.  This module inverts the
+ownership model for the duration of a run: eligible machines become *views*
+over a :class:`FleetState`, a structure of arrays holding one lane per core
+(frequency, throughput, phase cursor, counter totals, residency, energy
+accumulators), and one event-free span advances every lane with ~20 numpy
+operations regardless of cluster size.
+
+The contract is PR 3's, extended cluster-wide: **bit-for-bit equality**
+with the per-machine path.  The per-span update exploits the same float
+identities the kernel proved out:
+
+* every non-crossing lane advances by the same span length, so one vector
+  multiply/add per column reproduces the scalar slice exactly (elementwise
+  float64 numpy ops equal the scalar IEEE ops);
+* lanes that execute nothing carry zero throughput/frequency columns, and
+  ``x + 0.0`` is a bitwise no-op for the non-negative totals involved, so
+  masked lanes ride along in the same vector adds untouched;
+* the few lanes that *do* hit a boundary this span (phase crossing, float
+  corner) are found with one vectorized predicate — the same comparison the
+  scalar loop makes — and re-run through a literal port of the kernel's
+  slice loop against their columns.
+
+Anything the columns cannot reproduce exactly — supply banks, jittered
+busy cores, subclassed hooks, pending frequency settling, active idle
+listeners, non-LOOP jobs, enabled telemetry — delegates that machine to
+``machine.advance`` (the bit-equal reference), counted by
+``sim_fleet_fallbacks_total``.
+
+View synchronisation: while resident, a core's running totals live in
+columns and the underlying objects lag.  Mutators routed through the core
+(``set_frequency``, ``add_job``, ``steal_time``, ``offline``,
+``power_scale``, ``steal`` via migrate, idle-detector subscription) bump
+:meth:`FleetState.invalidate_core`, and :meth:`CounterBank.snapshot` — the
+only way agents observe counters — flushes through an installed hook.
+Residency dicts, job progress, and energy ledgers are synchronised by
+:func:`flush_machines` (the driver does this when ``run_until`` returns)
+or by any ``advance_fleet(..., flush=True)`` call.  Structural mutations
+with no hook (attaching a supply bank mid-run, swapping a meter/ledger/
+dispatcher instance) require :func:`reset_fleet` first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..power.energy import EnergyAccumulator, EnergyLedger
+from ..telemetry import get_telemetry
+from ..units import check_non_negative
+from .core import _MIN_SLICE_S, SimulatedCore
+from .idle import HOT_IDLE_PHASE, IdleStyle
+from .kernel import (_BUSY, _CHUNKED, _IDLE, _OFFLINE, _classify,
+                     _detector_passive, _hooks_intact)
+from .machine import SMPMachine
+from .os_sched import Dispatcher
+from .powermeter import PowerMeter
+from .throttle import ThrottleActuator
+
+__all__ = ["FleetState", "advance_fleet", "flush_machines", "reset_fleet",
+           "fleet_stats"]
+
+#: Process-wide tallies (tests and quick diagnostics; the telemetry
+#: counters sim_fleet_advances_total / sim_fleet_fallbacks_total carry the
+#: same numbers through the metrics registry).
+fleet_stats = {"advances": 0, "fallbacks": 0}
+
+_tel_pair = None
+
+
+def _bump(advances: int, fallbacks: int) -> None:
+    global _tel_pair
+    if advances:
+        fleet_stats["advances"] += advances
+    if fallbacks:
+        fleet_stats["fallbacks"] += fallbacks
+    tel = get_telemetry()
+    pair = _tel_pair
+    if pair is None or pair[0] is not tel:
+        m = tel.metrics
+        pair = (tel,
+                m.counter("sim_fleet_advances_total",
+                          "Machine-spans advanced through fleet columns"),
+                m.counter("sim_fleet_fallbacks_total",
+                          "Machine-spans delegated to the per-machine path"))
+        _tel_pair = pair
+    if advances:
+        pair[1].inc(advances)
+    if fallbacks:
+        pair[2].inc(fallbacks)
+
+
+class _Evict(Exception):
+    """A lane can no longer be represented in columns; rebuild the fleet."""
+
+
+class FleetState:
+    """Structure-of-arrays state for every resident core across machines.
+
+    Lanes are float64 columns indexed by core; per-lane Python metadata
+    (kind, job, phase table, pending residency) lives in parallel lists.
+    Machines that fail eligibility are *delegates*: they advance through
+    ``machine.advance`` each span, bit-equal by construction.
+    """
+
+    def __init__(self, machines: list) -> None:
+        self.machines = machines
+        self._valid = True
+        self._dirty: set[SimulatedCore] = set()
+        self.resident: list[SMPMachine] = []
+        self.delegates: list = []
+        self._recheck: list[SMPMachine] = []
+
+        # Steal machines already resident in another fleet (overlapping
+        # machine lists): the old fleet flushes and dies, objects become
+        # authoritative again, and this build reads consistent state.
+        for m in machines:
+            old = getattr(m, "_fleet_ref", None)
+            if old is not None and old is not self and old._valid:
+                old.detach()
+
+        now = None
+        for m in machines:
+            blocker = self._residency_blocker(m, now)
+            if blocker is None:
+                if now is None:
+                    now = m._now_s
+                self.resident.append(m)
+            else:
+                self.delegates.append(m)
+                if blocker == "transient":
+                    self._recheck.append(m)
+        self.now = now if now is not None else machines[0]._now_s
+
+        n = sum(len(m.cores) for m in self.resident)
+        self.n = n
+        self.cores: list[SimulatedCore] = []
+        self.meters: list[PowerMeter] = []
+        for m in self.resident:
+            self.cores.extend(m.cores)
+            self.meters.extend([m.meter] * len(m.cores))
+        self._lane_of = {c: i for i, c in enumerate(self.cores)}
+
+        self.freq = np.zeros(n)
+        self.thr = np.zeros(n)
+        self.r2 = np.zeros(n)
+        self.r3 = np.zeros(n)
+        self.rm = np.zeros(n)
+        self.rl1 = np.zeros(n)
+        self.pinstr = np.zeros(n)
+        self.ptol = np.zeros(n)
+        self.prog = np.zeros(n)
+        self.retired = np.zeros(n)
+        self.cur_res = np.zeros(n)
+        self.ft = np.zeros(n)
+        self.busy = np.zeros(n, dtype=bool)
+        # Counter totals: instructions, cycles, n_l2, n_l3, n_mem,
+        # l1_stall_cycles, halted_cycles (CounterBank field order).
+        self.cnt = np.zeros((7, n))
+        self.hfreq: np.ndarray | None = None
+
+        self.kind = [0] * n
+        self.jobs: list = [None] * n
+        self.pdata: list = [None] * n
+        self.pidx = [0] * n
+        self.cur_name: list[str | None] = [None] * n
+        self.ft_key = [0.0] * n
+        self.pending: list[dict | None] = [None] * n
+        self._bank_hooks: list = [None] * n
+        self._chunked: set[int] = set()
+        self._offline: set[int] = set()
+        self._halt: set[int] = set()
+
+        # Energy lanes: one per ledger account across resident machines,
+        # materialised exactly the way the scalar first chunk would.
+        e_accs: list[EnergyAccumulator] = []
+        e_pow: list[float] = []
+        e_last: list[float] = []
+        e_energy: list[float] = []
+        self.elane = [-1] * n
+        lane = 0
+        for m in self.resident:
+            meter = m.meter
+            powers = {f"core{c.core_id}": meter.core_power_w(c, self.now)
+                      for c in m.cores}
+            powers["non_cpu"] = meter.non_cpu_power_w
+            ledger = m.ledger
+            for name in powers:
+                ledger.account(name)
+            by_name = {}
+            for name, acc in ledger.accounts.items():
+                by_name[name] = len(e_accs)
+                e_accs.append(acc)
+                e_pow.append(powers.get(name, 0.0))
+                e_last.append(acc.last_time_s)
+                e_energy.append(acc.energy_j)
+            for c in m.cores:
+                self.elane[lane] = by_name[f"core{c.core_id}"]
+                lane += 1
+        self.e_accs = e_accs
+        self.e_pow = np.array(e_pow) if e_accs else np.zeros(0)
+        self.e_last = np.array(e_last) if e_accs else np.zeros(0)
+        self.e_energy = np.array(e_energy) if e_accs else np.zeros(0)
+
+        for i in range(n):
+            self._setup_lane(i, self.now)
+        for m in self.resident:
+            m._fleet_ref = self
+
+    # -- eligibility ---------------------------------------------------------------
+
+    @staticmethod
+    def _residency_blocker(m, now_ref) -> str | None:
+        """None when ``m`` can live in columns, else why not.  "transient"
+        blockers (pending settling, a ONCE job that will drain) are
+        rechecked each span; anything structural stays delegated until the
+        fleet is rebuilt."""
+        if type(m) is not SMPMachine:
+            return "type"
+        if m.supply_bank is not None:
+            return "bank"
+        if type(m.ledger) is not EnergyLedger or type(m.meter) is not PowerMeter:
+            return "component"
+        if any(type(a) is not EnergyAccumulator
+               for a in m.ledger.accounts.values()):
+            return "component"
+        if now_ref is not None and m._now_s != now_ref:
+            return "desync"
+        transient = False
+        for c in m.cores:
+            mode = _classify(c)
+            if mode is None:
+                if not _hooks_intact(c):
+                    return "hooks"
+                act = c.actuator
+                if type(act) is not ThrottleActuator:
+                    return "actuator"
+                if not _detector_passive(c.idle_detector):
+                    return "detector"
+                if type(c.dispatcher) is not Dispatcher:
+                    return "dispatcher"
+                # Remaining causes: pending settling or a non-LOOP job.
+                transient = True
+                continue
+            if mode == _BUSY and c.config.latency_jitter_sigma > 0.0:
+                return "jitter"
+            if m.meter.core_power_w(c, m._now_s) < 0.0:
+                return "power"
+        return "transient" if transient else None
+
+    # -- lane lifecycle --------------------------------------------------------------
+
+    def invalidate_core(self, core: SimulatedCore) -> None:
+        """Mark one core's lane stale (re-derived at the next span)."""
+        self._dirty.add(core)
+
+    def _install_bank_hook(self, i: int) -> None:
+        bank = self.cores[i].counters
+        hook = self._bank_hooks[i]
+        if hook is None:
+            def hook(fleet=self, lane=i):
+                if fleet._valid:
+                    fleet._flush_counters(lane)
+            self._bank_hooks[i] = hook
+        bank._fleet_flush = hook
+
+    def _remove_bank_hook(self, i: int) -> None:
+        hook = self._bank_hooks[i]
+        if hook is None:
+            return
+        d = getattr(self.cores[i].counters, "__dict__", None)
+        if d is not None and d.get("_fleet_flush") is hook:
+            del d["_fleet_flush"]
+
+    def _setup_lane(self, i: int, t0: float) -> None:
+        core = self.cores[i]
+        old = core._fleet
+        if old is not None and old is not self and old._valid:
+            old.detach()
+        mode = _classify(core)
+        if mode is None:
+            raise _Evict
+        self._chunked.discard(i)
+        self._offline.discard(i)
+        if i in self._halt:
+            self._halt.discard(i)
+            self.hfreq[i] = 0.0
+        self.kind[i] = mode
+        self.busy[i] = False
+        self.jobs[i] = None
+        self.pdata[i] = None
+        pend = self.pending[i]
+        if pend:
+            pend.clear()
+        self.freq[i] = 0.0
+        self.thr[i] = 0.0
+        self.r2[i] = self.r3[i] = self.rm[i] = self.rl1[i] = 0.0
+        self.pinstr[i] = np.inf
+        self.ptol[i] = np.inf
+        self.prog[i] = 0.0
+        self.retired[i] = 0.0
+        self.cur_res[i] = 0.0
+        self.ft[i] = 0.0
+
+        if mode == _CHUNKED:
+            # Object-authoritative lane: core.advance runs each span and
+            # keeps its own counters/residency; its columns stay unused.
+            self._chunked.add(i)
+            self.cur_name[i] = None
+            self._remove_bank_hook(i)
+        elif mode == _OFFLINE:
+            self._offline.add(i)
+            self.cur_name[i] = "__offline__"
+            self.ft_key[i] = 0.0
+            self.cur_res[i] = core.phase_time_s.get("__offline__", 0.0)
+            self.ft[i] = core.freq_time_s.get(0.0, 0.0)
+            self._load_counters(i)
+            self._install_bank_hook(i)
+        else:
+            freq = core.actuator.effective_hz(t0)
+            if mode == _IDLE:
+                core.idle_detector.note_queue_length(0)
+                if core.config.idle_style is IdleStyle.HOT_LOOP:
+                    phase = HOT_IDLE_PHASE
+                    self.thr[i] = phase.throughput(core.latencies, freq)
+                    self.freq[i] = freq
+                    self.r2[i] = phase.n_l2_per_instr
+                    self.r3[i] = phase.n_l3_per_instr
+                    self.rm[i] = phase.n_mem_per_instr
+                    self.rl1[i] = phase.l1_stall_cycles_per_instr
+                    self.cur_name[i] = phase.name
+                else:
+                    if self.hfreq is None:
+                        self.hfreq = np.zeros(self.n)
+                    self._halt.add(i)
+                    self.hfreq[i] = freq
+                    self.cur_name[i] = "__halted__"
+            else:  # _BUSY
+                if core.config.latency_jitter_sigma > 0.0:
+                    raise _Evict
+                job = core.dispatcher._queue[0]
+                core.idle_detector.note_queue_length(1)
+                job.mark_started(t0)
+                lat = core.latencies
+                pdata = []
+                for p in job.phases:
+                    core_cpi = (1.0 / p.alpha
+                                + p.l1_stall_cycles_per_instr
+                                + p.unmodeled_stall_cycles_per_instr)
+                    mem_time = (p.n_l2_per_instr * lat.t_l2_s
+                                + p.n_l3_per_instr * lat.t_l3_s
+                                + p.n_mem_per_instr * lat.t_mem_s)
+                    pdata.append((p.name, p.instructions, core_cpi, mem_time,
+                                  p.n_l2_per_instr, p.n_l3_per_instr,
+                                  p.n_mem_per_instr,
+                                  p.l1_stall_cycles_per_instr))
+                pidx = job.phase_index
+                name, pinstr, ccpi, mem, r2, r3, rm, rl1 = pdata[pidx]
+                thr = freq / (ccpi + mem * freq)
+                if thr <= 0.0:
+                    raise _Evict  # the scalar path raises; let it
+                self.busy[i] = True
+                self.jobs[i] = job
+                self.pdata[i] = pdata
+                self.pidx[i] = pidx
+                self.freq[i] = freq
+                self.thr[i] = thr
+                self.r2[i] = r2
+                self.r3[i] = r3
+                self.rm[i] = rm
+                self.rl1[i] = rl1
+                self.pinstr[i] = pinstr
+                self.ptol[i] = pinstr * (1.0 - 1e-12)
+                self.prog[i] = job.phase_progress
+                self.retired[i] = job.instructions_retired
+                self.cur_name[i] = name
+                if self.pending[i] is None:
+                    self.pending[i] = {}
+            self.ft_key[i] = freq
+            self.cur_res[i] = core.phase_time_s.get(self.cur_name[i], 0.0)
+            self.ft[i] = core.freq_time_s.get(freq, 0.0)
+            self._load_counters(i)
+            self._install_bank_hook(i)
+
+        k = self.elane[i]
+        if k >= 0:
+            pw = self.meters[i].core_power_w(core, t0)
+            if pw < 0.0:
+                raise _Evict  # the scalar ledger raises; let it
+            self.e_pow[k] = pw
+        core._fleet = self
+        core.idle_detector._fleet_invalidate = core._fleet_invalidate
+
+    def _load_counters(self, i: int) -> None:
+        b = self.cores[i].counters
+        cnt = self.cnt
+        cnt[0, i] = b.instructions
+        cnt[1, i] = b.cycles
+        cnt[2, i] = b.n_l2
+        cnt[3, i] = b.n_l3
+        cnt[4, i] = b.n_mem
+        cnt[5, i] = b.l1_stall_cycles
+        cnt[6, i] = b.halted_cycles
+
+    def _flush_counters(self, i: int) -> None:
+        b = self.cores[i].counters
+        cnt = self.cnt
+        b.instructions = float(cnt[0, i])
+        b.cycles = float(cnt[1, i])
+        b.n_l2 = float(cnt[2, i])
+        b.n_l3 = float(cnt[3, i])
+        b.n_mem = float(cnt[4, i])
+        b.l1_stall_cycles = float(cnt[5, i])
+        b.halted_cycles = float(cnt[6, i])
+
+    def _flush_lane(self, i: int) -> None:
+        if self.kind[i] == _CHUNKED:
+            return
+        self._flush_counters(i)
+        core = self.cores[i]
+        pt = core.phase_time_s
+        pend = self.pending[i]
+        if pend:
+            pt.update(pend)
+            pend.clear()
+        name = self.cur_name[i]
+        cur = float(self.cur_res[i])
+        key = self.ft_key[i]
+        ftd = core.freq_time_s
+        ftv = float(self.ft[i])
+        if self.kind[i] == _BUSY:
+            # The scalar loop's commit always writes the current phase and
+            # frequency keys, even at 0.0 right after a crossing.
+            pt[name] = cur
+            ftd[key] = ftv
+            job = self.jobs[i]
+            job.phase_progress = float(self.prog[i])
+            job.instructions_retired = float(self.retired[i])
+        else:
+            # Idle/offline lanes only create their residency keys once a
+            # real span ran, exactly like the scalar path.
+            if name in pt or cur != 0.0:
+                pt[name] = cur
+            if key in ftd or ftv != 0.0:
+                ftd[key] = ftv
+
+    def flush(self) -> None:
+        """Write every lane back to its objects (idempotent; the columns
+        stay authoritative until :meth:`detach`)."""
+        for i in range(self.n):
+            self._flush_lane(i)
+        e = self.e_energy
+        last = self.e_last
+        for k, acc in enumerate(self.e_accs):
+            acc.energy_j = float(e[k])
+            acc.last_time_s = float(last[k])
+
+    def detach(self) -> None:
+        """Flush and dissolve: objects become authoritative again."""
+        if not self._valid:
+            return
+        self.flush()
+        self._valid = False
+        for i, core in enumerate(self.cores):
+            self._remove_bank_hook(i)
+            if core._fleet is self:
+                core._fleet = None
+                core.idle_detector._fleet_invalidate = None
+        for m in self.resident:
+            if getattr(m, "_fleet_ref", None) is self:
+                m._fleet_ref = None
+
+    # -- per-span processing -----------------------------------------------------------
+
+    def prepare(self) -> bool:
+        """Re-derive dirty lanes; False means rebuild the whole fleet."""
+        if self._dirty:
+            t0 = self.now
+            dirty = self._dirty
+            self._dirty = set()
+            for core in dirty:
+                i = self._lane_of.get(core)
+                if i is None:
+                    continue
+                self._flush_lane(i)
+                try:
+                    self._setup_lane(i, t0)
+                except _Evict:
+                    return False
+        if self._recheck:
+            for m in self._recheck:
+                if self._residency_blocker(m, self.now) is None:
+                    return False
+        return True
+
+    def advance(self, dt: float) -> bool:
+        """One event-free span over all resident lanes.  Returns False
+        (caller takes the scalar path) on the float corners where the
+        scalar loop's span arithmetic would not collapse to one slice."""
+        t0 = self.now
+        e2 = t0 + dt
+        eff = e2 - t0
+        n = self.n
+        if n:
+            se = t0 + eff
+            limit = se - t0
+            if limit != eff or se - (t0 + limit) > _MIN_SLICE_S:
+                return False
+            for i in self._chunked:
+                self.cores[i].advance(t0, eff)
+            if eff > _MIN_SLICE_S:
+                thr = self.thr
+                prog = self.prog
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ttpe = (self.pinstr - prog) / thr
+                instr = thr * eff
+                prog2 = prog + instr
+                bad = ttpe <= eff
+                bad |= prog2 >= self.ptol
+                bad |= (instr <= 0.0) & self.busy
+                nbad = np.count_nonzero(bad)
+                if nbad:
+                    keep = ~bad
+                    instr = np.where(keep, instr, 0.0)
+                    add = np.where(keep, eff, 0.0)
+                    self.prog = np.where(keep, prog2, prog)
+                else:
+                    add = eff
+                    self.prog = prog2
+                cnt = self.cnt
+                cnt[0] += instr
+                cnt[1] += self.freq * add
+                cnt[2] += self.r2 * instr
+                cnt[3] += self.r3 * instr
+                cnt[4] += self.rm * instr
+                cnt[5] += self.rl1 * instr
+                if self._halt:
+                    cnt[6] += self.hfreq * add
+                self.cur_res += add
+                self.ft += add
+                self.retired += instr
+                if nbad:
+                    for i in np.nonzero(bad)[0]:
+                        self._advance_busy_lane(int(i), t0, eff)
+            elif self._offline:
+                idx = list(self._offline)
+                self.cur_res[idx] += eff
+                self.ft[idx] += eff
+        if self.e_accs:
+            self.e_energy += self.e_pow * (e2 - self.e_last)
+            self.e_last.fill(e2)
+        self.now = e2
+        for m in self.resident:
+            m._now_s = e2
+        return True
+
+    def _advance_busy_lane(self, i: int, start: float, dt: float) -> None:
+        """Literal port of the kernel's inlined slice loop (sigma == 0)
+        against this lane's columns — runs only for lanes that hit a phase
+        boundary or float corner this span."""
+        core = self.cores[i]
+        job = self.jobs[i]
+        pdata = self.pdata[i]
+        nph = len(pdata)
+        pidx = self.pidx[i]
+        freq = float(self.freq[i])
+        cnt = self.cnt
+        prog = float(self.prog[i])
+        retired = float(self.retired[i])
+        iters = job.iterations
+        ci = float(cnt[0, i])
+        cc = float(cnt[1, i])
+        c2 = float(cnt[2, i])
+        c3 = float(cnt[3, i])
+        cm = float(cnt[4, i])
+        cl1 = float(cnt[5, i])
+        pt = core.phase_time_s
+        res = self.pending[i]
+        name, pinstr, ccpi, mem, r2, r3, rm, rl1 = pdata[pidx]
+        cur_res = float(self.cur_res[i])
+        ft = float(self.ft[i])
+        min_slice = _MIN_SLICE_S
+        t = start
+        end = start + dt
+        try:
+            while end - t > min_slice:
+                rem = pinstr - prog
+                cpi = ccpi + mem * freq
+                throughput = freq / cpi
+                if throughput <= 0.0:
+                    raise SimulationError(
+                        f"non-positive throughput on core {core.core_id}")
+                ttpe = rem / throughput
+                limit = end - t
+                chunk = limit if limit < ttpe else ttpe
+                if chunk < min_slice:
+                    chunk = min_slice
+                if chunk >= ttpe:
+                    chunk = ttpe
+                    instr = rem
+                else:
+                    instr = throughput * chunk
+                if instr <= 0.0:
+                    # Degenerate float corner: force the boundary across.
+                    instr = rem
+                    chunk = ttpe
+                ci += instr
+                cc += freq * chunk
+                c2 += r2 * instr
+                c3 += r3 * instr
+                cm += rm * instr
+                cl1 += rl1 * instr
+                cur_res += chunk
+                ft += chunk
+                prog += instr
+                retired += instr
+                if prog >= pinstr * (1.0 - 1e-12):
+                    prog = 0.0
+                    if pidx + 1 < nph:
+                        pidx += 1
+                    else:
+                        pidx = 0
+                        iters += 1
+                    res[name] = cur_res
+                    name, pinstr, ccpi, mem, r2, r3, rm, rl1 = pdata[pidx]
+                    nxt = res.get(name)
+                    if nxt is None:
+                        nxt = pt.get(name, 0.0)
+                    cur_res = nxt
+                t = t + chunk
+        finally:
+            cnt[0, i] = ci
+            cnt[1, i] = cc
+            cnt[2, i] = c2
+            cnt[3, i] = c3
+            cnt[4, i] = cm
+            cnt[5, i] = cl1
+            self.prog[i] = prog
+            self.retired[i] = retired
+            self.cur_res[i] = cur_res
+            self.ft[i] = ft
+            self.pidx[i] = pidx
+            self.cur_name[i] = name
+            self.pinstr[i] = pinstr
+            self.ptol[i] = pinstr * (1.0 - 1e-12)
+            self.thr[i] = freq / (ccpi + mem * freq)
+            self.r2[i] = r2
+            self.r3[i] = r3
+            self.rm[i] = rm
+            self.rl1[i] = rl1
+            job.phase_index = pidx
+            job.iterations = iters
+
+
+# -- module-level dispatch ---------------------------------------------------------
+
+
+def _get_fleet(machines: list) -> FleetState:
+    anchor = machines[0]
+    cached = anchor.__dict__.get("_fleet_cache")
+    if cached is not None:
+        flist, fleet = cached
+        if fleet._valid and (flist is machines or flist == machines):
+            return fleet
+    fleet = FleetState(machines)
+    anchor.__dict__["_fleet_cache"] = (machines, fleet)
+    return fleet
+
+
+def advance_fleet(machines, dt: float, *, flush: bool = True) -> None:
+    """Advance every machine across one event-free span of ``dt`` seconds,
+    resident lanes through fleet columns and the rest through the
+    per-machine reference path.
+
+    ``flush=False`` leaves resident state in the columns (the driver's hot
+    loop does this and flushes once when ``run_until`` returns); counters
+    still synchronise on snapshot through the installed bank hook.
+    """
+    check_non_negative(dt, "dt")
+    if not isinstance(machines, list):
+        machines = list(machines)
+    if dt == 0.0 or not machines:
+        return
+    if get_telemetry().enabled:
+        _bump(0, len(machines))
+        for m in machines:
+            m.advance(dt)
+        return
+    fleet = None
+    for _ in range(2):
+        cand = _get_fleet(machines)
+        if cand.prepare():
+            fleet = cand
+            break
+        cand.detach()
+    advanced = False
+    if fleet is not None:
+        try:
+            advanced = fleet.advance(dt)
+        except BaseException:
+            fleet.flush()
+            raise
+    if not advanced:
+        if fleet is not None:
+            fleet.detach()
+        _bump(0, len(machines))
+        for m in machines:
+            m.advance(dt)
+        return
+    _bump(len(fleet.resident), len(fleet.delegates))
+    try:
+        for m in fleet.delegates:
+            m.advance(dt)
+    except BaseException:
+        fleet.flush()
+        raise
+    if flush:
+        fleet.flush()
+
+
+def flush_machines(machines) -> None:
+    """Synchronise machine objects with any live fleet columns."""
+    if not isinstance(machines, list):
+        machines = list(machines)
+    if not machines:
+        return
+    cached = machines[0].__dict__.get("_fleet_cache")
+    if cached is not None and cached[1]._valid and \
+            (cached[0] is machines or cached[0] == machines):
+        cached[1].flush()
+
+
+def reset_fleet(machines) -> None:
+    """Dissolve any fleet over ``machines`` (flushes first).  Call before
+    structural mutations the invalidation hooks cannot see — attaching a
+    supply bank mid-run, swapping a meter/ledger/dispatcher instance."""
+    if not isinstance(machines, list):
+        machines = list(machines)
+    if not machines:
+        return
+    cached = machines[0].__dict__.get("_fleet_cache")
+    if cached is not None:
+        if cached[1]._valid:
+            cached[1].detach()
+        del machines[0].__dict__["_fleet_cache"]

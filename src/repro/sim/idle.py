@@ -52,10 +52,16 @@ class IdleDetector:
         self.enabled = enabled
         self._is_idle: bool | None = None
         self._listeners: list[Callable[[int, bool], None]] = []
+        #: Set by the fleet kernel while the owning core is resident: a
+        #: subscription flips :attr:`passive`, which the fleet's
+        #: classification depends on, so it must hear about it.
+        self._fleet_invalidate: Callable[[], None] | None = None
 
     def subscribe(self, callback: Callable[[int, bool], None]) -> None:
         """Register for idle-transition signals."""
         self._listeners.append(callback)
+        if self._fleet_invalidate is not None:
+            self._fleet_invalidate()
 
     @property
     def is_idle(self) -> bool:

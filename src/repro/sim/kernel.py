@@ -46,7 +46,8 @@ from .idle import HOT_IDLE_PHASE, IdleDetector, IdleStyle
 from .os_sched import Dispatcher
 from .throttle import ThrottleActuator
 
-__all__ = ["advance_machines", "advance_machine_span", "try_fast_advance"]
+__all__ = ["advance_machines", "advance_machine_span", "try_fast_advance",
+           "set_fleet_enabled", "fleet_enabled"]
 
 # Per-core execution modes over one event-free span.
 _OFFLINE = 0    # closed form: residency only
@@ -59,14 +60,42 @@ _CORE_HOOKS = ("advance", "_advance_slice", "_advance_idle",
                "_advance_overhead", "_jitter_scale", "_record_residency")
 
 
-def advance_machines(machines: Iterable, dt: float) -> None:
+#: Routing switch for the fleet-wide columnar kernel (``fvsst run
+#: --no-fleet-kernel`` clears it; the per-machine path is the bit-equal
+#: reference either way).
+_FLEET_ENABLED = True
+
+_fleet_mod = None
+
+
+def set_fleet_enabled(enabled: bool) -> None:
+    """Enable/disable routing spans through :mod:`repro.sim.fleet`."""
+    global _FLEET_ENABLED
+    _FLEET_ENABLED = bool(enabled)
+
+
+def fleet_enabled() -> bool:
+    return _FLEET_ENABLED
+
+
+def advance_machines(machines: Iterable, dt: float, *,
+                     flush: bool = True) -> None:
     """Advance every machine across one event-free span of ``dt`` seconds.
 
-    Each machine dispatches to its batched kernel (or its scalar loop when
-    ineligible) independently; the driver and :meth:`Cluster.advance` both
-    route through here so multi-node runs pay one dispatch per machine per
-    span instead of one per 10 ms chunk.
+    Spans route through the fleet-wide columnar kernel: machines eligible
+    for column residency advance together in one numpy pass per span,
+    everything else delegates to ``machine.advance`` (the per-machine
+    batched kernel or its scalar loop).  ``flush=False`` defers writing
+    fleet columns back to the machine objects — the driver's hot loop does
+    this and flushes once per ``run_until``.
     """
+    if _FLEET_ENABLED:
+        global _fleet_mod
+        if _fleet_mod is None:
+            from . import fleet
+            _fleet_mod = fleet
+        _fleet_mod.advance_fleet(machines, dt, flush=flush)
+        return
     for machine in machines:
         machine.advance(dt)
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .. import constants
 from ..errors import SimulationError
 from ..model.latency import MemoryLatencyProfile, POWER4_LATENCIES
@@ -121,7 +123,11 @@ class SMPMachine:
         check_non_negative(cost_s, "cost_s")
         if src == dst:
             raise SimulationError("migration source equals destination")
-        self.core(src).dispatcher.remove_job(job)
+        src_core = self.core(src)
+        src_core.dispatcher.remove_job(job)
+        # The queue changed behind the dispatcher's back as far as the
+        # fleet kernel is concerned; re-derive the source lane.
+        src_core._fleet_invalidate()
         self.core(dst).add_job(job)
         if cost_s > 0.0:
             self.core(dst).steal_time(cost_s)
@@ -191,7 +197,9 @@ class SMPMachine:
         n = int(dt / step)
         while n and start + n * step >= end:
             n -= 1
-        bounds = [start + i * step for i in range(1, n + 1)]
+        # start + i*step vectorised: elementwise float64 ops match the
+        # scalar expression bit-for-bit, without a 10k-element listcomp.
+        bounds = (start + np.arange(1.0, n + 1.0) * step).tolist()
         bounds.append(end)
         if self._batched_eligible() and advance_machine_span(self, bounds):
             return

@@ -1,0 +1,521 @@
+"""The fleet-wide columnar kernel reproduces the per-machine path bit-for-bit.
+
+:func:`repro.sim.fleet.advance_fleet` advances every eligible core in the
+cluster through shared numpy columns; this file replays identical scenarios
+through three paths — the fleet columns, the per-machine kernel
+(``set_fleet_enabled(False)``), and the literal ``machine.advance`` loop —
+and asserts *exact* float equality of every piece of machine state.  No
+tolerances anywhere: one reordered IEEE operation fails the suite.
+
+Coverage: randomized heterogeneous fleets (busy / hot-idle / halted /
+offline / chunked multi-job cores), banked delegates with cascades firing
+mid-span, subclassed-hook machines forcing the counted fallback,
+invalidation through every mutator between spans, lazy-flush snapshots
+mid-run, and the ``lossy`` / ``crash`` / ``chaos`` fault scenarios run
+end-to-end through the cluster coordinator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator, CoordinatorConfig
+from repro.cluster.faults import fault_scenario
+from repro.power.energy import EnergyAccumulator, EnergyLedger
+from repro.power.supply import SupplyBank
+from repro.power.table import POWER4_TABLE
+from repro.sim import Cluster, CoreConfig, MachineConfig, SMPMachine, Simulation
+from repro.sim import fleet as fleet_mod
+from repro.sim.driver import Simulation as Driver
+from repro.sim.fleet import (FleetState, advance_fleet, fleet_stats,
+                             flush_machines, reset_fleet)
+from repro.sim.idle import IdleStyle
+from repro.sim.kernel import advance_machines, fleet_enabled, set_fleet_enabled
+from repro.telemetry import Telemetry, use_telemetry
+from repro.workloads.job import Job, LoopMode
+from repro.workloads.synthetic import synthetic_phase
+
+
+@pytest.fixture(autouse=True)
+def _fleet_on():
+    """Each test starts with the fleet kernel enabled and leaves it so."""
+    set_fleet_enabled(True)
+    yield
+    set_fleet_enabled(True)
+
+
+# -- state capture ----------------------------------------------------------------
+
+
+def job_state(job):
+    return (job.name, job.phase_index, job.phase_progress,
+            job.instructions_retired, job.iterations, job.state,
+            job.started_at_s, job.completed_at_s)
+
+
+def core_state(core):
+    # vars() on a resident bank carries the private flush hook; compare
+    # only the counter fields themselves.
+    return (core.counters.snapshot().as_tuple(), dict(core.phase_time_s),
+            dict(core.freq_time_s), core._overhead_debt_s,
+            core.overhead_executed_s,
+            [job_state(j) for j in core.dispatcher._queue])
+
+
+def machine_state(m):
+    bank = None
+    if m.supply_bank is not None:
+        bank = (m.supply_bank.overload_since_s, m.supply_bank.cascade_count,
+                [s.failed for s in m.supply_bank.supplies])
+    return {
+        "now": m._now_s,
+        "bank": bank,
+        "ledger": {name: (a.energy_j, a.last_time_s)
+                   for name, a in sorted(m.ledger.accounts.items())},
+        "cores": [core_state(c) for c in m.cores],
+    }
+
+
+def fleet_state(machines):
+    return [machine_state(m) for m in machines]
+
+
+# -- scenario helpers --------------------------------------------------------------
+
+
+def looping_job(name, ratios, *, duration_s=0.05):
+    phases = tuple(
+        synthetic_phase(r, duration_s=duration_s, name=f"{name}_p{k}")
+        for k, r in enumerate(ratios)
+    )
+    return Job(name=name, phases=phases, loop=LoopMode.LOOP)
+
+
+def run_three_ways(build, script):
+    """Replay ``script(machines, advance)`` through the fleet columns, the
+    per-machine kernel, and the literal scalar loop; exact state equality.
+    ``build()`` must be deterministic."""
+    cols = build()
+    script(cols, lambda dt: advance_machines(cols, dt))
+    flush_machines(cols)
+
+    set_fleet_enabled(False)
+    try:
+        kern = build()
+        script(kern, lambda dt: advance_machines(kern, dt))
+        scal = build()
+
+        def scalar(dt):
+            for m in scal:
+                m.advance(dt)
+        script(scal, scalar)
+    finally:
+        set_fleet_enabled(True)
+
+    a, b, c = fleet_state(cols), fleet_state(kern), fleet_state(scal)
+    assert a == b
+    assert b == c
+    return cols
+
+
+def hetero_fleet(seed, n=5):
+    """Machines mixing every lane kind plus a banked delegate."""
+    ms = []
+    for i in range(n):
+        style = IdleStyle.HOT_LOOP if i % 2 else IdleStyle.HALT
+        m = SMPMachine(
+            MachineConfig(num_cores=3,
+                          core_config=CoreConfig(latency_jitter_sigma=0.0,
+                                                 idle_style=style)),
+            seed=seed + i)
+        m.assign(0, looping_job(f"solo{i}", (1.0, 0.4, 0.15)))
+        if i % 3 == 0:
+            # Two LOOP jobs: a chunked lane (scalar core.advance per span).
+            m.assign(1, looping_job(f"pair{i}a", (0.8,)))
+            m.assign(1, looping_job(f"pair{i}b", (0.95, 0.3)))
+        if i % 2 == 0:
+            m.cores[2].offline = True
+        ms.append(m)
+    # One banked machine: never resident, always a delegate.
+    banked = SMPMachine(
+        MachineConfig(num_cores=2,
+                      core_config=CoreConfig(latency_jitter_sigma=0.0)),
+        supply_bank=SupplyBank.example_p630(raise_on_cascade=False),
+        seed=seed + 97)
+    banked.assign(0, looping_job("banked", (0.7, 0.2)))
+    ms.append(banked)
+    return ms
+
+
+# -- bit-for-bit equivalence -------------------------------------------------------
+
+
+def test_hetero_fleet_matches_both_references():
+    def script(ms, advance):
+        advance(0.13)
+        advance(0.0007)
+        now = ms[0].now_s
+        ms[0].core(0).set_frequency(POWER4_TABLE.freqs_hz[4], now)
+        ms[2].core(1).set_frequency(POWER4_TABLE.freqs_hz[9], now)
+        advance(0.2003)
+
+    run_three_ways(lambda: hetero_fleet(31), script)
+
+
+def test_randomized_fleets_match(subtests=None):
+    for seed in (1, 17, 23, 101):
+        rng = np.random.default_rng(seed)
+        spans = [float(d) for d in rng.uniform(1e-4, 0.09, size=24)]
+        freq_picks = [(int(rng.integers(0, 6)), int(rng.integers(0, 3)),
+                       int(rng.integers(0, len(POWER4_TABLE.freqs_hz))))
+                      for _ in range(6)]
+
+        def build(seed=seed):
+            return hetero_fleet(seed * 1000 + 5, n=4 + seed % 3)
+
+        def script(ms, advance, spans=spans, picks=freq_picks):
+            it = iter(picks)
+            for k, dt in enumerate(spans):
+                advance(dt)
+                if k % 4 == 3:
+                    mi, ci, fi = next(it)
+                    m = ms[mi % (len(ms) - 1)]
+                    m.core(ci % m.num_cores).set_frequency(
+                        POWER4_TABLE.freqs_hz[fi], m.now_s)
+
+        run_three_ways(build, script)
+
+
+def test_cascade_mid_span_matches():
+    """A banked delegate whose supplies cascade mid-span: the failure and
+    its timing are identical through the fleet path."""
+    def build():
+        banked = SMPMachine(
+            MachineConfig(num_cores=4,
+                          core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            supply_bank=SupplyBank.example_p630(raise_on_cascade=False),
+            seed=5)
+        for c in range(4):
+            banked.assign(c, looping_job(f"hot{c}", (1.0,)))
+        plain = SMPMachine(
+            MachineConfig(num_cores=2,
+                          core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            seed=6)
+        plain.assign(0, looping_job("bg", (0.5, 0.5)))
+        return [banked, plain]
+
+    def script(ms, advance):
+        advance(0.3)
+        ms[0].supply_bank.fail_supply(0, now_s=ms[0].now_s)
+        advance(1.2)     # overload episode runs past the cascade deadline
+
+    ms = run_three_ways(build, script)
+    assert ms[0].supply_bank.cascade_count > 0
+
+
+def test_mutators_between_spans_match():
+    """Every invalidation hook: set_frequency, add_job, steal_time,
+    offline toggles, power_scale, migrate."""
+    def build():
+        return hetero_fleet(77, n=4)
+
+    def script(ms, advance):
+        advance(0.05)
+        m = ms[0]
+        m.core(1).add_job(looping_job("late", (0.9, 0.1)))
+        advance(0.04)
+        m.core(1).steal_time(0.003)
+        advance(0.021)
+        m.core(2).offline = False
+        ms[1].core(2).offline = False
+        advance(0.03)
+        m.core(2).offline = True
+        advance(0.013)
+        ms[1].core(0).power_scale = 0.5
+        advance(0.017)
+        job = ms[2].core(0).dispatcher._queue[0]
+        ms[2].migrate(job, 0, 1, cost_s=0.002)
+        advance(0.044)
+
+    run_three_ways(build, script)
+
+
+def test_once_job_machine_is_transient_delegate_until_drained():
+    """A ONCE job blocks residency (it completes mid-span); once it drains
+    the recheck folds the machine back into columns."""
+    jobs = []
+
+    def build():
+        m = SMPMachine(
+            MachineConfig(num_cores=2,
+                          core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            seed=9)
+        once = Job(name="once",
+                   phases=[synthetic_phase(0.8, duration_s=0.02)])
+        jobs.append(once)
+        m.assign(0, once)
+        peer = SMPMachine(
+            MachineConfig(num_cores=1,
+                          core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            seed=10)
+        peer.assign(0, looping_job("peer", (0.6,)))
+        return [m, peer]
+
+    def script(ms, advance):
+        for _ in range(8):
+            advance(0.01)   # the ONCE job completes around t=0.02
+        assert jobs[-1].done
+
+    ms = run_three_ways(build, script)
+    # After the drain the machine passes residency again.
+    advance_fleet(ms, 0.01)
+    fl = ms[0].__dict__["_fleet_cache"][1]
+    assert ms[0] in fl.resident
+
+
+# -- fallback accounting -----------------------------------------------------------
+
+
+class HookedMachine(SMPMachine):
+    def _advance_to(self, t_end):   # pragma: no cover - behaviour unchanged
+        super()._advance_to(t_end)
+
+
+def test_subclassed_machine_falls_back_and_is_counted():
+    hooked = HookedMachine(
+        MachineConfig(num_cores=2,
+                      core_config=CoreConfig(latency_jitter_sigma=0.0)),
+        seed=4)
+    hooked.assign(0, looping_job("hooked", (0.8,)))
+    plain = SMPMachine(
+        MachineConfig(num_cores=2,
+                      core_config=CoreConfig(latency_jitter_sigma=0.0)),
+        seed=4)
+    plain.assign(0, looping_job("hooked", (0.8,)))
+
+    before = dict(fleet_stats)
+    advance_fleet([hooked, plain], 0.05)
+    assert fleet_stats["fallbacks"] == before["fallbacks"] + 1
+    assert fleet_stats["advances"] == before["advances"] + 1
+    # The delegate advanced through machine.advance: same result as the
+    # identically-seeded plain machine that went through columns.
+    assert machine_state(hooked) == machine_state(plain)
+
+
+def test_enabled_telemetry_forces_counted_fallback():
+    ms = [SMPMachine(MachineConfig(
+        num_cores=1, core_config=CoreConfig(latency_jitter_sigma=0.0)),
+        seed=i) for i in range(2)]
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        before = dict(fleet_stats)
+        advance_fleet(ms, 0.02)
+        assert fleet_stats["fallbacks"] == before["fallbacks"] + 2
+        assert fleet_stats["advances"] == before["advances"]
+        fell = telemetry.metrics.counter("sim_fleet_fallbacks_total")
+        assert fell.value == 2.0
+    assert all(m._now_s == 0.02 for m in ms)
+
+
+def test_escape_hatch_toggles_routing():
+    assert fleet_enabled()
+    set_fleet_enabled(False)
+    assert not fleet_enabled()
+    m = SMPMachine(MachineConfig(
+        num_cores=1, core_config=CoreConfig(latency_jitter_sigma=0.0)), seed=0)
+    before = dict(fleet_stats)
+    advance_machines([m], 0.01)
+    assert fleet_stats == before           # fleet module never consulted
+    assert m.__dict__.get("_fleet_cache") is None
+
+
+def test_cli_no_fleet_kernel_flag():
+    from repro.cli import build_parser
+    args = build_parser().parse_args(["run", "table3", "--no-fleet-kernel"])
+    assert args.no_fleet_kernel
+    args = build_parser().parse_args(["run", "table3"])
+    assert not args.no_fleet_kernel
+
+
+# -- lazy flush / view synchronisation ---------------------------------------------
+
+
+def test_snapshot_mid_run_sees_exact_counters():
+    """With flush=False the columns are authoritative, but snapshot()
+    flushes through the bank hook: mid-run counter reads are exact."""
+    def build():
+        m = SMPMachine(MachineConfig(
+            num_cores=2, core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            seed=3)
+        m.assign(0, looping_job("w", (0.85, 0.2)))
+        return [m]
+
+    cols = build()
+    for _ in range(7):
+        advance_fleet(cols, 0.013, flush=False)
+    snap_cols = cols[0].cores[0].counters.snapshot()
+
+    set_fleet_enabled(False)
+    try:
+        ref = build()
+        for _ in range(7):
+            advance_machines(ref, 0.013)
+    finally:
+        set_fleet_enabled(True)
+    snap_ref = ref[0].cores[0].counters.snapshot()
+    assert snap_cols.as_tuple() == snap_ref.as_tuple()
+
+    # Residency and energy sync on flush.
+    flush_machines(cols)
+    assert fleet_state(cols) == fleet_state(ref)
+
+
+def test_driver_flushes_on_run_until_return():
+    def build():
+        m = SMPMachine(MachineConfig(
+            num_cores=1, core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            seed=8)
+        m.assign(0, looping_job("d", (0.75,)))
+        return m
+
+    m = build()
+    sim = Simulation(m)
+    sim.every(0.01, lambda t: None)   # event-dense run, all through columns
+    sim.run_for(0.5)
+
+    set_fleet_enabled(False)
+    try:
+        ref = build()
+        sim2 = Simulation(ref)
+        sim2.every(0.01, lambda t: None)
+        sim2.run_for(0.5)
+    finally:
+        set_fleet_enabled(True)
+    assert machine_state(m) == machine_state(ref)
+
+
+def test_reset_fleet_dissolves_columns():
+    ms = hetero_fleet(55, n=3)
+    advance_fleet(ms, 0.02, flush=False)
+    fl = ms[0].__dict__["_fleet_cache"][1]
+    assert fl._valid
+    reset_fleet(ms)
+    assert not fl._valid
+    assert ms[0].__dict__.get("_fleet_cache") is None
+    assert all(c._fleet is None for m in ms for c in m.cores)
+    # A structural mutation the hooks cannot see is now safe.
+    ms[0].supply_bank = SupplyBank.example_p630(raise_on_cascade=False)
+    advance_fleet(ms, 0.02)
+    assert ms[0] in ms[0].__dict__["_fleet_cache"][1].delegates
+
+
+def test_overlapping_fleets_steal_cleanly():
+    """A machine moving between two machine lists detaches from the stale
+    fleet (flushing it) before joining the new one."""
+    ms = hetero_fleet(81, n=3)
+    advance_fleet(ms, 0.02, flush=False)
+    sub = [ms[0], ms[1]]
+    advance_fleet(sub, 0.02, flush=False)    # steals lanes from the first
+    flush_machines(sub)
+    assert ms[0]._now_s == pytest.approx(0.04)
+    # The machine left behind was flushed when its fleet dissolved.
+    assert ms[2]._now_s == pytest.approx(0.02)
+    assert ms[2].ledger.account("non_cpu").last_time_s == pytest.approx(0.02)
+
+
+# -- fault scenarios end-to-end ----------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario", ["lossy", "crash", "chaos"])
+def test_fault_scenarios_end_to_end(scenario):
+    """A faulted coordinator run over a small cluster is bit-identical
+    with the fleet kernel on and off — loss, crash windows, partitions,
+    degraded scheduling and all."""
+    def run():
+        cluster = Cluster.homogeneous(
+            4,
+            machine_config=MachineConfig(
+                num_cores=2,
+                core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            seed=2005)
+        for i, node in enumerate(cluster.nodes):
+            node.machine.assign(0, looping_job(f"svc{i}", (0.9, 0.3)))
+        table = cluster.nodes[0].machine.table
+        coord = ClusterCoordinator(
+            cluster,
+            CoordinatorConfig(
+                power_limit_w=0.6 * 4 * 2 * table.max_power_w,
+                counter_noise_sigma=0.0,
+                sample_period_s=0.05, schedule_period_s=0.1),
+            faults=fault_scenario(scenario, seed=99),
+            seed=7)
+        sim = Simulation(cluster.machines)
+        coord.attach(sim)
+        sim.run_for(2.5)   # crosses the [1, 2) fault windows
+        log = [(e.time_s, e.node_id, e.proc_id, e.freq_hz)
+               for e in coord.log.schedule_entries]
+        return fleet_state(cluster.machines), log
+
+    state_on, log_on = run()
+    set_fleet_enabled(False)
+    try:
+        state_off, log_off = run()
+    finally:
+        set_fleet_enabled(True)
+    assert log_on == log_off
+    assert state_on == state_off
+
+
+# -- the batched energy ledger ----------------------------------------------------
+
+
+def test_ledger_2d_batch_matches_per_account_loop():
+    def build():
+        led = EnergyLedger()
+        for k in range(5):
+            led.account(f"a{k}")
+        return led
+
+    times = np.array([0.013, 0.05, 0.0501, 0.2, 1.7])
+    powers = {"a0": 3.5, "a1": 0.0, "a2": 17.25, "a3": 1e-7, "a4": 42.0}
+
+    batch = build()
+    batch.advance_many(times, powers)
+
+    loop = build()
+    for acc_name in powers:
+        loop.account(acc_name)
+    for name, acc in loop.accounts.items():
+        acc.advance_many(times, powers.get(name, 0.0))
+
+    scalar = build()
+    for t in times:
+        scalar.advance_to(float(t), powers)
+
+    for name in powers:
+        assert batch.accounts[name].energy_j == loop.accounts[name].energy_j
+        assert batch.accounts[name].energy_j == scalar.accounts[name].energy_j
+        assert batch.accounts[name].last_time_s == times[-1]
+
+
+def test_ledger_2d_batch_respects_subclassed_accumulators():
+    class Custom(EnergyAccumulator):
+        pass
+
+    led = EnergyLedger()
+    led.accounts["x"] = Custom()
+    led.account("y")
+    led.advance_many(np.array([0.5, 1.0]), {"x": 2.0, "y": 4.0})
+    assert led.accounts["x"].energy_j == 2.0
+    assert led.accounts["y"].energy_j == 4.0
+
+
+def test_ledger_2d_batch_rejects_backwards_time():
+    led = EnergyLedger()
+    led.account("a")
+    led.account("b")
+    led.advance_many(np.array([1.0]), {"a": 1.0, "b": 1.0})
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError):
+        led.advance_many(np.array([0.5]), {"a": 1.0, "b": 1.0})
+    with pytest.raises(SimulationError):
+        led.advance_many(np.array([2.0, 1.5]), {"a": 1.0, "b": 1.0})
