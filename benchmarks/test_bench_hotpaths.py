@@ -78,36 +78,79 @@ class TestBenchSimulatorAdvance:
         assert core.counters.instructions > 0
 
     def test_bench_advance_16_nodes_100s(self, benchmark):
-        """Cluster-scale span advance: 16 four-core machines with supply
-        banks, one looping job plus three hot-idle cores each, 100 s of
-        simulated time per round (10 000 supply-observation chunks per
-        machine on the scalar path).  Uses only long-standing machine APIs
-        so the same bench runs against older library versions."""
+        """Cluster-scale span advance through the fleet columns: 16
+        four-core machines with supply banks and latency jitter, one
+        looping job plus three hot-idle cores each, 100 s of simulated
+        time per round (10 000 supply-observation chunks per machine).
+
+        Banked and jittered machines stay *resident* since the widened
+        fleet kernel: the supply span is planned once per machine and
+        chunk-walked inside the columns, and jitter draws come from the
+        block-refilled lane buffers.  The bench asserts full residency
+        and that the fleet path beats the scalar per-chunk walk (the
+        pre-kernel path, forced via a subclass) by >= 4x."""
+        import time as _time
+
+        from repro.sim.fleet import fleet_stats
+        from repro.sim.kernel import advance_machines
+
         phases = tuple(
             synthetic_phase(r, duration_s=0.05, name=f"p{i}")
             for i, r in enumerate((1.0, 0.5, 0.2))
         )
-        state = {"t": 0.0}
-        machines = [
-            SMPMachine(MachineConfig(
-                num_cores=4,
-                core_config=CoreConfig(latency_jitter_sigma=0.02)),
-                supply_bank=SupplyBank.example_p630(raise_on_cascade=False),
-                seed=i)
-            for i in range(16)
-        ]
-        for i, m in enumerate(machines):
-            m.assign(0, Job(name=f"j{i}", phases=phases, loop=LoopMode.LOOP))
+
+        def build(cls=SMPMachine):
+            ms = [
+                cls(MachineConfig(
+                    num_cores=4,
+                    core_config=CoreConfig(latency_jitter_sigma=0.02)),
+                    supply_bank=SupplyBank.example_p630(
+                        raise_on_cascade=False),
+                    seed=i)
+                for i in range(16)
+            ]
+            for i, m in enumerate(ms):
+                m.assign(0, Job(name=f"j{i}", phases=phases,
+                                loop=LoopMode.LOOP))
+            return ms
+
+        machines = build()
+        before = dict(fleet_stats)
 
         def advance_all():
-            for m in machines:
-                m.advance(100.0)
-            state["t"] += 100.0
+            advance_machines(machines, 100.0)
 
         benchmark(advance_all)
+        # Every span kept every machine in columns: no fallbacks.
+        assert fleet_stats["fallbacks"] == before["fallbacks"]
+        assert fleet_stats["advances"] >= before["advances"] + 16
         # Demand (746 W) stays under two-supply capacity: no cascades.
         assert all(m.supply_bank.cascade_count == 0 for m in machines)
         assert machines[0].ledger.total_energy_j > 0
+
+        # The >= 4x acceptance vs the scalar per-chunk walk, measured on
+        # a shorter horizon.  Subclassing _advance_to defeats both the
+        # machine-span kernel and fleet residency, which is exactly the
+        # pre-kernel path.
+        class ScalarForced(SMPMachine):
+            def _advance_to(self, t_end):
+                super()._advance_to(t_end)
+
+        fleet_s = scalar_s = float("inf")
+        for _ in range(2):
+            ms = build()
+            t0 = _time.perf_counter()
+            advance_machines(ms, 5.0)
+            fleet_s = min(fleet_s, _time.perf_counter() - t0)
+            ms = build(ScalarForced)
+            t0 = _time.perf_counter()
+            advance_machines(ms, 5.0)
+            scalar_s = min(scalar_s, _time.perf_counter() - t0)
+        speedup = scalar_s / fleet_s
+        assert speedup >= 4.0, (
+            f"fleet span advance {fleet_s * 1e3:.1f} ms vs scalar "
+            f"per-chunk walk {scalar_s * 1e3:.1f} ms: only {speedup:.1f}x"
+        )
 
     def test_bench_advance_1024_nodes_10s(self, benchmark):
         """Fleet-scale span advance: 1024 bankless single-core machines

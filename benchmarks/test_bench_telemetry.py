@@ -17,9 +17,13 @@ import time
 from repro.core.daemon import DaemonConfig, FvsstDaemon, OverheadModel
 from repro.sim.core import CoreConfig
 from repro.sim.driver import Simulation
+from repro.sim.fleet import fleet_stats
+from repro.sim.kernel import advance_machines
 from repro.sim.machine import MachineConfig, SMPMachine
-from repro.telemetry import NullTelemetry, Telemetry
+from repro.telemetry import NullTelemetry, Telemetry, use_telemetry
+from repro.workloads.job import Job, LoopMode
 from repro.workloads.profiles import profile_by_name
+from repro.workloads.synthetic import synthetic_phase
 
 SIM_SECONDS = 5.0
 REPEATS = 5
@@ -74,4 +78,56 @@ class TestBenchTelemetryOverhead:
         overhead = enabled_s / null_s - 1.0
         assert overhead < 0.05, (
             f"enabled telemetry costs {overhead:.1%} "
+            f"(null {null_s:.3f}s, enabled {enabled_s:.3f}s)")
+
+
+def _run_fleet_advance(telemetry) -> None:
+    """300 fleet spans over 16 jittered four-core machines.  Phases are
+    long (1 s) relative to the horizon so the per-span probe cost — not
+    event construction at phase crossings — is what gets measured."""
+    phases = tuple(
+        synthetic_phase(r, duration_s=1.0, name=f"p{i}")
+        for i, r in enumerate((1.0, 0.5, 0.2))
+    )
+    machines = [
+        SMPMachine(MachineConfig(
+            num_cores=4,
+            core_config=CoreConfig(latency_jitter_sigma=0.02)),
+            seed=i)
+        for i in range(16)
+    ]
+    for i, m in enumerate(machines):
+        m.assign(0, Job(name=f"j{i}", phases=phases, loop=LoopMode.LOOP))
+    with use_telemetry(telemetry):
+        for _ in range(300):
+            advance_machines(machines, 0.05)
+
+
+class TestBenchFleetTelemetryOverhead:
+    """Telemetry-resident fleet columns: a live backend no longer evicts
+    machines to the per-machine path, so its cost on the fleet-advance
+    hot loop must be a per-span counter batch plus events at phase
+    crossings — bounded by the same 5% contract as the daemon path."""
+
+    def test_bench_fleet_enabled_backend(self, benchmark):
+        benchmark.pedantic(lambda: _run_fleet_advance(Telemetry()),
+                           rounds=3, iterations=1)
+
+    def test_fleet_enabled_overhead_under_5_percent(self):
+        _run_fleet_advance(NullTelemetry())  # warm-up
+        before = dict(fleet_stats)
+        _run_fleet_advance(Telemetry())
+        # The live backend kept every span in columns.
+        assert fleet_stats["fallbacks"] == before["fallbacks"]
+        assert fleet_stats["advances"] >= before["advances"] + 300 * 16
+
+        null_s = enabled_s = float("inf")
+        for _ in range(REPEATS):
+            null_s = min(null_s,
+                         _timed(lambda: _run_fleet_advance(NullTelemetry())))
+            enabled_s = min(enabled_s,
+                            _timed(lambda: _run_fleet_advance(Telemetry())))
+        overhead = enabled_s / null_s - 1.0
+        assert overhead < 0.05, (
+            f"enabled telemetry costs {overhead:.1%} on the fleet advance "
             f"(null {null_s:.3f}s, enabled {enabled_s:.3f}s)")

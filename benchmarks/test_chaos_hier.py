@@ -38,6 +38,7 @@ from repro.cluster.hierarchy import FleetAllocator, FleetConfig
 from repro.sim.cluster import Cluster
 from repro.sim.core import CoreConfig
 from repro.sim.driver import Simulation
+from repro.sim.fleet import fleet_stats
 from repro.sim.machine import MachineConfig
 from repro.telemetry import (
     EVENT_SHARD_LOST,
@@ -96,6 +97,7 @@ def _chaos_run(seed: int, scenario: str = "chaos"):
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("scenario", SCENARIOS)
 def test_fleet_faults_1024_nodes(scenario, seed):
+    stats0 = dict(fleet_stats)
     wall0 = time.perf_counter()
     allocator, telemetry, budget = _chaos_run(seed, scenario)
     wall = time.perf_counter() - wall0
@@ -103,6 +105,18 @@ def test_fleet_faults_1024_nodes(scenario, seed):
         f"chaos run took {wall:.1f}s (> {WALL_BUDGET_S:.0f}s): machines "
         f"likely fell out of fleet-kernel residency")
     assert allocator.num_shards == NUM_SHARDS
+
+    # Residency gate: the wall budget above is the blunt instrument, this
+    # is the precise one.  Nearly every machine-span must go through the
+    # fleet columns; a change that silently demotes a machine class to
+    # the per-machine path shows up here as a falling ratio.
+    adv = fleet_stats["advances"] - stats0["advances"]
+    fell = fleet_stats["fallbacks"] - stats0["fallbacks"]
+    assert adv > 0
+    residency = adv / (adv + fell)
+    assert residency >= 0.90, (
+        f"fleet residency {residency:.1%} ({adv} advances, {fell} "
+        f"fallbacks): machine-spans are leaking to the scalar path")
 
     # The fleet pass never blocked: one rebalance per period, throughout.
     assert allocator.rebalances >= 5

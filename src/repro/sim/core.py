@@ -76,11 +76,11 @@ class SimulatedCore:
                  rng: np.random.Generator | int | None = None) -> None:
         self.core_id = core_id
         self.latencies = latencies
-        self.config = config or CoreConfig()
         #: Fleet-kernel residency handle, set by :mod:`repro.sim.fleet` while
         #: this core's state lives in fleet columns.  Mutators call
         #: :meth:`_fleet_invalidate` so the fleet re-derives the lane.
         self._fleet = None
+        self.config = config or CoreConfig()
         self.dispatcher = Dispatcher(quantum_s=self.config.quantum_s)
         self.actuator = ThrottleActuator(
             initial_freq_hz, settling_time_s=self.config.settling_time_s
@@ -119,6 +119,18 @@ class SimulatedCore:
         fleet = self._fleet
         if fleet is not None:
             fleet.invalidate_core(self)
+
+    @property
+    def config(self) -> CoreConfig:
+        """Tunables.  Replacing the config (e.g. a new jitter sigma)
+        invalidates any resident fleet lane so the columns re-derive —
+        the scalar path picks such changes up implicitly every slice."""
+        return self._config
+
+    @config.setter
+    def config(self, value: CoreConfig) -> None:
+        self._config = value
+        self._fleet_invalidate()
 
     @property
     def offline(self) -> bool:

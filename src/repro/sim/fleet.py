@@ -25,23 +25,47 @@ identities the kernel proved out:
   scalar loop makes — and re-run through a literal port of the kernel's
   slice loop against their columns.
 
-Anything the columns cannot reproduce exactly — supply banks, jittered
-busy cores, subclassed hooks, pending frequency settling, active idle
-listeners, non-LOOP jobs, enabled telemetry — delegates that machine to
-``machine.advance`` (the bit-equal reference), counted by
-``sim_fleet_fallbacks_total``.
+Residency matrix (what lives in columns):
+
+* **Jittered busy cores** are resident: each span draws one value per lane
+  through the core's stream-aligned ``_jitter_buf`` (the kernel's block
+  refill-64/refill-256 discipline, verbatim), folds it into that lane's
+  throughput, and lets the vector pass carry it — draw order is identical
+  to the scalar path.
+* **Supply-banked machines** are resident: their lanes are excluded from
+  the whole-span vector pass and instead chunked at the machine's
+  observation interval, replaying :meth:`SupplyBank.plan_constant_span` /
+  :meth:`SupplyBank.observe` through the same bisect machinery the
+  per-machine kernel uses.  A span a *raising* cascade would cut delegates
+  the whole fleet for that span, preserving the scalar loop's partial
+  advance and exception order.
+* **Enabled telemetry** is resident: per-lane ``sim_*`` counters accumulate
+  in columns and flush to the registry at flush/snapshot boundaries, and
+  phase-transition events are emitted at crossings with the scalar payload.
+  Per-machine event order and every counter value match the scalar path
+  bit-for-bit; only the interleaving of events *across* machines within
+  one span is unspecified.
+
+What still cannot live in columns — subclassed machine/core/component
+hooks, desynchronised machine clocks, pending frequency settling, active
+idle listeners, non-LOOP jobs, negative-power meters, a supply bank
+*shared* between machines — delegates that machine to ``machine.advance``
+(the bit-equal reference), counted by ``sim_fleet_fallbacks_total`` and
+broken down per reason by its ``reason``-labelled series (see
+:func:`fallback_breakdown`).
 
 View synchronisation: while resident, a core's running totals live in
 columns and the underlying objects lag.  Mutators routed through the core
 (``set_frequency``, ``add_job``, ``steal_time``, ``offline``,
-``power_scale``, ``steal`` via migrate, idle-detector subscription) bump
-:meth:`FleetState.invalidate_core`, and :meth:`CounterBank.snapshot` — the
-only way agents observe counters — flushes through an installed hook.
-Residency dicts, job progress, and energy ledgers are synchronised by
-:func:`flush_machines` (the driver does this when ``run_until`` returns)
-or by any ``advance_fleet(..., flush=True)`` call.  Structural mutations
-with no hook (attaching a supply bank mid-run, swapping a meter/ledger/
-dispatcher instance) require :func:`reset_fleet` first.
+``power_scale``, ``config`` replacement, ``steal`` via migrate,
+idle-detector subscription) bump :meth:`FleetState.invalidate_core`, and
+:meth:`CounterBank.snapshot` — the only way agents observe counters —
+flushes through an installed hook.  Residency dicts, job progress, and
+energy ledgers are synchronised by :func:`flush_machines` (the driver does
+this when ``run_until`` returns) or by any ``advance_fleet(...,
+flush=True)`` call.  Structural mutations with no hook (attaching a supply
+bank mid-run, swapping a meter/ledger/dispatcher instance) require
+:func:`reset_fleet` first.
 """
 
 from __future__ import annotations
@@ -50,48 +74,94 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..power.energy import EnergyAccumulator, EnergyLedger
-from ..telemetry import get_telemetry
+from ..power.supply import SupplyBank
+from ..telemetry import EVENT_PHASE_TRANSITION, get_telemetry
 from ..units import check_non_negative
 from .core import _MIN_SLICE_S, SimulatedCore
 from .idle import HOT_IDLE_PHASE, IdleStyle
-from .kernel import (_BUSY, _CHUNKED, _IDLE, _OFFLINE, _classify,
+from .kernel import (_BUSY, _CHUNKED, _IDLE, _OFFLINE, _acc, _classify,
                      _detector_passive, _hooks_intact)
-from .machine import SMPMachine
+from .machine import SMPMachine, observation_bounds
 from .os_sched import Dispatcher
 from .powermeter import PowerMeter
 from .throttle import ThrottleActuator
 
 __all__ = ["FleetState", "advance_fleet", "flush_machines", "reset_fleet",
-           "fleet_stats"]
+           "fleet_stats", "fleet_fallback_reasons", "fallback_breakdown"]
 
 #: Process-wide tallies (tests and quick diagnostics; the telemetry
 #: counters sim_fleet_advances_total / sim_fleet_fallbacks_total carry the
 #: same numbers through the metrics registry).
 fleet_stats = {"advances": 0, "fallbacks": 0}
 
-_tel_pair = None
+#: Process-wide per-reason fallback tallies (mirrored by the
+#: ``reason``-labelled ``sim_fleet_fallbacks_total`` series).
+fleet_fallback_reasons: dict[str, int] = {}
 
 
-def _bump(advances: int, fallbacks: int) -> None:
-    global _tel_pair
+def fallback_breakdown() -> dict[str, int]:
+    """Copy of the per-reason fallback tallies (``reason`` -> count)."""
+    return dict(fleet_fallback_reasons)
+
+
+#: Eligibility blockers mapped to the fallback-reason label they report
+#: under.  Overridden methods/components collapse into "subclass".
+_REASON_LABEL = {
+    "type": "subclass",
+    "hooks": "subclass",
+    "component": "subclass",
+    "actuator": "subclass",
+    "detector": "subclass",
+    "dispatcher": "subclass",
+    "bank": "bank",
+    "desync": "desync",
+    "power": "power",
+    "transient": "transient",
+}
+
+_tel_cache = None
+
+
+def _bump(advances: int, fallbacks: dict[str, int] | None = None) -> None:
+    """Tally machine-spans advanced/delegated; ``fallbacks`` maps reason
+    label -> count.  Registry counters update at span boundaries (this is
+    called once per ``advance_fleet`` span), never from the hot loops."""
+    global _tel_cache
+    nfb = 0
+    if fallbacks:
+        for reason, k in fallbacks.items():
+            nfb += k
+            fleet_fallback_reasons[reason] = \
+                fleet_fallback_reasons.get(reason, 0) + k
     if advances:
         fleet_stats["advances"] += advances
-    if fallbacks:
-        fleet_stats["fallbacks"] += fallbacks
+    if nfb:
+        fleet_stats["fallbacks"] += nfb
     tel = get_telemetry()
-    pair = _tel_pair
-    if pair is None or pair[0] is not tel:
+    cache = _tel_cache
+    if cache is None or cache[0] is not tel:
         m = tel.metrics
-        pair = (tel,
-                m.counter("sim_fleet_advances_total",
-                          "Machine-spans advanced through fleet columns"),
-                m.counter("sim_fleet_fallbacks_total",
-                          "Machine-spans delegated to the per-machine path"))
-        _tel_pair = pair
+        cache = (tel,
+                 m.counter("sim_fleet_advances_total",
+                           "Machine-spans advanced through fleet columns"),
+                 m.counter("sim_fleet_fallbacks_total",
+                           "Machine-spans delegated to the per-machine path"),
+                 {})
+        _tel_cache = cache
     if advances:
-        pair[1].inc(advances)
-    if fallbacks:
-        pair[2].inc(fallbacks)
+        cache[1].inc(advances)
+    if nfb:
+        cache[2].inc(nfb)
+        by_reason = cache[3]
+        for reason, k in fallbacks.items():
+            c = by_reason.get(reason)
+            if c is None:
+                c = cache[0].metrics.counter(
+                    "sim_fleet_fallbacks_total",
+                    "Machine-spans delegated to the per-machine path",
+                    labels={"reason": reason})
+                by_reason[reason] = c
+            c.inc(k)
 
 
 class _Evict(Exception):
@@ -113,7 +183,10 @@ class FleetState:
         self._dirty: set[SimulatedCore] = set()
         self.resident: list[SMPMachine] = []
         self.delegates: list = []
+        self.delegate_reasons: dict[str, int] = {}
         self._recheck: list[SMPMachine] = []
+        #: Why the last ``advance`` returned False ("corner" or "bank").
+        self._span_blocker = "corner"
 
         # Steal machines already resident in another fleet (overlapping
         # machine lists): the old fleet flushes and dies, objects become
@@ -122,6 +195,16 @@ class FleetState:
             old = getattr(m, "_fleet_ref", None)
             if old is not None and old is not self and old._valid:
                 old.detach()
+
+        # A supply bank shared between machines sees interleaved per-chunk
+        # observations in the scalar path that the per-machine banked walk
+        # cannot replay; those machines stay delegates.
+        seen: dict[int, int] = {}
+        for m in machines:
+            b = getattr(m, "supply_bank", None)
+            if b is not None:
+                seen[id(b)] = seen.get(id(b), 0) + 1
+        self._shared_banks = {bid for bid, k in seen.items() if k > 1}
 
         now = None
         for m in machines:
@@ -132,6 +215,9 @@ class FleetState:
                 self.resident.append(m)
             else:
                 self.delegates.append(m)
+                label = _REASON_LABEL.get(blocker, blocker)
+                self.delegate_reasons[label] = \
+                    self.delegate_reasons.get(label, 0) + 1
                 if blocker == "transient":
                     self._recheck.append(m)
         self.now = now if now is not None else machines[0]._now_s
@@ -174,6 +260,14 @@ class FleetState:
         self._chunked: set[int] = set()
         self._offline: set[int] = set()
         self._halt: set[int] = set()
+        #: Unbanked busy lanes with latency_jitter_sigma > 0: one RNG draw
+        #: per span through the core's stream-aligned buffer.
+        self._jitter: set[int] = set()
+        self._lane_banked = np.zeros(n, dtype=bool)
+        #: Per banked resident machine: (machine, lane_lo, lane_hi,
+        #: account_lo, account_hi) — lanes and ledger accounts are
+        #: contiguous per machine by construction.
+        self._banked: list[tuple[SMPMachine, int, int, int, int]] = []
 
         # Energy lanes: one per ledger account across resident machines,
         # materialised exactly the way the scalar first chunk would.
@@ -184,6 +278,8 @@ class FleetState:
         self.elane = [-1] * n
         lane = 0
         for m in self.resident:
+            lane_lo = lane
+            e_lo = len(e_accs)
             meter = m.meter
             powers = {f"core{c.core_id}": meter.core_power_w(c, self.now)
                       for c in m.cores}
@@ -201,10 +297,22 @@ class FleetState:
             for c in m.cores:
                 self.elane[lane] = by_name[f"core{c.core_id}"]
                 lane += 1
+            if m.supply_bank is not None:
+                self._banked.append((m, lane_lo, lane, e_lo, len(e_accs)))
+                self._lane_banked[lane_lo:lane] = True
         self.e_accs = e_accs
         self.e_pow = np.array(e_pow) if e_accs else np.zeros(0)
         self.e_last = np.array(e_last) if e_accs else np.zeros(0)
         self.e_energy = np.array(e_energy) if e_accs else np.zeros(0)
+        if self._banked:
+            self._ub_idx = np.nonzero(~self._lane_banked)[0]
+            emask = np.ones(len(e_accs), dtype=bool)
+            for _, _, _, e_lo, e_hi in self._banked:
+                emask[e_lo:e_hi] = False
+            self._ub_eidx = np.nonzero(emask)[0]
+        else:
+            self._ub_idx = None
+            self._ub_eidx = None
 
         for i in range(n):
             self._setup_lane(i, self.now)
@@ -213,16 +321,17 @@ class FleetState:
 
     # -- eligibility ---------------------------------------------------------------
 
-    @staticmethod
-    def _residency_blocker(m, now_ref) -> str | None:
+    def _residency_blocker(self, m, now_ref) -> str | None:
         """None when ``m`` can live in columns, else why not.  "transient"
         blockers (pending settling, a ONCE job that will drain) are
         rechecked each span; anything structural stays delegated until the
         fleet is rebuilt."""
         if type(m) is not SMPMachine:
             return "type"
-        if m.supply_bank is not None:
-            return "bank"
+        bank = m.supply_bank
+        if bank is not None:
+            if type(bank) is not SupplyBank or id(bank) in self._shared_banks:
+                return "bank"
         if type(m.ledger) is not EnergyLedger or type(m.meter) is not PowerMeter:
             return "component"
         if any(type(a) is not EnergyAccumulator
@@ -246,8 +355,6 @@ class FleetState:
                 # Remaining causes: pending settling or a non-LOOP job.
                 transient = True
                 continue
-            if mode == _BUSY and c.config.latency_jitter_sigma > 0.0:
-                return "jitter"
             if m.meter.core_power_w(c, m._now_s) < 0.0:
                 return "power"
         return "transient" if transient else None
@@ -286,6 +393,7 @@ class FleetState:
             raise _Evict
         self._chunked.discard(i)
         self._offline.discard(i)
+        self._jitter.discard(i)
         if i in self._halt:
             self._halt.discard(i)
             self.hfreq[i] = 0.0
@@ -340,8 +448,6 @@ class FleetState:
                     self.hfreq[i] = freq
                     self.cur_name[i] = "__halted__"
             else:  # _BUSY
-                if core.config.latency_jitter_sigma > 0.0:
-                    raise _Evict
                 job = core.dispatcher._queue[0]
                 core.idle_detector.note_queue_length(1)
                 job.mark_started(t0)
@@ -380,6 +486,9 @@ class FleetState:
                 self.cur_name[i] = name
                 if self.pending[i] is None:
                     self.pending[i] = {}
+                if (core.config.latency_jitter_sigma > 0.0
+                        and not self._lane_banked[i]):
+                    self._jitter.add(i)
             self.ft_key[i] = freq
             self.cur_res[i] = core.phase_time_s.get(self.cur_name[i], 0.0)
             self.ft[i] = core.freq_time_s.get(freq, 0.0)
@@ -500,68 +609,283 @@ class FleetState:
     def advance(self, dt: float) -> bool:
         """One event-free span over all resident lanes.  Returns False
         (caller takes the scalar path) on the float corners where the
-        scalar loop's span arithmetic would not collapse to one slice."""
+        scalar loop's span arithmetic would not collapse to one slice, or
+        when a raising supply-bank cascade would cut a banked machine's
+        span short (``_span_blocker`` says which)."""
         t0 = self.now
         e2 = t0 + dt
         eff = e2 - t0
         n = self.n
+        plans = None
         if n:
             se = t0 + eff
             limit = se - t0
             if limit != eff or se - (t0 + limit) > _MIN_SLICE_S:
+                self._span_blocker = "corner"
                 return False
+            if self._banked:
+                plans = self._plan_banked(t0, e2, dt)
+                if plans is None:
+                    return False  # _span_blocker set by _plan_banked
+            banked = self._lane_banked
             for i in self._chunked:
-                self.cores[i].advance(t0, eff)
+                if not banked[i]:
+                    self.cores[i].advance(t0, eff)
             if eff > _MIN_SLICE_S:
-                thr = self.thr
-                prog = self.prog
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    ttpe = (self.pinstr - prog) / thr
-                instr = thr * eff
-                prog2 = prog + instr
-                bad = ttpe <= eff
-                bad |= prog2 >= self.ptol
-                bad |= (instr <= 0.0) & self.busy
-                nbad = np.count_nonzero(bad)
-                if nbad:
-                    keep = ~bad
-                    instr = np.where(keep, instr, 0.0)
-                    add = np.where(keep, eff, 0.0)
-                    self.prog = np.where(keep, prog2, prog)
-                else:
-                    add = eff
-                    self.prog = prog2
-                cnt = self.cnt
-                cnt[0] += instr
-                cnt[1] += self.freq * add
-                cnt[2] += self.r2 * instr
-                cnt[3] += self.r3 * instr
-                cnt[4] += self.rm * instr
-                cnt[5] += self.rl1 * instr
-                if self._halt:
-                    cnt[6] += self.hfreq * add
-                self.cur_res += add
-                self.ft += add
-                self.retired += instr
-                if nbad:
-                    for i in np.nonzero(bad)[0]:
-                        self._advance_busy_lane(int(i), t0, eff)
+                if self._jitter:
+                    self._draw_jitter()
+                ub = self._ub_idx
+                if ub is None:
+                    self._advance_span_all(t0, eff)
+                elif ub.size:
+                    self._advance_span_sub(t0, eff, ub)
             elif self._offline:
-                idx = list(self._offline)
-                self.cur_res[idx] += eff
-                self.ft[idx] += eff
+                idx = [i for i in self._offline if not banked[i]]
+                if idx:
+                    self.cur_res[idx] += eff
+                    self.ft[idx] += eff
+        if plans:
+            self._advance_banked(plans)
         if self.e_accs:
-            self.e_energy += self.e_pow * (e2 - self.e_last)
-            self.e_last.fill(e2)
+            eidx = self._ub_eidx
+            if eidx is None:
+                self.e_energy += self.e_pow * (e2 - self.e_last)
+                self.e_last.fill(e2)
+            elif eidx.size:
+                self.e_energy[eidx] += self.e_pow[eidx] * \
+                    (e2 - self.e_last[eidx])
+                self.e_last[eidx] = e2
         self.now = e2
         for m in self.resident:
             m._now_s = e2
         return True
 
-    def _advance_busy_lane(self, i: int, start: float, dt: float) -> None:
-        """Literal port of the kernel's inlined slice loop (sigma == 0)
-        against this lane's columns — runs only for lanes that hit a phase
-        boundary or float corner this span."""
+    def _advance_span_all(self, t0: float, eff: float) -> None:
+        """The whole-fleet vector pass (no banked lanes)."""
+        thr = self.thr
+        prog = self.prog
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ttpe = (self.pinstr - prog) / thr
+        instr = thr * eff
+        prog2 = prog + instr
+        bad = ttpe <= eff
+        bad |= prog2 >= self.ptol
+        bad |= (instr <= 0.0) & self.busy
+        nbad = np.count_nonzero(bad)
+        if nbad:
+            keep = ~bad
+            instr = np.where(keep, instr, 0.0)
+            add = np.where(keep, eff, 0.0)
+            self.prog = np.where(keep, prog2, prog)
+        else:
+            add = eff
+            self.prog = prog2
+        cnt = self.cnt
+        cnt[0] += instr
+        cnt[1] += self.freq * add
+        cnt[2] += self.r2 * instr
+        cnt[3] += self.r3 * instr
+        cnt[4] += self.rm * instr
+        cnt[5] += self.rl1 * instr
+        if self._halt:
+            cnt[6] += self.hfreq * add
+        self.cur_res += add
+        self.ft += add
+        self.retired += instr
+        if nbad:
+            jitter = self._jitter
+            for i in np.nonzero(bad)[0]:
+                i = int(i)
+                first = float(self.thr[i]) if i in jitter else None
+                self._advance_busy_lane(i, ((t0, eff),), first_thr=first)
+
+    def _advance_span_sub(self, t0: float, eff: float,
+                          ub: np.ndarray) -> None:
+        """The vector pass gathered over unbanked lanes only — the same
+        elementwise IEEE ops as :meth:`_advance_span_all` on the gathered
+        values, so per-lane results are bit-identical."""
+        thr = self.thr[ub]
+        prog = self.prog[ub]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ttpe = (self.pinstr[ub] - prog) / thr
+        instr = thr * eff
+        prog2 = prog + instr
+        bad = ttpe <= eff
+        bad |= prog2 >= self.ptol[ub]
+        bad |= (instr <= 0.0) & self.busy[ub]
+        nbad = np.count_nonzero(bad)
+        if nbad:
+            keep = ~bad
+            instr = np.where(keep, instr, 0.0)
+            add = np.where(keep, eff, 0.0)
+            self.prog[ub] = np.where(keep, prog2, prog)
+        else:
+            add = eff
+            self.prog[ub] = prog2
+        cnt = self.cnt
+        cnt[0, ub] += instr
+        cnt[1, ub] += self.freq[ub] * add
+        cnt[2, ub] += self.r2[ub] * instr
+        cnt[3, ub] += self.r3[ub] * instr
+        cnt[4, ub] += self.rm[ub] * instr
+        cnt[5, ub] += self.rl1[ub] * instr
+        if self._halt:
+            cnt[6, ub] += self.hfreq[ub] * add
+        self.cur_res[ub] += add
+        self.ft[ub] += add
+        self.retired[ub] += instr
+        if nbad:
+            jitter = self._jitter
+            for p in np.nonzero(bad)[0]:
+                i = int(ub[p])
+                first = float(self.thr[i]) if i in jitter else None
+                self._advance_busy_lane(i, ((t0, eff),), first_thr=first)
+
+    def _draw_jitter(self) -> None:
+        """Draw this span's jitter value for every unbanked jittered busy
+        lane and fold it into that lane's throughput column.
+
+        Mirrors the kernel's buffer discipline exactly: refill 64 at span
+        start iff the buffer is absent or sigma changed, refill 256 on
+        exhaustion, one draw per slice — and the vector pass is one slice.
+        Per-core RNG streams are independent, so lane order is irrelevant.
+        """
+        pdata = self.pdata
+        pidx = self.pidx
+        freq_col = self.freq
+        thr_col = self.thr
+        for i in self._jitter:
+            core = self.cores[i]
+            sigma = core.config.latency_jitter_sigma
+            _, _, ccpi, mem = pdata[i][pidx[i]][:4]
+            freq = freq_col[i]
+            if sigma > 0.0:
+                buf = core._jitter_buf
+                if buf is None or buf[0] != sigma:
+                    core._refill_jitter(64)
+                    buf = core._jitter_buf
+                jits = buf[2]
+                pos = core._jitter_pos
+                if pos >= len(jits):
+                    core._refill_jitter(256)
+                    jits = core._jitter_buf[2]
+                    pos = core._jitter_pos
+                jit = jits[pos]
+                core._jitter_pos = pos + 1
+                cpi = ccpi + mem * jit * freq
+            else:
+                cpi = ccpi + mem * freq
+            thr_col[i] = freq / cpi
+
+    # -- banked machines: the chunked columnar walk ----------------------------------
+
+    def _plan_banked(self, t0: float, e2: float, dt: float):
+        """Pure pre-pass over banked resident machines: observation
+        boundaries, span demand, and the bank's planned actions.
+
+        Returns None (whole-fleet span fallback, columns untouched) when a
+        raising cascade would cut a span short or a chunk would leave a
+        float residue — both cases where only the scalar path reproduces
+        the partial advance / exception order.
+        """
+        plans = []
+        kind = self.kind
+        for m, lo, hi, e_lo, e_hi in self._banked:
+            step = m.config.supply_observation_interval_s
+            bounds = observation_bounds(t0, e2, dt, step)
+            demand = m.system_power_w()
+            n_exec, actions = m.supply_bank.plan_constant_span(bounds, demand)
+            if n_exec < len(bounds):
+                self._span_blocker = "bank"
+                return None
+            barr = np.asarray(bounds)
+            starts = np.empty(barr.size)
+            starts[0] = t0
+            starts[1:] = barr[:-1]
+            dts = barr - starts
+            if any(kind[i] == _IDLE for i in range(lo, hi)):
+                ends = starts + dts
+                chunks = ends - starts
+                if np.any(ends - (starts + chunks) > _MIN_SLICE_S):
+                    self._span_blocker = "corner"
+                    return None
+            plans.append((m, lo, hi, e_lo, e_hi, bounds, barr, starts, dts,
+                          demand, actions))
+        return plans
+
+    def _advance_banked(self, plans) -> None:
+        """Advance each banked machine through its observation chunks —
+        the kernel's ``advance_machine_span`` against columns: cores in
+        order, then the ledger's 2-D cumsum, then the planned observes."""
+        kind = self.kind
+        cores = self.cores
+        for m, lo, hi, e_lo, e_hi, bounds, barr, starts, dts, demand, \
+                actions in plans:
+            t0 = float(starts[0])
+            for i in range(lo, hi):
+                k = kind[i]
+                if k == _BUSY:
+                    self._advance_busy_lane(
+                        i, list(zip(starts.tolist(), dts.tolist())))
+                elif k == _IDLE:
+                    self._advance_idle_lane(i, dts)
+                elif k == _OFFLINE:
+                    self.cur_res[i] = _acc(float(self.cur_res[i]), dts)
+                    self.ft[i] = _acc(float(self.ft[i]), dts)
+                else:  # _CHUNKED: object-authoritative, per chunk
+                    core = cores[i]
+                    prev = t0
+                    for t_end in bounds:
+                        core.advance(prev, t_end - prev)
+                        prev = t_end
+            # EnergyLedger.advance_many's 2-D cumsum over this machine's
+            # contiguous account slice (bit-equal: same buffer layout).
+            pw = self.e_pow[e_lo:e_hi]
+            buf = np.empty((e_hi - e_lo, barr.size + 1))
+            buf[:, 0] = self.e_energy[e_lo:e_hi]
+            buf[:, 1] = pw * (barr[0] - self.e_last[e_lo:e_hi])
+            if barr.size > 1:
+                buf[:, 2:] = pw[:, None] * (barr[1:] - barr[:-1])[None, :]
+            self.e_energy[e_lo:e_hi] = buf.cumsum(axis=1)[:, -1]
+            self.e_last[e_lo:e_hi] = barr[-1]
+            for j in actions:
+                # The real observe: overload episodes, cascades, PSU
+                # events — identical to the per-machine kernel's replay.
+                m.supply_bank.observe(bounds[j], demand)
+
+    def _advance_idle_lane(self, i: int, dts: np.ndarray) -> None:
+        """The kernel's ``_advance_idle_span`` against this lane's columns
+        (the caller pre-checked the float-residue corner)."""
+        use = dts[dts > _MIN_SLICE_S]
+        if use.size == 0:
+            return
+        cnt = self.cnt
+        if i in self._halt:
+            cnt[6, i] = _acc(float(cnt[6, i]), float(self.hfreq[i]) * use)
+        else:
+            thr = float(self.thr[i])
+            instr = thr * use
+            cnt[0, i] = _acc(float(cnt[0, i]), instr)
+            cnt[1, i] = _acc(float(cnt[1, i]), float(self.freq[i]) * use)
+            for rate, row in ((float(self.r2[i]), 2), (float(self.r3[i]), 3),
+                              (float(self.rm[i]), 4),
+                              (float(self.rl1[i]), 5)):
+                # Zero-rate adds are bitwise no-ops (x + 0.0 == x, x >= 0).
+                if rate != 0.0:
+                    cnt[row, i] = _acc(float(cnt[row, i]), rate * instr)
+        self.cur_res[i] = _acc(float(self.cur_res[i]), use)
+        self.ft[i] = _acc(float(self.ft[i]), use)
+
+    def _advance_busy_lane(self, i: int, chunks, *,
+                           first_thr: float | None = None) -> None:
+        """Literal port of the kernel's inlined slice loop against this
+        lane's columns, jitter draws and phase-transition events included.
+
+        ``first_thr`` carries the throughput the span pre-pass already
+        drew for this lane (one draw per span); the first slice consumes
+        it and every later slice draws fresh, so the RNG stream matches
+        the scalar loop exactly.
+        """
         core = self.cores[i]
         job = self.jobs[i]
         pdata = self.pdata[i]
@@ -584,55 +908,94 @@ class FleetState:
         cur_res = float(self.cur_res[i])
         ft = float(self.ft[i])
         min_slice = _MIN_SLICE_S
-        t = start
-        end = start + dt
+
+        sigma = core.config.latency_jitter_sigma
+        jits: list[float] = []
+        pos = buflen = 0
+        if sigma > 0.0:
+            if first_thr is None and (core._jitter_buf is None
+                                      or core._jitter_buf[0] != sigma):
+                core._refill_jitter(64)
+            jits = core._jitter_buf[2]
+            pos = core._jitter_pos
+            buflen = len(jits)
+
+        tel = get_telemetry()
+        emit = tel.enabled
+        jname = job.name
+        throughput = first_thr
         try:
-            while end - t > min_slice:
-                rem = pinstr - prog
-                cpi = ccpi + mem * freq
-                throughput = freq / cpi
-                if throughput <= 0.0:
-                    raise SimulationError(
-                        f"non-positive throughput on core {core.core_id}")
-                ttpe = rem / throughput
-                limit = end - t
-                chunk = limit if limit < ttpe else ttpe
-                if chunk < min_slice:
-                    chunk = min_slice
-                if chunk >= ttpe:
-                    chunk = ttpe
-                    instr = rem
-                else:
-                    instr = throughput * chunk
-                if instr <= 0.0:
-                    # Degenerate float corner: force the boundary across.
-                    instr = rem
-                    chunk = ttpe
-                ci += instr
-                cc += freq * chunk
-                c2 += r2 * instr
-                c3 += r3 * instr
-                cm += rm * instr
-                cl1 += rl1 * instr
-                cur_res += chunk
-                ft += chunk
-                prog += instr
-                retired += instr
-                if prog >= pinstr * (1.0 - 1e-12):
-                    prog = 0.0
-                    if pidx + 1 < nph:
-                        pidx += 1
+            for start, dt in chunks:
+                t = start
+                end = start + dt
+                while end - t > min_slice:
+                    rem = pinstr - prog
+                    if throughput is None:
+                        if sigma > 0.0:
+                            if pos >= buflen:
+                                core._jitter_pos = pos
+                                core._refill_jitter(256)
+                                jits = core._jitter_buf[2]
+                                pos = core._jitter_pos
+                                buflen = len(jits)
+                            jit = jits[pos]
+                            pos += 1
+                            cpi = ccpi + mem * jit * freq
+                        else:
+                            cpi = ccpi + mem * freq
+                        throughput = freq / cpi
+                    if throughput <= 0.0:
+                        raise SimulationError(
+                            f"non-positive throughput on core {core.core_id}")
+                    ttpe = rem / throughput
+                    limit = end - t
+                    chunk = limit if limit < ttpe else ttpe
+                    if chunk < min_slice:
+                        chunk = min_slice
+                    if chunk >= ttpe:
+                        chunk = ttpe
+                        instr = rem
                     else:
-                        pidx = 0
-                        iters += 1
-                    res[name] = cur_res
-                    name, pinstr, ccpi, mem, r2, r3, rm, rl1 = pdata[pidx]
-                    nxt = res.get(name)
-                    if nxt is None:
-                        nxt = pt.get(name, 0.0)
-                    cur_res = nxt
-                t = t + chunk
+                        instr = throughput * chunk
+                    if instr <= 0.0:
+                        # Degenerate float corner: force the boundary across.
+                        instr = rem
+                        chunk = ttpe
+                    ci += instr
+                    cc += freq * chunk
+                    c2 += r2 * instr
+                    c3 += r3 * instr
+                    cm += rm * instr
+                    cl1 += rl1 * instr
+                    cur_res += chunk
+                    ft += chunk
+                    prog += instr
+                    retired += instr
+                    if prog >= pinstr * (1.0 - 1e-12):
+                        prog = 0.0
+                        if pidx + 1 < nph:
+                            pidx += 1
+                        else:
+                            pidx = 0
+                            iters += 1
+                        res[name] = cur_res
+                        prev_name = name
+                        name, pinstr, ccpi, mem, r2, r3, rm, rl1 = pdata[pidx]
+                        nxt = res.get(name)
+                        if nxt is None:
+                            nxt = pt.get(name, 0.0)
+                        cur_res = nxt
+                        if emit:
+                            # Same payload/order as Job.retire's
+                            # _advance_phase (a looping job is never done).
+                            tel.emit(EVENT_PHASE_TRANSITION,
+                                     sim_time_s=t + chunk, job=jname,
+                                     from_phase=prev_name, to_phase=name)
+                    throughput = None
+                    t = t + chunk
         finally:
+            if sigma > 0.0:
+                core._jitter_pos = pos
             cnt[0, i] = ci
             cnt[1, i] = cc
             cnt[2, i] = c2
@@ -685,11 +1048,6 @@ def advance_fleet(machines, dt: float, *, flush: bool = True) -> None:
         machines = list(machines)
     if dt == 0.0 or not machines:
         return
-    if get_telemetry().enabled:
-        _bump(0, len(machines))
-        for m in machines:
-            m.advance(dt)
-        return
     fleet = None
     for _ in range(2):
         cand = _get_fleet(machines)
@@ -705,13 +1063,14 @@ def advance_fleet(machines, dt: float, *, flush: bool = True) -> None:
             fleet.flush()
             raise
     if not advanced:
+        reason = "rebuild" if fleet is None else fleet._span_blocker
         if fleet is not None:
             fleet.detach()
-        _bump(0, len(machines))
+        _bump(0, {reason: len(machines)})
         for m in machines:
             m.advance(dt)
         return
-    _bump(len(fleet.resident), len(fleet.delegates))
+    _bump(len(fleet.resident), fleet.delegate_reasons or None)
     try:
         for m in fleet.delegates:
             m.advance(dt)
@@ -737,7 +1096,8 @@ def flush_machines(machines) -> None:
 def reset_fleet(machines) -> None:
     """Dissolve any fleet over ``machines`` (flushes first).  Call before
     structural mutations the invalidation hooks cannot see — attaching a
-    supply bank mid-run, swapping a meter/ledger/dispatcher instance."""
+    supply bank mid-run (the rebuilt fleet then runs it as a resident
+    banked machine), swapping a meter/ledger/dispatcher instance."""
     if not isinstance(machines, list):
         machines = list(machines)
     if not machines:

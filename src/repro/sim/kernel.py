@@ -23,10 +23,14 @@ is produced by the same IEEE operations in the same order (``cumsum`` is
 sequential left-to-right; block ``standard_normal(n)`` draws equal ``n``
 scalar draws; vectorised ``exp`` equals scalar ``exp`` — all verified by
 ``tests/test_sim_kernel.py`` against a literal re-implementation of the
-per-chunk loop).  Anything the kernel cannot reproduce exactly — subclassed
-hooks, pending frequency settling, ONCE-mode jobs that may complete
-mid-span, enabled telemetry, idle listeners — falls back to the scalar
-path via the same method-identity gating the vectorised scheduler uses.
+per-chunk loop).  Enabled telemetry stays on the fast path: the only
+telemetry side effect in the advance loop is the phase-transition event,
+which the inlined busy loop emits at each crossing with the same payload
+and per-core order as ``Job.retire``.  Anything the kernel cannot
+reproduce exactly — subclassed hooks, pending frequency settling,
+ONCE-mode jobs that may complete mid-span, idle listeners — falls back to
+the scalar path via the same method-identity gating the vectorised
+scheduler uses.
 """
 
 from __future__ import annotations
@@ -37,7 +41,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..power.energy import EnergyAccumulator
-from ..telemetry import get_telemetry
+from ..telemetry import EVENT_PHASE_TRANSITION, get_telemetry
 from ..workloads.job import Job, LoopMode
 from ..workloads.phase import Phase
 from .core import _MIN_SLICE_S, SimulatedCore
@@ -305,6 +309,9 @@ def _advance_busy_fast(core: SimulatedCore, job: Job,
         pos = core._jitter_pos
         buflen = len(jits)
 
+    tel = get_telemetry()
+    emit = tel.enabled
+    jname = job.name
     min_slice = _MIN_SLICE_S
     try:
         for start, dt in chunks:
@@ -360,10 +367,17 @@ def _advance_busy_fast(core: SimulatedCore, job: Job,
                         pidx = 0
                         iters += 1
                     res[name] = cur_res
+                    prev_name = name
                     name, pinstr, ccpi, mem, r2, r3, rm, rl1 = pdata[pidx]
                     cur_res = res.get(name)
                     if cur_res is None:
                         cur_res = pt.get(name, 0.0)
+                    if emit:
+                        # Same payload/order as Job.retire's _advance_phase
+                        # (a looping job is never done).
+                        tel.emit(EVENT_PHASE_TRANSITION, sim_time_s=t + chunk,
+                                 job=jname, from_phase=prev_name,
+                                 to_phase=name)
                 t = t + chunk
     finally:
         # Each slice's mutations are grouped, so the locals are consistent
@@ -390,10 +404,8 @@ def try_fast_advance(core: SimulatedCore, start_s: float, dt: float) -> bool:
 
     Returns False (caller runs the scalar slice loop) unless the core is a
     plain ``SimulatedCore`` running exactly one looping job at constant
-    frequency with telemetry off.
+    frequency.
     """
-    if get_telemetry().enabled:
-        return False
     job = _fast_busy_job(core)
     if job is None:
         return False
@@ -415,8 +427,6 @@ def advance_machine_span(machine, bounds: list[float]) -> bool:
     On a raising cascade the machine, like the scalar loop, is left advanced
     through the boundary at which :meth:`SupplyBank.observe` raised.
     """
-    if get_telemetry().enabled:
-        return False
     ledger = machine.ledger
     if any(type(a) is not EnergyAccumulator for a in ledger.accounts.values()):
         return False

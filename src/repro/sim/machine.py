@@ -24,7 +24,27 @@ from .kernel import advance_machine_span
 from .powermeter import PowerMeter
 from .rng import spawn_rngs
 
-__all__ = ["MachineConfig", "SMPMachine"]
+__all__ = ["MachineConfig", "SMPMachine", "observation_bounds"]
+
+
+def observation_bounds(start: float, end: float, dt: float,
+                       step: float) -> list[float]:
+    """Ascending supply-observation boundaries for one span of ``dt``
+    seconds from ``start`` to ``end``, every ``step`` seconds, always
+    ending exactly at ``end``.
+
+    Boundaries are computed by index (``start + i*step``) so the span end
+    lands exactly instead of accumulating ``dt -= step`` subtraction
+    error; ``start + i*step`` vectorised elementwise matches the scalar
+    expression bit-for-bit.  The fleet kernel replays banked machines
+    through the same boundaries, so this is the single source of truth.
+    """
+    n = int(dt / step)
+    while n and start + n * step >= end:
+        n -= 1
+    bounds = (start + np.arange(1.0, n + 1.0) * step).tolist()
+    bounds.append(end)
+    return bounds
 
 
 @dataclass(frozen=True)
@@ -194,13 +214,7 @@ class SMPMachine:
             self._advance_to(end)
             return
         step = self.config.supply_observation_interval_s
-        n = int(dt / step)
-        while n and start + n * step >= end:
-            n -= 1
-        # start + i*step vectorised: elementwise float64 ops match the
-        # scalar expression bit-for-bit, without a 10k-element listcomp.
-        bounds = (start + np.arange(1.0, n + 1.0) * step).tolist()
-        bounds.append(end)
+        bounds = observation_bounds(start, end, dt, step)
         if self._batched_eligible() and advance_machine_span(self, bounds):
             return
         for t_end in bounds:

@@ -8,11 +8,15 @@ and asserts *exact* float equality of every piece of machine state.  No
 tolerances anywhere: one reordered IEEE operation fails the suite.
 
 Coverage: randomized heterogeneous fleets (busy / hot-idle / halted /
-offline / chunked multi-job cores), banked delegates with cascades firing
-mid-span, subclassed-hook machines forcing the counted fallback,
-invalidation through every mutator between spans, lazy-flush snapshots
-mid-run, and the ``lossy`` / ``crash`` / ``chaos`` fault scenarios run
-end-to-end through the cluster coordinator.
+offline / chunked multi-job cores, with and without latency jitter),
+banked machines chunk-walked through the columns with cascades firing
+mid-span, raising cascades and shared banks forcing counted fallbacks,
+jitter-lane draw-order equivalence including mid-span buffer refills and
+sigma changes between spans, telemetry-on runs staying resident with
+identical event streams, subclassed-hook machines forcing the counted
+fallback, invalidation through every mutator between spans, lazy-flush
+snapshots mid-run, and the ``lossy`` / ``crash`` / ``chaos`` fault
+scenarios run end-to-end through the cluster coordinator.
 """
 
 import numpy as np
@@ -26,11 +30,12 @@ from repro.power.table import POWER4_TABLE
 from repro.sim import Cluster, CoreConfig, MachineConfig, SMPMachine, Simulation
 from repro.sim import fleet as fleet_mod
 from repro.sim.driver import Simulation as Driver
-from repro.sim.fleet import (FleetState, advance_fleet, fleet_stats,
-                             flush_machines, reset_fleet)
+from repro.sim.fleet import (FleetState, advance_fleet, fallback_breakdown,
+                             fleet_stats, flush_machines, reset_fleet)
 from repro.sim.idle import IdleStyle
 from repro.sim.kernel import advance_machines, fleet_enabled, set_fleet_enabled
-from repro.telemetry import Telemetry, use_telemetry
+from repro.errors import CascadeFailureError
+from repro.telemetry import EVENT_PHASE_TRANSITION, Telemetry, use_telemetry
 from repro.workloads.job import Job, LoopMode
 from repro.workloads.synthetic import synthetic_phase
 
@@ -118,13 +123,14 @@ def run_three_ways(build, script):
 
 
 def hetero_fleet(seed, n=5):
-    """Machines mixing every lane kind plus a banked delegate."""
+    """Machines mixing every lane kind plus a banked, jittered machine."""
     ms = []
     for i in range(n):
         style = IdleStyle.HOT_LOOP if i % 2 else IdleStyle.HALT
+        sigma = 0.02 if i % 2 else 0.0
         m = SMPMachine(
             MachineConfig(num_cores=3,
-                          core_config=CoreConfig(latency_jitter_sigma=0.0,
+                          core_config=CoreConfig(latency_jitter_sigma=sigma,
                                                  idle_style=style)),
             seed=seed + i)
         m.assign(0, looping_job(f"solo{i}", (1.0, 0.4, 0.15)))
@@ -135,10 +141,11 @@ def hetero_fleet(seed, n=5):
         if i % 2 == 0:
             m.cores[2].offline = True
         ms.append(m)
-    # One banked machine: never resident, always a delegate.
+    # One banked machine, jittered: resident, chunk-walked through the
+    # columns at the supply-observation interval.
     banked = SMPMachine(
         MachineConfig(num_cores=2,
-                      core_config=CoreConfig(latency_jitter_sigma=0.0)),
+                      core_config=CoreConfig(latency_jitter_sigma=0.015)),
         supply_bank=SupplyBank.example_p630(raise_on_cascade=False),
         seed=seed + 97)
     banked.assign(0, looping_job("banked", (0.7, 0.2)))
@@ -186,8 +193,9 @@ def test_randomized_fleets_match(subtests=None):
 
 
 def test_cascade_mid_span_matches():
-    """A banked delegate whose supplies cascade mid-span: the failure and
-    its timing are identical through the fleet path."""
+    """A banked machine whose supplies cascade mid-span stays *resident*:
+    the chunked column walk replays the bank's observations and the
+    failure and its timing are identical through the fleet path."""
     def build():
         banked = SMPMachine(
             MachineConfig(num_cores=4,
@@ -208,8 +216,103 @@ def test_cascade_mid_span_matches():
         ms[0].supply_bank.fail_supply(0, now_s=ms[0].now_s)
         advance(1.2)     # overload episode runs past the cascade deadline
 
+    before = dict(fleet_stats)
     ms = run_three_ways(build, script)
     assert ms[0].supply_bank.cascade_count > 0
+    # Both machines went through columns on both spans: no fallbacks.
+    assert fleet_stats["advances"] == before["advances"] + 4
+    assert fleet_stats["fallbacks"] == before["fallbacks"]
+
+
+def test_jitter_lanes_match_both_references():
+    """Busy lanes with latency jitter advance in columns.  The block-drawn
+    lognormal draws must land in the same order as the scalar path: the
+    refill-64 at span start on a sigma mismatch, one draw per slice, and
+    the mid-span refill-256 when a long span exhausts the buffer."""
+    def build():
+        ms = []
+        for i in range(3):
+            m = SMPMachine(
+                MachineConfig(num_cores=2,
+                              core_config=CoreConfig(
+                                  latency_jitter_sigma=0.01 * (i + 1))),
+                seed=300 + i)
+            m.assign(0, looping_job(f"j{i}", (1.0, 0.5, 0.2),
+                                    duration_s=0.01))
+            if i == 0:
+                m.assign(1, looping_job("j0b", (0.85,), duration_s=0.008))
+            ms.append(m)
+        return ms
+
+    def script(ms, advance):
+        advance(0.035)
+        advance(1.7)      # >64 phase crossings in one span: refill-256
+        now = ms[0].now_s
+        ms[1].core(0).set_frequency(POWER4_TABLE.freqs_hz[6], now)
+        advance(0.9)
+        advance(0.0004)   # short span: at most one draw per busy lane
+        advance(0.42)
+
+    before = dict(fleet_stats)
+    run_three_ways(build, script)
+    assert fleet_stats["fallbacks"] == before["fallbacks"]
+    assert fleet_stats["advances"] == before["advances"] + 15
+
+
+def test_randomized_jitter_fleets_match():
+    """Randomized spans over jittered fleets, long enough to force
+    mid-span refills at random buffer offsets."""
+    for seed in (3, 29):
+        rng = np.random.default_rng(seed)
+        spans = [float(d) for d in rng.uniform(5e-4, 0.6, size=14)]
+
+        def build(seed=seed):
+            return hetero_fleet(seed * 500 + 11, n=3 + seed % 2)
+
+        def script(ms, advance, spans=spans):
+            for k, dt in enumerate(spans):
+                advance(dt)
+                if k % 5 == 4:
+                    m = ms[k % len(ms)]
+                    m.core(0).set_frequency(
+                        POWER4_TABLE.freqs_hz[(k * 3) % len(
+                            POWER4_TABLE.freqs_hz)], m.now_s)
+
+        run_three_ways(build, script)
+
+
+def test_jitter_sigma_changes_between_spans():
+    """Replacing ``core.config`` between spans (0 -> s, s -> s', s' -> 0)
+    invalidates the lane; the scalar refill discipline (sigma mismatch at
+    the next span start) replays identically through the columns."""
+    def build():
+        m = SMPMachine(
+            MachineConfig(num_cores=2,
+                          core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            seed=71)
+        m.assign(0, looping_job("sig", (0.95, 0.3), duration_s=0.012))
+        m.assign(1, looping_job("sig2", (0.6,), duration_s=0.02))
+        peer = SMPMachine(
+            MachineConfig(num_cores=1,
+                          core_config=CoreConfig(latency_jitter_sigma=0.02)),
+            seed=72)
+        peer.assign(0, looping_job("peer", (0.8, 0.4), duration_s=0.015))
+        return [m, peer]
+
+    def script(ms, advance):
+        advance(0.08)
+        for c in ms[0].cores:
+            c.config = CoreConfig(latency_jitter_sigma=0.03)
+        advance(0.3)      # 0 -> sigma: refill-64 fires on the new sigma
+        for c in ms[0].cores:
+            c.config = CoreConfig(latency_jitter_sigma=0.011)
+        advance(0.3)      # sigma -> sigma': z draws reused, js recomputed
+        for c in ms[0].cores:
+            c.config = CoreConfig(latency_jitter_sigma=0.0)
+        advance(0.2)      # sigma -> 0: jitterless again
+        advance(0.1)
+
+    run_three_ways(build, script)
 
 
 def test_mutators_between_spans_match():
@@ -301,19 +404,159 @@ def test_subclassed_machine_falls_back_and_is_counted():
     assert machine_state(hooked) == machine_state(plain)
 
 
-def test_enabled_telemetry_forces_counted_fallback():
-    ms = [SMPMachine(MachineConfig(
-        num_cores=1, core_config=CoreConfig(latency_jitter_sigma=0.0)),
-        seed=i) for i in range(2)]
-    telemetry = Telemetry()
-    with use_telemetry(telemetry):
+def test_enabled_telemetry_stays_resident():
+    """Live telemetry no longer forces the per-machine path: machines stay
+    in columns, the sim_* counters batch at span boundaries, and the
+    phase-transition event stream (counts, timestamps, payloads) is
+    identical to both reference paths."""
+    def build():
+        ms = []
+        for i in range(2):
+            m = SMPMachine(
+                MachineConfig(num_cores=2,
+                              core_config=CoreConfig(
+                                  latency_jitter_sigma=0.015 * i)),
+                seed=40 + i)
+            m.assign(0, looping_job(f"tel{i}", (0.9, 0.25), duration_s=0.02))
+            ms.append(m)
+        return ms
+
+    def events(tel):
+        return [(e.kind, e.sim_time_s, dict(e.attrs))
+                for e in tel.events.events_of(EVENT_PHASE_TRANSITION)]
+
+    tel_cols = Telemetry()
+    with use_telemetry(tel_cols):
+        cols = build()
         before = dict(fleet_stats)
-        advance_fleet(ms, 0.02)
-        assert fleet_stats["fallbacks"] == before["fallbacks"] + 2
-        assert fleet_stats["advances"] == before["advances"]
-        fell = telemetry.metrics.counter("sim_fleet_fallbacks_total")
-        assert fell.value == 2.0
-    assert all(m._now_s == 0.02 for m in ms)
+        for _ in range(6):
+            advance_fleet(cols, 0.017)
+        assert fleet_stats["fallbacks"] == before["fallbacks"]
+        assert fleet_stats["advances"] == before["advances"] + 12
+        adv = tel_cols.metrics.counter("sim_fleet_advances_total")
+        assert adv.value == 12.0
+
+    tel_kern = Telemetry()
+    set_fleet_enabled(False)
+    try:
+        with use_telemetry(tel_kern):
+            kern = build()
+            for _ in range(6):
+                advance_machines(kern, 0.017)
+        tel_scal = Telemetry()
+        with use_telemetry(tel_scal):
+            scal = build()
+            for _ in range(6):
+                for m in scal:
+                    m.advance(0.017)
+    finally:
+        set_fleet_enabled(True)
+
+    assert fleet_state(cols) == fleet_state(kern) == fleet_state(scal)
+    assert events(tel_cols)    # phases actually crossed
+    assert events(tel_cols) == events(tel_kern) == events(tel_scal)
+
+
+def test_fallback_reason_breakdown_and_labels():
+    """Counted fallbacks carry a reason: the module breakdown and the
+    ``reason``-labelled registry series both move."""
+    hooked = HookedMachine(
+        MachineConfig(num_cores=2,
+                      core_config=CoreConfig(latency_jitter_sigma=0.0)),
+        seed=4)
+    hooked.assign(0, looping_job("hooked", (0.8,)))
+    plain = SMPMachine(
+        MachineConfig(num_cores=2,
+                      core_config=CoreConfig(latency_jitter_sigma=0.0)),
+        seed=4)
+    plain.assign(0, looping_job("hooked", (0.8,)))
+
+    telemetry = Telemetry()
+    before = fallback_breakdown()
+    with use_telemetry(telemetry):
+        advance_fleet([hooked, plain], 0.05)
+        total = telemetry.metrics.counter("sim_fleet_fallbacks_total")
+        sub = telemetry.metrics.counter("sim_fleet_fallbacks_total",
+                                        labels={"reason": "subclass"})
+        assert total.value == 1.0
+        assert sub.value == 1.0
+    after = fallback_breakdown()
+    assert after.get("subclass", 0) == before.get("subclass", 0) + 1
+
+
+def test_raising_cascade_falls_back_whole_span():
+    """``raise_on_cascade=True`` cuts the pure plan short, so the whole
+    span falls back (reason ``bank``) and ``machine.advance`` raises
+    :class:`CascadeFailureError` at the identical chunk with identical
+    pre-raise state on every path."""
+    def build():
+        banked = SMPMachine(
+            MachineConfig(num_cores=4,
+                          core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            supply_bank=SupplyBank.example_p630(raise_on_cascade=True),
+            seed=5)
+        for c in range(4):
+            banked.assign(c, looping_job(f"hot{c}", (1.0,)))
+        return [banked]
+
+    def run(ms, advance):
+        advance(0.3)
+        ms[0].supply_bank.fail_supply(0, now_s=ms[0].now_s)
+        with pytest.raises(CascadeFailureError):
+            advance(1.2)
+
+    cols = build()
+    before = fallback_breakdown()
+    run(cols, lambda dt: advance_machines(cols, dt))
+    flush_machines(cols)
+    assert fallback_breakdown().get("bank", 0) == before.get("bank", 0) + 1
+
+    set_fleet_enabled(False)
+    try:
+        kern = build()
+        run(kern, lambda dt: advance_machines(kern, dt))
+        scal = build()
+        run(scal, lambda dt: scal[0].advance(dt))
+    finally:
+        set_fleet_enabled(True)
+    assert fleet_state(cols) == fleet_state(kern) == fleet_state(scal)
+
+
+def test_shared_bank_machines_stay_delegates():
+    """A bank shared between machines needs interleaved cross-machine
+    observations that the per-machine plan/replay cannot reproduce: those
+    machines delegate (reason ``bank``) while stock peers stay resident,
+    and all three paths still agree exactly."""
+    def build():
+        bank = SupplyBank.example_p630(raise_on_cascade=False)
+        ms = []
+        for i in range(2):
+            m = SMPMachine(
+                MachineConfig(num_cores=2,
+                              core_config=CoreConfig(
+                                  latency_jitter_sigma=0.0)),
+                supply_bank=bank, seed=60 + i)
+            m.assign(0, looping_job(f"sh{i}", (0.9, 0.4)))
+            ms.append(m)
+        peer = SMPMachine(
+            MachineConfig(num_cores=1,
+                          core_config=CoreConfig(latency_jitter_sigma=0.0)),
+            seed=66)
+        peer.assign(0, looping_job("peer", (0.7,)))
+        ms.append(peer)
+        return ms
+
+    def script(ms, advance):
+        advance(0.12)
+        advance(0.05)
+
+    stats_before = dict(fleet_stats)
+    reasons_before = fallback_breakdown()
+    run_three_ways(build, script)
+    assert fleet_stats["advances"] == stats_before["advances"] + 2
+    assert fleet_stats["fallbacks"] == stats_before["fallbacks"] + 4
+    assert fallback_breakdown().get("bank", 0) == \
+        reasons_before.get("bank", 0) + 4
 
 
 def test_escape_hatch_toggles_routing():
@@ -402,10 +645,11 @@ def test_reset_fleet_dissolves_columns():
     assert not fl._valid
     assert ms[0].__dict__.get("_fleet_cache") is None
     assert all(c._fleet is None for m in ms for c in m.cores)
-    # A structural mutation the hooks cannot see is now safe.
+    # A structural mutation the hooks cannot see is now safe; the rebuilt
+    # fleet runs the newly banked machine as a *resident* lane group.
     ms[0].supply_bank = SupplyBank.example_p630(raise_on_cascade=False)
     advance_fleet(ms, 0.02)
-    assert ms[0] in ms[0].__dict__["_fleet_cache"][1].delegates
+    assert ms[0] in ms[0].__dict__["_fleet_cache"][1].resident
 
 
 def test_overlapping_fleets_steal_cleanly():

@@ -75,7 +75,11 @@ def job_state(job):
 
 
 def core_state(core):
-    return (dict(vars(core.counters)), dict(core.phase_time_s),
+    # Private attrs (the fleet kernel's counter-snapshot hook) are plumbing,
+    # not counter state; machines resident in fleet columns carry them.
+    counters = {k: v for k, v in vars(core.counters).items()
+                if not k.startswith("_")}
+    return (counters, dict(core.phase_time_s),
             dict(core.freq_time_s), core._overhead_debt_s,
             core.overhead_executed_s,
             [job_state(j) for j in core.dispatcher._queue])
