@@ -94,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run cluster experiments through the "
                             "hierarchical control plane with N nodes per "
                             "shard (only cluster experiments support it)")
+    run_p.add_argument("--slo-p99-ms", type=float, default=None,
+                       metavar="MS", dest="slo_p99_ms",
+                       help="p99 latency target for SLO-aware serving "
+                            "experiments, in milliseconds (only serving "
+                            "experiments support it)")
     run_p.add_argument("--no-fleet-kernel", action="store_true",
                        help="advance machines one at a time instead of "
                             "through the fleet-wide columnar kernel "
@@ -105,7 +110,8 @@ def _run_one(experiment_id: str, *, seed: int, fast: bool,
              precision: int, chart: bool = False,
              output: str | None = None,
              faults: str | None = None,
-             shards: int | None = None) -> ExperimentResult:
+             shards: int | None = None,
+             slo_p99_ms: float | None = None) -> ExperimentResult:
     from .experiments import run_experiment
 
     kwargs = {}
@@ -113,13 +119,15 @@ def _run_one(experiment_id: str, *, seed: int, fast: bool,
         kwargs["faults"] = faults
     if shards is not None:
         kwargs["shards"] = shards
+    if slo_p99_ms is not None:
+        kwargs["slo_p99_ms"] = slo_p99_ms
     try:
         # Deterministic experiments ignore the seed; passing it is harmless.
         result = run_experiment(experiment_id, seed=seed, fast=fast, **kwargs)
     except TypeError:
         if not kwargs:
             raise
-        flags = " / ".join(f"--{name}" for name in kwargs)
+        flags = " / ".join(f"--{name.replace('_', '-')}" for name in kwargs)
         raise ConfigError(
             f"experiment {experiment_id!r} does not support {flags}"
         ) from None
@@ -169,7 +177,8 @@ def _run_with_telemetry(ids: Sequence[str], args) -> int:
                          precision=args.precision, chart=args.chart,
                          output=args.output,
                          faults=getattr(args, "faults", None),
-                         shards=getattr(args, "shards", None))
+                         shards=getattr(args, "shards", None),
+                         slo_p99_ms=getattr(args, "slo_p99_ms", None))
             sink.write_snapshot()
         (directory / "metrics.prom").write_text(
             prometheus_text(telemetry.metrics), encoding="utf-8")
@@ -239,13 +248,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                     )
             if args.shards is not None and args.shards < 1:
                 raise ConfigError("--shards must be at least 1")
+            if args.slo_p99_ms is not None and args.slo_p99_ms <= 0:
+                raise ConfigError("--slo-p99-ms must be positive")
             if args.telemetry is not None:
                 return _run_with_telemetry(ids, args)
             for eid in ids:
                 _run_one(eid, seed=args.seed, fast=args.fast,
                          precision=args.precision, chart=args.chart,
                          output=args.output, faults=args.faults,
-                         shards=args.shards)
+                         shards=args.shards,
+                         slo_p99_ms=args.slo_p99_ms)
             return 0
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as exc:

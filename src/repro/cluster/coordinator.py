@@ -118,6 +118,20 @@ class CoordinatorConfig:
     #: (the default) disables the fast path, leaving every output
     #: byte-identical.  Requires ``columnar``.
     reschedule_tolerance: float | None = None
+    #: SLO mode: a request-latency target (seconds at ``slo_percentile``).
+    #: Each pass translates the bound serving traffic's per-node demand
+    #: into per-node frequency *floors* (via the M/M/1 latency model) and
+    #: feeds them into the step-1/step-2 kernels: the power budget can
+    #: never push a serving node below the frequency that keeps its tail
+    #: latency under target.  Floors take precedence over the budget — a
+    #: budget below the floor power comes back ``infeasible`` (and counts
+    #: as a breach), mirroring ``on_infeasible="floor"``.  Requires
+    #: :meth:`ClusterCoordinator.bind_serving`.  None disables SLO mode
+    #: (the fault-free pass is then byte-identical to a coordinator
+    #: without it).
+    slo_p99_target_s: float | None = None
+    #: The percentile the SLO target constrains (p99 by default).
+    slo_percentile: float = 99.0
 
     def __post_init__(self) -> None:
         check_positive(self.sample_period_s, "sample_period_s")
@@ -149,6 +163,13 @@ class CoordinatorConfig:
                 raise ClusterError(
                     "reschedule_tolerance requires the columnar pass"
                 )
+        if self.slo_p99_target_s is not None:
+            check_positive(self.slo_p99_target_s, "slo_p99_target_s")
+        if not 0.0 < self.slo_percentile < 100.0:
+            raise ClusterError(
+                f"slo_percentile must be in (0, 100), got "
+                f"{self.slo_percentile}"
+            )
 
     @property
     def effective_staleness_bound_s(self) -> float:
@@ -219,6 +240,17 @@ class ClusterCoordinator:
         self.stale_passes = 0
         self.floor_scheduled_procs = 0
         self.max_scheduled_power_w = 0.0
+        #: SLO mode: the bound serving traffic (``node_demands`` provider).
+        self._serving = None
+        #: Per-node frequency floors of the last pass (SLO mode; empty
+        #: otherwise) — ladder-quantised, so directly comparable against
+        #: scheduled frequencies.
+        self.slo_floors_hz: dict[int, float] = {}
+        #: Scheduled frequencies ever observed below their node's floor
+        #: (must stay 0 — the floors-respected witness tests assert on).
+        self.slo_floor_violations = 0
+        #: Passes whose floors alone made the power budget infeasible.
+        self.slo_infeasible_passes = 0
         #: Passes served from the last schedule by the signature-stability
         #: fast path (``reschedule_tolerance``).
         self.passes_skipped = 0
@@ -282,6 +314,13 @@ class ClusterCoordinator:
                 f"Nodes currently in the {state!r} health state")
             for state in ("healthy", "stale", "lost")
         }
+        self._m_slo_floor = m.gauge(
+            "cluster_slo_floor_hz",
+            "Highest per-node SLO frequency floor of the last pass")
+        self._m_slo_violations = m.counter(
+            "cluster_slo_floor_violations_total",
+            "Scheduled frequencies below their node's SLO floor (must "
+            "stay 0)")
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -300,6 +339,61 @@ class ClusterCoordinator:
         if self._sim is None:
             raise ClusterError("coordinator is not attached")
         return self._sim
+
+    # -- SLO mode ------------------------------------------------------------------
+
+    def bind_serving(self, traffic) -> None:
+        """Bind the serving traffic whose demand drives the SLO floors.
+
+        ``traffic`` is anything with ``node_demands(now_s) ->
+        {node_id: NodeDemand}`` — normally a
+        :class:`~repro.workloads.serving.FleetTrafficSource`.  Required
+        before the first pass when ``slo_p99_target_s`` is set.
+        """
+        self._serving = traffic
+
+    def _slo_floors(self, now_s: float) -> dict[int, float]:
+        """Per-node frequency floors for this pass (empty outside SLO
+        mode).  Floors are ladder-quantised (up) so they are directly the
+        minimum frequencies the schedule may carry."""
+        target = self.config.slo_p99_target_s
+        if target is None:
+            return {}
+        if self._serving is None:
+            raise ClusterError(
+                "slo_p99_target_s is set but no serving traffic is bound; "
+                "call bind_serving() first"
+            )
+        from ..model.latency_model import frequency_floor_hz
+        table = self.scheduler.table
+        floors: dict[int, float] = {}
+        for node_id, demand in self._serving.node_demands(now_s).items():
+            if node_id not in self._agents_by_id:
+                continue   # traffic on nodes this coordinator doesn't own
+            floors[node_id] = frequency_floor_hz(
+                table, demand.signature, demand.instructions,
+                demand.rate_per_core_per_s, target,
+                percentile=self.config.slo_percentile)
+        self.slo_floors_hz = floors
+        if self.telemetry.enabled:
+            self._m_slo_floor.set(max(floors.values()) if floors else 0.0)
+        return floors
+
+    def _check_slo_floors(self, schedule: Schedule) -> None:
+        """Count scheduled frequencies below their node's floor (the
+        floors-respected witness; stays 0 unless the kernels regress)."""
+        floors = self.slo_floors_hz
+        if not floors:
+            return
+        violations = 0
+        for a in schedule.assignments:
+            floor = floors.get(a.node_id)
+            if floor is not None and a.freq_hz < floor - 1e-6:
+                violations += 1
+        if violations:
+            self.slo_floor_violations += violations
+            if self.telemetry.enabled:
+                self._m_slo_violations.inc(violations)
 
     # -- the global pass ---------------------------------------------------------------
 
@@ -418,6 +512,12 @@ class ClusterCoordinator:
         else:
             schedule, collect_delay = self._global_pass_body(now_s)
         self.last_pass_wall_s = time.perf_counter() - wall0
+        self._check_slo_floors(schedule)
+        if schedule.infeasible and self.slo_floors_hz:
+            # The budget cannot cover the SLO floors: the floors won (the
+            # schedule carries them) and the breach event below records
+            # the overrun for the operator.
+            self.slo_infeasible_passes += 1
         self._record(schedule, now_s, pass_wall_s=self.last_pass_wall_s)
         self.last_schedule = schedule
         self.max_scheduled_power_w = max(self.max_scheduled_power_w,
@@ -440,6 +540,7 @@ class ClusterCoordinator:
         if self.faults is not None:
             return self._global_pass_body_degraded(now_s)
         reports, collect_delay = self._collect(now_s)
+        floors = self._slo_floors(now_s)
         track = self.config.reschedule_tolerance is not None
         if self.config.columnar:
             views: ViewBatch | list[ProcessorView] = \
@@ -454,14 +555,17 @@ class ClusterCoordinator:
                                              NestedBudgetScheduler):
             schedule = self.scheduler.schedule_nested(
                 views, self.power_limit_w, self.node_limits_w,
+                min_freqs_hz=floors or None,
                 on_infeasible="floor")
         else:
             schedule = self.scheduler.schedule(views, self.power_limit_w,
+                                               min_freqs_hz=floors or None,
                                                on_infeasible="floor")
         if track:
             self._last_sched_batch = views
             self._last_sched_limits = (self.power_limit_w,
-                                       dict(self.node_limits_w))
+                                       dict(self.node_limits_w),
+                                       dict(self.slo_floors_hz))
         decision_time = now_s + collect_delay
         self._dispatch(schedule, decision_time)
         return schedule, collect_delay
@@ -478,7 +582,8 @@ class ClusterCoordinator:
         if last is None or schedule is None:
             return None
         if self._last_sched_limits != (self.power_limit_w,
-                                       self.node_limits_w):
+                                       self.node_limits_w,
+                                       self.slo_floors_hz):
             return None
         tol = self.config.reschedule_tolerance
         if (len(batch) != len(last)
@@ -574,7 +679,8 @@ class ClusterCoordinator:
                 self._m_stale_passes.inc()
         self._update_health_gauges()
 
-        schedule = self._schedule_degraded(views, lost_nodes)
+        schedule = self._schedule_degraded(views, lost_nodes,
+                                           self._slo_floors(now_s))
         decision_time = now_s + worst_delay
         self._dispatch(schedule, decision_time)
         return schedule, worst_delay
@@ -614,31 +720,39 @@ class ClusterCoordinator:
             gauge.set(counts[state])
 
     def _schedule_degraded(self, views: list[ProcessorView],
-                           lost_nodes: list[int]) -> Schedule:
+                           lost_nodes: list[int],
+                           floors: dict[int, float] | None = None
+                           ) -> Schedule:
         """Schedule live views, with lost nodes pinned to the floor.
 
-        Lost nodes are commanded to ``f_min`` and their floor power is
-        carved out of the global budget before the live nodes are
-        scheduled — so the combined scheduled power honours the limit
-        whenever it is honourable at all.
+        Lost nodes are commanded to ``f_min`` — lifted to their SLO floor
+        when one is set, since a lost node is still serving traffic we
+        can't see — and their pinned power is carved out of the global
+        budget before the live nodes are scheduled, so the combined
+        scheduled power honours the limit whenever it is honourable at
+        all.
         """
         sched = self.scheduler
         f_min = sched.table.f_min_hz
+        floors = floors or {}
         floor_assignments: list[ProcessorAssignment] = []
         floor_power = 0.0
         infeasible = False
         lost = set(lost_nodes)
         for node_id in lost_nodes:
             node_floor = 0.0
+            slo_floor = floors.get(node_id)
+            pin = f_min if slo_floor is None else max(
+                f_min, sched.table.quantize_up(slo_floor))
             for proc_id in range(self.cluster.node(node_id).num_procs):
-                power = sched.power_for(node_id, proc_id, f_min)
+                power = sched.power_for(node_id, proc_id, pin)
                 floor_assignments.append(ProcessorAssignment(
-                    node_id=node_id, proc_id=proc_id, freq_hz=f_min,
+                    node_id=node_id, proc_id=proc_id, freq_hz=pin,
                     voltage=sched.voltages.min_voltage(node_id, proc_id,
-                                                       f_min),
+                                                       pin),
                     power_w=power,
-                    predicted_loss=sched.predicted_loss(None, f_min),
-                    eps_freq_hz=f_min,
+                    predicted_loss=sched.predicted_loss(None, pin),
+                    eps_freq_hz=pin,
                 ))
                 node_floor += power
             floor_power += node_floor
@@ -663,11 +777,15 @@ class ClusterCoordinator:
                 infeasible=infeasible,
             )
 
+        floors_live = {n: f for n, f in floors.items() if n not in lost}
         live_limit = None if limit is None else limit - floor_power
         if live_limit is not None and live_limit <= 0.0:
             # The lost nodes' floor power alone saturates the budget: the
-            # best DVFS can do is pin the live nodes to the floor too.
-            live = sched.schedule(views, None, max_freq_hz=f_min)
+            # best DVFS can do is pin the live nodes to the floor too —
+            # except where an SLO floor overrides even that (the floor
+            # maximum is applied after the cap, so floors win).
+            live = sched.schedule(views, None, max_freq_hz=f_min,
+                                  min_freqs_hz=floors_live or None)
             infeasible = True
         else:
             node_limits_live = {n: w for n, w in self.node_limits_w.items()
@@ -675,9 +793,11 @@ class ClusterCoordinator:
             if node_limits_live and isinstance(sched, NestedBudgetScheduler):
                 live = sched.schedule_nested(
                     views, live_limit, node_limits_live,
+                    min_freqs_hz=floors_live or None,
                     on_infeasible="floor")
             else:
                 live = sched.schedule(views, live_limit,
+                                      min_freqs_hz=floors_live or None,
                                       on_infeasible="floor")
         assignments = tuple(sorted(
             live.assignments + tuple(floor_assignments),

@@ -208,6 +208,18 @@ class ShardCoordinator(ClusterCoordinator):
                 (table.index_of(a.eps_freq_hz) for a in assignments),
                 dtype=np.intp, count=procs_n)
             capped = np.minimum(eps_idx[:, None], rungs[None, :])
+            if self.slo_floors_hz:
+                # SLO floors flatten the ladder from below: rungs under a
+                # processor's floor still cost the floor's power, so the
+                # water-fill cannot be tempted by savings the schedule
+                # will refuse to realise.
+                floor_rungs = np.fromiter(
+                    (table.index_of(table.quantize_up(
+                        self.slo_floors_hz[a.node_id]))
+                     if a.node_id in self.slo_floors_hz else 0
+                     for a in assignments),
+                    dtype=np.intp, count=procs_n)
+                capped = np.maximum(floor_rungs[:, None], capped)
             if type(sched).power_for is FrequencyVoltageScheduler.power_for:
                 ladder = powers[capped].sum(axis=0)
             else:
@@ -381,6 +393,16 @@ class FleetAllocator:
         for shard in self.shards:
             merged.update(shard.node_health)
         return merged
+
+    def bind_serving(self, traffic) -> None:
+        """Bind SLO-mode serving traffic on every shard.
+
+        Shards own disjoint node sets and each filters the fleet-wide
+        ``node_demands`` down to its own nodes, so one traffic source
+        serves the whole tree.
+        """
+        for shard in self.shards:
+            shard.bind_serving(traffic)
 
     # -- lifecycle ---------------------------------------------------------------
 

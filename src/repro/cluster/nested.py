@@ -51,9 +51,17 @@ class NestedBudgetScheduler(FrequencyVoltageScheduler):
         node_limits_w: Mapping[int, float] | None = None,
         *,
         max_freq_hz: float | None = None,
+        min_freqs_hz: Mapping[int, float] | None = None,
         on_infeasible: Literal["floor", "raise"] = "floor",
     ) -> Schedule:
-        """Run step 1, the per-node passes, the global pass, and step 3."""
+        """Run step 1, the per-node passes, the global pass, and step 3.
+
+        ``min_freqs_hz`` carries per-node SLO frequency floors, with the
+        same semantics as :meth:`FrequencyVoltageScheduler.schedule`: both
+        the per-node and the global step-2 passes respect them, so a node
+        limit below its own floor power comes back ``infeasible`` with the
+        floor standing.
+        """
         n = len(views)
         if not n:
             raise SchedulingError("no processors to schedule")
@@ -66,14 +74,17 @@ class NestedBudgetScheduler(FrequencyVoltageScheduler):
         cap_idx: int | None = None
         if max_freq_hz is not None:
             cap_idx = self.table.index_of(self.table.quantize_down(max_freq_hz))
+        floor_idx = self._floor_indices(nodes_list, min_freqs_hz)
 
-        # Step 1 (+ optional ceiling), in rung-index space.
+        # Step 1 (+ optional ceiling and floors), in rung-index space.
         losses = self._loss_matrix(views)
         idx = self._step1_indices(views, losses)
         idx[idle] = 0
         eps_idx = idx.copy()
         if cap_idx is not None:
             np.minimum(idx, cap_idx, out=idx)
+        if floor_idx is not None:
+            np.maximum(idx, floor_idx, out=idx)
 
         infeasible = False
         reduction_steps = 0
@@ -97,7 +108,8 @@ class NestedBudgetScheduler(FrequencyVoltageScheduler):
                     [nodes_list[i] for i in row_list],
                     [procs_list[i] for i in row_list],
                     sub_idx, step2_losses[rows], ladders[rows], limit,
-                    on_infeasible)
+                    on_infeasible,
+                    floor_idx=None if floor_idx is None else floor_idx[rows])
                 idx[rows] = sub_idx
                 infeasible = infeasible or node_infeasible
                 reduction_steps += node_steps
@@ -107,7 +119,7 @@ class NestedBudgetScheduler(FrequencyVoltageScheduler):
             check_positive(global_limit_w, "global_limit_w")
             global_infeasible, global_steps, _ = self._reduce_indices(
                 nodes_list, procs_list, idx, step2_losses, ladders,
-                global_limit_w, on_infeasible)
+                global_limit_w, on_infeasible, floor_idx=floor_idx)
             infeasible = infeasible or global_infeasible
             reduction_steps += global_steps
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Literal, NamedTuple, Sequence
+from typing import Literal, Mapping, NamedTuple, Sequence
 
 import numpy as np
 
@@ -409,6 +409,7 @@ class FrequencyVoltageScheduler:
     def schedule(self, views: "Sequence[ProcessorView] | ViewBatch",
                  power_limit_w: float | None = None, *,
                  max_freq_hz: float | None = None,
+                 min_freqs_hz: Mapping[int, float] | None = None,
                  on_infeasible: Literal["floor", "raise"] = "floor") -> Schedule:
         """Run steps 1–3 and return the complete decision.
 
@@ -418,6 +419,17 @@ class FrequencyVoltageScheduler:
         while its neighbours idle cold.  The ceiling is quantised down to
         the ladder and applied after step 1 (the epsilon-constrained
         "desired" frequency is recorded unclamped).
+
+        ``min_freqs_hz`` maps node ids to per-node frequency *floors* —
+        the mechanism an SLO-latency constraint needs: a node serving
+        requests must not drop below the frequency that keeps its tail
+        latency under target, no matter how deep the power budget cuts.
+        Floors are quantised up to the ladder, win conflicts with the
+        idle pin and the ceiling, and bound step 2 from below; a budget
+        unreachable without breaking a floor is reported ``infeasible``
+        (the floor schedule stands).  Nodes absent from the map have no
+        floor; map entries for nodes absent from ``views`` are ignored
+        (a degraded pass schedules live nodes only).
         """
         n = len(views)
         if not n:
@@ -437,18 +449,23 @@ class FrequencyVoltageScheduler:
                     f"ladder floor {self.table.f_min_hz:.3e} Hz"
                 )
             cap_idx = self.table.index_of(self.table.quantize_down(max_freq_hz))
+        floor_idx = self._floor_indices(nodes_list, min_freqs_hz)
 
         tel = self.telemetry
         wall0 = time.perf_counter() if tel.enabled else 0.0
 
         # Step 1: one (P x F) loss matrix, the epsilon rule as a vectorised
-        # first-admissible-rung selection, idle pins, then the ceiling.
+        # first-admissible-rung selection, idle pins, the ceiling, then the
+        # SLO floors (floors win: a request-serving node must hold its tail
+        # latency even against a thermal ceiling or an idle signal).
         losses = self._loss_matrix(views)
         idx = self._step1_indices(views, losses)
         idx[idle] = 0
         eps_idx = idx.copy()
         if cap_idx is not None:
             np.minimum(idx, cap_idx, out=idx)
+        if floor_idx is not None:
+            np.maximum(idx, floor_idx, out=idx)
         step1_evals = n - int(idle.sum())
 
         # Step 2: heap-based greedy power reduction.
@@ -460,7 +477,8 @@ class FrequencyVoltageScheduler:
                 if idle.any() else losses
             infeasible, steps, loss_evals = self._reduce_indices(
                 nodes_list, procs_list, idx, step2_losses,
-                self._power_ladders(views), power_limit_w, on_infeasible)
+                self._power_ladders(views), power_limit_w, on_infeasible,
+                floor_idx=floor_idx)
 
         # Step 3: voltages, and assembly.
         assignments, total = self._assemble_assignments(
@@ -523,11 +541,35 @@ class FrequencyVoltageScheduler:
                                 freq_i, volt_i, power_i, loss_i, eps_i))
         return assignments, sum(power_i)
 
+    def _floor_indices(self, node_ids: Sequence[int],
+                       min_freqs_hz: Mapping[int, float] | None
+                       ) -> np.ndarray | None:
+        """Per-row rung floors from a node-id -> frequency-floor map.
+
+        Floors are quantised *up* (the next ladder point at or above the
+        requested frequency — rounding down would break the latency
+        guarantee the floor encodes) and clamp to the top of the ladder.
+        Nodes absent from the map floor at rung 0; map entries naming no
+        row are ignored.  Returns ``None`` when no floors apply.
+        """
+        if not min_freqs_hz:
+            return None
+        idx_by_node: dict[int, int] = {}
+        for node_id, freq_hz in min_freqs_hz.items():
+            check_positive(freq_hz, f"min_freqs_hz[{node_id}]")
+            idx_by_node[node_id] = self.table.index_of(
+                self.table.quantize_up(freq_hz))
+        floor_idx = np.fromiter((idx_by_node.get(node_id, 0)
+                                 for node_id in node_ids),
+                                dtype=np.int64, count=len(node_ids))
+        return floor_idx if floor_idx.any() else None
+
     def _reduce_indices(self, node_ids: Sequence[int],
                         proc_ids: Sequence[int],
                         idx: np.ndarray, losses: np.ndarray,
                         ladders: np.ndarray, limit_w: float,
-                        on_infeasible: Literal["floor", "raise"]
+                        on_infeasible: Literal["floor", "raise"],
+                        floor_idx: np.ndarray | None = None
                         ) -> tuple[bool, int, int]:
         """Heap-based step 2, in place on the rung indices ``idx``.
 
@@ -539,11 +581,16 @@ class FrequencyVoltageScheduler:
         order reproduces Figure 3's rescanning greedy exactly, in
         O(total rungs x log P) instead of O(steps x P).
 
+        ``floor_idx`` raises individual processors' reduction floors above
+        rung 0 (per-node SLO frequency floors); without it every processor
+        may drain to the bottom of the ladder, exactly as before.
+
         Returns ``(infeasible, reduction_steps, loss_evaluations)`` so the
         caller can both flag the breach and feed the telemetry counters.
         """
         n = len(node_ids)
         idx_list = idx.tolist()
+        lo_list = [0] * n if floor_idx is None else floor_idx.tolist()
         # Python-sum in view order, exactly as a per-processor rescan would.
         total = sum(ladders[np.arange(n), idx].tolist())
         if total <= limit_w:
@@ -560,7 +607,7 @@ class FrequencyVoltageScheduler:
         loss_evals = 0
         for i in range(n):
             k = idx_list[i]
-            if k > 0:
+            if k > lo_list[i]:
                 heap.append((loss_rows[i][k - 1],
                              node_ids[i], proc_ids[i], i))
                 loss_evals += 1
@@ -580,13 +627,13 @@ class FrequencyVoltageScheduler:
                     return True, steps, loss_evals
                 _loss, node_id, proc_id, i = heappop(heap)
                 k = idx_list[i]
-                if k == 0:
+                if k <= lo_list[i]:
                     continue   # stale entry: already at the floor
                 row = ladder_rows[i]
                 total += row[k - 1] - row[k]
                 idx_list[i] = k - 1
                 steps += 1
-                if k - 1 > 0:
+                if k - 1 > lo_list[i]:
                     heappush(heap, (loss_rows[i][k - 2],
                                     node_id, proc_id, i))
                     loss_evals += 1

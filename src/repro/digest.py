@@ -21,7 +21,8 @@ _ORDER = (
     "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "worked_example",
     "failover", "response_time", "thermal", "cluster_cap",
-    "cluster_failover", "migration", "variation", "server_demand",
+    "curtailment", "cluster_failover", "migration", "variation",
+    "server_demand",
     "masking", "sensitivity_latency", "sensitivity_noise",
     "ablation_epsilon", "ablation_period", "ablation_predictor",
     "ablation_policies", "ablation_daemon",

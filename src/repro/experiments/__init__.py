@@ -25,6 +25,7 @@ from . import (
     worked_example,
     failover,
     cluster_cap,
+    curtailment,
     ablations,
     thermal,
     server_demand,
@@ -62,6 +63,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "cluster_failover": cluster_failover.run,
     "response_time": response_time.run,
     "cluster_cap": cluster_cap.run,
+    "curtailment": curtailment.run,
     "ablation_epsilon": ablations.run_epsilon_sweep,
     "ablation_period": ablations.run_period_sweep,
     "ablation_predictor": ablations.run_predictor_variants,

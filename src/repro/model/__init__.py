@@ -17,6 +17,8 @@ Submodules:
   (footnote 1, second approach).
 * :mod:`~repro.model.twopoint` — two-frequency calibration (footnote 1,
   first approach, from reference [2]).
+* :mod:`~repro.model.latency_model` — request-latency prediction and the
+  SLO latency-to-frequency floor (serving layer).
 """
 
 from .latency import MemoryLatencyProfile, POWER4_LATENCIES
@@ -25,6 +27,12 @@ from .perf import perf, perf_loss, perf_at_frequencies, saturation_frequency
 from .ideal import ideal_frequency
 from .bounds import LatencyBounds, PredictionInterval, predict_ipc_bounds
 from .twopoint import TwoPointCalibration, calibrate_two_point
+from .latency_model import (
+    frequency_floor_hz,
+    mm1_response_quantile_s,
+    predicted_latency_quantile_s,
+    service_time_s,
+)
 
 __all__ = [
     "MemoryLatencyProfile",
@@ -44,4 +52,8 @@ __all__ = [
     "predict_ipc_bounds",
     "TwoPointCalibration",
     "calibrate_two_point",
+    "service_time_s",
+    "mm1_response_quantile_s",
+    "predicted_latency_quantile_s",
+    "frequency_floor_hz",
 ]

@@ -1,0 +1,106 @@
+"""Request-latency prediction: (arrival rate, demand, frequency) -> time.
+
+The serving layer needs the inverse of the paper's performance model: not
+"how much slower does this workload run at ``f``", but "how fast must the
+processor run so the *tail* of request completion times stays under an SLO
+target".  This module supplies that mapping, in three pieces:
+
+* :func:`service_time_s` — one request's pure execution time at a
+  frequency, straight from the Section 4.3 CPI model: ``instructions /
+  (IPC(f) * f)``.  Memory-bound requests flatten with frequency exactly as
+  ``Perf(f)`` does.
+* :func:`mm1_response_quantile_s` — the response-time (queueing + service)
+  quantile of an M/M/1 queue at the given arrival rate.  Open-loop Poisson
+  arrivals onto one core are exactly M/*/1; modelling service as
+  exponential is the *conservative* closure (the simulator's requests are
+  near-deterministic, and M/D/1 waits are shorter than M/M/1 waits at
+  every load), so predicted quantiles upper-bound simulated ones — the
+  right direction for a floor that must *guarantee* an SLO.  The
+  completion-time-vs-frequency models of the virtualized-power literature
+  (PAPERS.md) validate the same shape: latency explodes as utilisation
+  ``rho = rate x service`` approaches 1, which is precisely what a
+  too-low frequency does.
+* :func:`frequency_floor_hz` — the lowest ladder frequency whose predicted
+  quantile meets the target: the per-node floor the SLO-aware coordinator
+  feeds into the Figure 3 step-1/step-2 kernels.
+
+All inputs are per *core*: the serving layer drives one arrival stream
+per processor, so each (core, stream) pair is its own single-server queue.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ModelError
+from ..power.table import FrequencyPowerTable
+from ..units import check_non_negative, check_positive
+from .ipc import WorkloadSignature
+
+__all__ = [
+    "service_time_s",
+    "mm1_response_quantile_s",
+    "frequency_floor_hz",
+    "predicted_latency_quantile_s",
+]
+
+
+def service_time_s(signature: WorkloadSignature, instructions: float,
+                   freq_hz: float) -> float:
+    """Pure execution time of one request at ``freq_hz`` (no queueing)."""
+    check_positive(instructions, "instructions")
+    check_positive(freq_hz, "freq_hz")
+    return instructions / (signature.ipc(freq_hz) * freq_hz)
+
+
+def mm1_response_quantile_s(service_s: float, rate_per_s: float,
+                            percentile: float) -> float:
+    """Response-time percentile of an M/M/1 queue.
+
+    With utilisation ``rho = rate x service < 1`` the sojourn time is
+    exponential with mean ``service / (1 - rho)``, so the ``p``-quantile
+    is ``-ln(1 - p/100) x service / (1 - rho)``.  At or beyond saturation
+    (``rho >= 1``) the queue has no stationary distribution and the
+    quantile is ``inf`` — callers treat that as "this frequency cannot
+    serve this rate at all".
+    """
+    check_positive(service_s, "service_s")
+    check_non_negative(rate_per_s, "rate_per_s")
+    if not 0.0 < percentile < 100.0:
+        raise ModelError(f"percentile must be in (0, 100), got {percentile}")
+    rho = rate_per_s * service_s
+    if rho >= 1.0:
+        return math.inf
+    return -math.log(1.0 - percentile / 100.0) * service_s / (1.0 - rho)
+
+
+def predicted_latency_quantile_s(signature: WorkloadSignature,
+                                 instructions: float, rate_per_s: float,
+                                 freq_hz: float, *,
+                                 percentile: float = 99.0) -> float:
+    """Predicted response-time percentile at one operating point."""
+    return mm1_response_quantile_s(
+        service_time_s(signature, instructions, freq_hz),
+        rate_per_s, percentile)
+
+
+def frequency_floor_hz(table: FrequencyPowerTable,
+                       signature: WorkloadSignature, instructions: float,
+                       rate_per_s: float, target_s: float, *,
+                       percentile: float = 99.0) -> float:
+    """Lowest ladder frequency whose predicted percentile meets ``target_s``.
+
+    Scans the ladder bottom-up (predicted latency is monotone decreasing
+    in frequency, so the first admissible rung is the floor).  When even
+    ``f_max`` misses the target the floor is ``f_max`` — the scheduler
+    cannot buy more latency than the hardware has, and the compliance
+    report shows the miss.
+    """
+    check_positive(target_s, "target_s")
+    for freq_hz in table.freqs_hz:
+        predicted = predicted_latency_quantile_s(
+            signature, instructions, rate_per_s, freq_hz,
+            percentile=percentile)
+        if predicted <= target_s:
+            return freq_hz
+    return table.f_max_hz

@@ -25,9 +25,16 @@ from .profiles import (
     ALL_PROFILES,
 )
 from .generator import WorkloadGenerator, GeneratorSpec
-from .traces import PhaseTrace, TraceRecord, record_trace, replay_trace
+from .traces import PhaseTrace, RateTrace, TraceRecord, record_trace, replay_trace
 from .tiers import Tier, TIER_WEB, TIER_APP, TIER_DB, tier_job, tiered_cluster_assignment
 from .server import RequestSpec, ServerSource, constant_rate, diurnal_rate
+from .serving import (
+    DEFAULT_REQUEST_BUCKETS_S,
+    FleetTrafficSource,
+    LatencyDigest,
+    NodeDemand,
+    flash_crowd_rate,
+)
 from .calibrate import (admissibility_threshold, ratio_band_for_rung,
                         ratio_for_rung, signature_for_rung)
 
@@ -60,10 +67,16 @@ __all__ = [
     "TIER_DB",
     "tier_job",
     "tiered_cluster_assignment",
+    "RateTrace",
     "RequestSpec",
     "ServerSource",
     "constant_rate",
     "diurnal_rate",
+    "DEFAULT_REQUEST_BUCKETS_S",
+    "FleetTrafficSource",
+    "LatencyDigest",
+    "NodeDemand",
+    "flash_crowd_rate",
     "admissibility_threshold",
     "ratio_band_for_rung",
     "ratio_for_rung",

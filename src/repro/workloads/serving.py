@@ -1,0 +1,458 @@
+"""Fleet-scale open-loop serving traffic and mergeable latency digests.
+
+The single-core :class:`~repro.workloads.server.ServerSource` answers "what
+does one processor's queue look like"; serving millions of users needs the
+fleet view.  This module scales the arrival layer up without scaling the
+accounting up with it:
+
+* :class:`FleetTrafficSource` drives one ``ServerSource`` per (node, core)
+  of a whole cluster from a *shared* arrival process — constant, diurnal,
+  :func:`flash_crowd_rate` ramps, or a replayed
+  :class:`~repro.workloads.traces.RateTrace` — split evenly across the
+  streams, each stream thinning independently with its own spawned RNG
+  stream (deterministic under a root seed).  Random draws come from
+  :class:`BlockedDraws` buffers: one vectorised ``Generator`` call refills
+  256 draws at a time, so the per-arrival Python cost is an index bump
+  rather than a Generator dispatch.
+* :class:`LatencyDigest` is the fixed le-bucket histogram the fleet
+  aggregates latencies into — the same bucket shape as the telemetry
+  :class:`~repro.telemetry.metrics.Histogram` (upper bounds + overflow +
+  sum + count), and *mergeable*: digests add bucket-wise, so p99 is
+  computable per-node, per-shard, and fleet-wide without ever storing a
+  per-request record.  Percentiles interpolate within the bucket
+  (Prometheus ``histogram_quantile`` semantics), with the overflow bucket
+  clamped to the maximum observed value.
+
+Censoring: an open-loop overload grows queues without bound, and completed
+requests under-represent the tail.  :meth:`FleetTrafficSource.fleet_digest`
+reports completions only; ``censored=True`` folds in each in-flight
+request's latency lower bound ``horizon - arrival`` (records of in-flight
+requests are always retained, even in drop-records mode).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Callable, Iterable, NamedTuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..model.latency import MemoryLatencyProfile, POWER4_LATENCIES
+from ..sim.rng import spawn_seeds
+from ..units import check_non_negative, check_positive
+from .server import RequestSpec, ServerSource
+
+if TYPE_CHECKING:
+    from ..model.ipc import WorkloadSignature
+    from ..sim.cluster import Cluster
+    from ..sim.driver import Simulation
+
+__all__ = [
+    "DEFAULT_REQUEST_BUCKETS_S",
+    "LatencyDigest",
+    "flash_crowd_rate",
+    "BlockedDraws",
+    "NodeDemand",
+    "FleetTrafficSource",
+]
+
+#: Request-latency le-buckets: 0.5 ms to 30 s, roughly log-spaced — wide
+#: enough that an overloaded queue's tail still lands in finite buckets.
+#: (The telemetry DEFAULT_LATENCY_BUCKETS_S top out at 1 s of *callback*
+#: latency; request latencies need the seconds range.)
+DEFAULT_REQUEST_BUCKETS_S: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class LatencyDigest:
+    """A mergeable fixed-bucket latency histogram.
+
+    Mirrors the telemetry histogram's shape — strictly increasing finite
+    upper bounds plus an implicit ``+Inf`` overflow slot, an observation
+    ``sum`` and ``count`` — but lives outside the metrics registry (no
+    locks, no labels) and adds :meth:`merge` and :meth:`percentile`:
+    digests from every core of every node add bucket-wise into shard and
+    fleet digests whose percentiles are exact to bucket resolution.
+    """
+
+    __slots__ = ("uppers", "counts", "sum_s", "count", "max_s")
+
+    def __init__(self, buckets_s: Iterable[float] = DEFAULT_REQUEST_BUCKETS_S
+                 ) -> None:
+        uppers = tuple(float(b) for b in buckets_s)
+        if not uppers:
+            raise WorkloadError("a digest needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(uppers, uppers[1:])):
+            raise WorkloadError("bucket bounds must be strictly increasing")
+        if not all(np.isfinite(uppers)):
+            raise WorkloadError("bucket bounds must be finite")
+        self.uppers = uppers
+        #: Non-cumulative per-bucket counts; last slot is the +Inf overflow.
+        self.counts = [0] * (len(uppers) + 1)
+        self.sum_s = 0.0
+        self.count = 0
+        self.max_s = 0.0
+
+    def observe(self, latency_s: float) -> None:
+        value = float(latency_s)
+        self.counts[bisect_left(self.uppers, value)] += 1
+        self.sum_s += value
+        self.count += 1
+        if value > self.max_s:
+            self.max_s = value
+
+    def observe_many(self, latencies_s) -> None:
+        values = np.asarray(latencies_s, dtype=float)
+        if values.size == 0:
+            return
+        # searchsorted(side="left") == bisect_left, per value.
+        slots = np.searchsorted(np.array(self.uppers), values, side="left")
+        binned = np.bincount(slots, minlength=len(self.counts))
+        for i, c in enumerate(binned.tolist()):
+            self.counts[i] += c
+        self.sum_s += float(values.sum())
+        self.count += int(values.size)
+        self.max_s = max(self.max_s, float(values.max()))
+
+    def merge(self, other: "LatencyDigest") -> "LatencyDigest":
+        """Add ``other`` into this digest (in place; returns self)."""
+        if other.uppers != self.uppers:
+            raise WorkloadError("cannot merge digests with different buckets")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum_s += other.sum_s
+        self.count += other.count
+        self.max_s = max(self.max_s, other.max_s)
+        return self
+
+    @classmethod
+    def merged(cls, digests: Iterable["LatencyDigest"]) -> "LatencyDigest":
+        """A fresh digest holding the sum of ``digests``."""
+        digests = list(digests)
+        if not digests:
+            raise WorkloadError("nothing to merge")
+        out = cls(digests[0].uppers)
+        for d in digests:
+            out.merge(d)
+        return out
+
+    def copy(self) -> "LatencyDigest":
+        out = LatencyDigest(self.uppers)
+        out.merge(self)
+        return out
+
+    def mean_s(self) -> float:
+        if self.count == 0:
+            raise WorkloadError("empty digest")
+        return self.sum_s / self.count
+
+    def percentile(self, pct: float) -> float:
+        """The ``pct``-percentile, linearly interpolated within its bucket
+        (``histogram_quantile`` semantics; the overflow bucket reports the
+        maximum observed value)."""
+        if not 0.0 < pct <= 100.0:
+            raise WorkloadError(f"percentile must be in (0, 100], got {pct}")
+        if self.count == 0:
+            raise WorkloadError("empty digest")
+        rank = pct / 100.0 * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= rank:
+                if i == len(self.uppers):
+                    return self.max_s
+                lower = 0.0 if i == 0 else self.uppers[i - 1]
+                upper = self.uppers[i]
+                frac = (rank - (cumulative - c)) / c
+                return min(lower + (upper - lower) * frac, self.max_s)
+        return self.max_s  # pragma: no cover — rank <= count always lands
+
+    def fraction_below(self, latency_s: float) -> float:
+        """The fraction of observations at or below ``latency_s``
+        (interpolated within the straddling bucket) — the SLO-compliance
+        metric for a target that need not align with a bucket edge."""
+        check_non_negative(latency_s, "latency_s")
+        if self.count == 0:
+            raise WorkloadError("empty digest")
+        below = 0.0
+        lower = 0.0
+        for i, upper in enumerate(self.uppers):
+            if latency_s >= upper:
+                below += self.counts[i]
+                lower = upper
+                continue
+            span = upper - lower
+            frac = (latency_s - lower) / span if span > 0 else 1.0
+            below += self.counts[i] * frac
+            return min(1.0, below / self.count)
+        # Past the last finite bound: interpolate the overflow against max.
+        if self.max_s > lower and latency_s < self.max_s:
+            frac = (latency_s - lower) / (self.max_s - lower)
+            below += self.counts[-1] * frac
+        else:
+            below += self.counts[-1]
+        return min(1.0, below / self.count)
+
+    def value_dict(self) -> dict:
+        """The telemetry-histogram-shaped snapshot (buckets, counts, sum,
+        count) plus the tracked maximum."""
+        return {
+            "buckets": list(self.uppers) + [float("inf")],
+            "counts": list(self.counts),
+            "sum": self.sum_s,
+            "count": self.count,
+            "max": self.max_s,
+        }
+
+    def __repr__(self) -> str:
+        return (f"LatencyDigest(count={self.count}, "
+                f"mean={self.sum_s / self.count if self.count else 0.0:.4g} s,"
+                f" max={self.max_s:.4g} s)")
+
+
+def flash_crowd_rate(base_per_s: float, peak_per_s: float, *,
+                     t_start_s: float, ramp_s: float, hold_s: float,
+                     decay_s: float) -> Callable[[float], float]:
+    """A flash-crowd arrival curve: base load, a linear ramp to the peak
+    at ``t_start_s``, a hold, and a linear decay back to base."""
+    check_non_negative(base_per_s, "base_per_s")
+    check_non_negative(t_start_s, "t_start_s")
+    check_positive(ramp_s, "ramp_s")
+    check_non_negative(hold_s, "hold_s")
+    check_positive(decay_s, "decay_s")
+    if peak_per_s < base_per_s:
+        raise WorkloadError("peak rate below base rate")
+
+    t_peak = t_start_s + ramp_s
+    t_fall = t_peak + hold_s
+    t_end = t_fall + decay_s
+
+    def rate(t: float) -> float:
+        if t <= t_start_s or t >= t_end:
+            return base_per_s
+        if t < t_peak:
+            return base_per_s + (peak_per_s - base_per_s) \
+                * (t - t_start_s) / ramp_s
+        if t <= t_fall:
+            return peak_per_s
+        return peak_per_s - (peak_per_s - base_per_s) * (t - t_fall) / decay_s
+
+    return rate
+
+
+class BlockedDraws:
+    """Buffered random draws for one arrival stream.
+
+    A ``ServerSource`` consumes randomness one scalar at a time
+    (exponential gap, uniform thin).  At fleet scale that is millions of
+    ``Generator`` method dispatches; this adapter makes one vectorised
+    draw per 256 and serves scalars off the buffer.  It quacks exactly
+    like the subset of ``Generator`` the source uses.
+    """
+
+    __slots__ = ("_rng", "_block", "_exp", "_exp_i", "_uni", "_uni_i")
+
+    def __init__(self, rng: np.random.Generator | int | None, *,
+                 block: int = 256) -> None:
+        check_positive(block, "block")
+        self._rng = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        self._block = block
+        self._exp = np.empty(0)
+        self._exp_i = 0
+        self._uni = np.empty(0)
+        self._uni_i = 0
+
+    def exponential(self, scale: float) -> float:
+        if self._exp_i >= self._exp.size:
+            self._exp = self._rng.exponential(1.0, self._block)
+            self._exp_i = 0
+        value = self._exp[self._exp_i]
+        self._exp_i += 1
+        return float(value) * scale
+
+    def uniform(self) -> float:
+        if self._uni_i >= self._uni.size:
+            self._uni = self._rng.uniform(size=self._block)
+            self._uni_i = 0
+        value = self._uni[self._uni_i]
+        self._uni_i += 1
+        return float(value)
+
+
+class NodeDemand(NamedTuple):
+    """One node's serving demand at an instant — what the SLO-aware
+    coordinator feeds the latency model."""
+
+    #: Arrival rate per core (each core serves its own stream/queue).
+    rate_per_core_per_s: float
+    #: Ground-truth signature of the request computation.
+    signature: "WorkloadSignature"
+    #: Instructions per request.
+    instructions: float
+
+
+class FleetTrafficSource:
+    """Open-loop request traffic across every core of a cluster.
+
+    The fleet rate function is split evenly over the streams (one per
+    (node, core)); superposed, the streams reproduce the fleet Poisson
+    process exactly.  Each stream gets an independent spawned RNG and its
+    own per-core :class:`LatencyDigest`; :meth:`node_digest` and
+    :meth:`fleet_digest` merge upward on demand.
+
+    By default per-request records are dropped once harvested into the
+    digests (``keep_records=False``), so memory is O(in-flight), not
+    O(requests served) — the property that lets a simulated fleet serve
+    millions of requests.  Pass ``keep_records=True`` to retain exact
+    per-request latencies (tests, calibration).
+    """
+
+    def __init__(self, cluster: "Cluster", *,
+                 rate_per_s: Callable[[float], float],
+                 max_rate_per_s: float,
+                 spec: RequestSpec | None = None,
+                 cores_per_node: int | None = None,
+                 horizon_s: float | None = None,
+                 keep_records: bool = False,
+                 buckets_s: Iterable[float] = DEFAULT_REQUEST_BUCKETS_S,
+                 latencies: MemoryLatencyProfile = POWER4_LATENCIES,
+                 seed: int | None = None) -> None:
+        check_positive(max_rate_per_s, "max_rate_per_s")
+        self.cluster = cluster
+        self.rate = rate_per_s
+        self.max_rate = max_rate_per_s
+        self.spec = spec or RequestSpec()
+        self.latencies = latencies
+        self._signature = self.spec.signature(latencies)
+        self._buckets = tuple(float(b) for b in buckets_s)
+        streams: list[tuple[int, int]] = []   # (node index, core index)
+        for i, node in enumerate(cluster.nodes):
+            cores = node.num_procs if cores_per_node is None \
+                else min(cores_per_node, node.num_procs)
+            streams.extend((i, c) for c in range(cores))
+        if not streams:
+            raise WorkloadError("no cores to serve traffic on")
+        self.num_streams = len(streams)
+        seeds = spawn_seeds(seed, self.num_streams)
+        share = 1.0 / self.num_streams
+        rate_fn = self.rate
+
+        def stream_rate(t: float, _share: float = share) -> float:
+            return rate_fn(t) * _share
+
+        self.sources: list[ServerSource] = []
+        self._by_node: dict[int, list[ServerSource]] = {}
+        for k, (i, core) in enumerate(streams):
+            node = cluster.nodes[i]
+            source = ServerSource(
+                node.machine, core,
+                rate_per_s=stream_rate,
+                max_rate_per_s=max_rate_per_s * share,
+                spec=self.spec,
+                horizon_s=horizon_s,
+                digest=LatencyDigest(self._buckets),
+                keep_records=keep_records,
+                rng=BlockedDraws(seeds[k]),
+            )
+            self.sources.append(source)
+            self._by_node.setdefault(node.node_id, []).append(source)
+        self._sim: "Simulation | None" = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def attach(self, sim: "Simulation") -> None:
+        if self._sim is not None:
+            raise WorkloadError("fleet traffic source already attached")
+        self._sim = sim
+        for source in self.sources:
+            source.attach(sim)
+
+    def detach(self) -> None:
+        if self._sim is None:
+            raise WorkloadError("fleet traffic source is not attached")
+        for source in self.sources:
+            if source.attached:
+                source.detach()
+        self._sim = None
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def issued(self) -> int:
+        return sum(s.issued for s in self.sources)
+
+    @property
+    def completed(self) -> int:
+        self.harvest()
+        return sum(s.completed for s in self.sources)
+
+    @property
+    def in_flight(self) -> int:
+        return sum(s.in_flight for s in self.sources)
+
+    def harvest(self) -> int:
+        """Sweep every stream's completions into its digest."""
+        return sum(s.harvest() for s in self.sources)
+
+    def _censor_into(self, digest: LatencyDigest,
+                     sources: list[ServerSource],
+                     horizon_s: float | None) -> LatencyDigest:
+        for source in sources:
+            digest.observe_many(source.inflight_lower_bounds_s(horizon_s))
+        return digest
+
+    def node_digest(self, node_id: int, *, censored: bool = False,
+                    horizon_s: float | None = None) -> LatencyDigest:
+        """One node's merged latency digest (fresh copy)."""
+        try:
+            sources = self._by_node[node_id]
+        except KeyError:
+            raise WorkloadError(f"no traffic on node {node_id}") from None
+        self.harvest()
+        digest = LatencyDigest.merged(s.digest for s in sources)
+        if censored:
+            self._censor_into(digest, sources, horizon_s)
+        return digest
+
+    def fleet_digest(self, *, censored: bool = False,
+                     horizon_s: float | None = None) -> LatencyDigest:
+        """The fleet-wide merged latency digest (fresh copy).
+
+        ``censored=True`` additionally observes every in-flight request's
+        latency lower bound at the horizon (defaults to the attached
+        simulation's current time) — the honest tail under overload.
+        """
+        self.harvest()
+        digest = LatencyDigest.merged(s.digest for s in self.sources)
+        if censored:
+            self._censor_into(digest, self.sources, horizon_s)
+        return digest
+
+    def latency_percentile_s(self, pct: float, *, censored: bool = False,
+                             horizon_s: float | None = None) -> float:
+        return self.fleet_digest(
+            censored=censored, horizon_s=horizon_s).percentile(pct)
+
+    # -- the coordinator-facing view ----------------------------------------------
+
+    def node_demands(self, now_s: float) -> dict[int, NodeDemand]:
+        """Per-node serving demand at ``now_s``.
+
+        The SLO-aware coordinator turns each entry into a frequency floor
+        via :func:`repro.model.latency_model.frequency_floor_hz`.  Rates
+        are per core: every core serves its own arrival stream.
+        """
+        demands: dict[int, NodeDemand] = {}
+        for node_id, sources in self._by_node.items():
+            # Streams split the fleet rate evenly, so any stream's rate is
+            # the per-core rate.
+            demands[node_id] = NodeDemand(
+                rate_per_core_per_s=sources[0].rate(now_s),
+                signature=self._signature,
+                instructions=self.spec.instructions,
+            )
+        return demands

@@ -1,0 +1,703 @@
+"""The SLO-aware serving layer: fleet traffic, latency digests, the
+latency model, and p99-to-frequency floors through the schedulers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator, CoordinatorConfig
+from repro.cluster.hierarchy import FleetAllocator, FleetConfig
+from repro.cluster.nested import NestedBudgetScheduler
+from repro.core.scheduler import FrequencyVoltageScheduler, ProcessorView
+from repro.errors import ClusterError, ModelError, WorkloadError
+from repro.model.ipc import WorkloadSignature
+from repro.model.latency import POWER4_LATENCIES
+from repro.model.latency_model import (
+    frequency_floor_hz,
+    mm1_response_quantile_s,
+    predicted_latency_quantile_s,
+    service_time_s,
+)
+from repro.power.table import POWER4_TABLE
+from repro.sim.cluster import Cluster
+from repro.sim.core import CoreConfig
+from repro.sim.driver import Simulation
+from repro.sim.idle import IdleStyle
+from repro.sim.machine import MachineConfig, SMPMachine
+from repro.units import ghz, mhz
+from repro.workloads.server import RequestSpec, ServerSource, constant_rate
+from repro.workloads.serving import (
+    DEFAULT_REQUEST_BUCKETS_S,
+    BlockedDraws,
+    FleetTrafficSource,
+    LatencyDigest,
+    flash_crowd_rate,
+)
+from repro.workloads.traces import RateTrace
+
+
+def sig(ratio: float, core_cpi: float = 0.65) -> WorkloadSignature:
+    return WorkloadSignature(core_cpi=core_cpi,
+                             mem_time_per_instr_s=core_cpi / ratio / ghz(1.0))
+
+
+def pview(node: int, proc: int, signature=None, idle=False) -> ProcessorView:
+    return ProcessorView(node_id=node, proc_id=proc, signature=signature,
+                         idle_signaled=idle)
+
+
+def serving_cluster(nodes=2, procs=1, seed=0) -> Cluster:
+    return Cluster.homogeneous(
+        nodes,
+        machine_config=MachineConfig(
+            num_cores=procs,
+            core_config=CoreConfig(latency_jitter_sigma=0.0,
+                                   idle_style=IdleStyle.HALT),
+        ),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# LatencyDigest
+
+
+class TestLatencyDigest:
+    def test_percentile_matches_exact_to_bucket_resolution(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(0.05, size=5000)
+        digest = LatencyDigest()
+        digest.observe_many(values)
+        for pct in (50.0, 90.0, 99.0):
+            exact = float(np.percentile(values, pct))
+            approx = digest.percentile(pct)
+            # The estimate lands inside the bucket that holds the exact
+            # value (uppers are the le-bounds).
+            i = np.searchsorted(np.array(digest.uppers), exact, side="left")
+            lower = 0.0 if i == 0 else digest.uppers[i - 1]
+            upper = digest.uppers[i] if i < len(digest.uppers) \
+                else digest.max_s
+            assert lower <= approx <= upper + 1e-12
+
+    def test_observe_many_matches_scalar_observe(self):
+        values = [0.0, 0.0004, 0.001, 0.02, 4.0, 60.0]
+        a, b = LatencyDigest(), LatencyDigest()
+        for v in values:
+            a.observe(v)
+        b.observe_many(values)
+        assert a.counts == b.counts
+        assert a.sum_s == pytest.approx(b.sum_s)
+        assert a.max_s == b.max_s
+
+    def test_merge_equals_union(self):
+        rng = np.random.default_rng(7)
+        xs, ys = rng.exponential(0.01, 300), rng.exponential(0.3, 300)
+        a, b, union = LatencyDigest(), LatencyDigest(), LatencyDigest()
+        a.observe_many(xs)
+        b.observe_many(ys)
+        union.observe_many(np.concatenate([xs, ys]))
+        merged = LatencyDigest.merged([a, b])
+        assert merged.counts == union.counts
+        assert merged.count == union.count
+        assert merged.sum_s == pytest.approx(union.sum_s)
+        assert merged.percentile(99.0) == pytest.approx(
+            union.percentile(99.0))
+        # In-place merge leaves the operands reusable copies.
+        assert a.count == 300 and b.count == 300
+
+    def test_merge_rejects_mismatched_buckets(self):
+        with pytest.raises(WorkloadError):
+            LatencyDigest((0.1, 1.0)).merge(LatencyDigest((0.2, 1.0)))
+
+    def test_overflow_reports_max(self):
+        digest = LatencyDigest((0.001, 0.01))
+        digest.observe_many([5.0, 7.0, 9.0])
+        assert digest.percentile(99.0) == 9.0
+
+    def test_fraction_below_interpolates(self):
+        digest = LatencyDigest((0.01, 0.02))
+        digest.observe_many([0.005] * 50 + [0.015] * 50)
+        assert digest.fraction_below(0.02) == pytest.approx(1.0)
+        assert digest.fraction_below(0.015) == pytest.approx(0.75)
+        # 0.008 interpolates 80% of the way through the first bucket.
+        assert digest.fraction_below(0.008) == pytest.approx(0.4)
+
+    def test_value_dict_is_telemetry_shaped(self):
+        digest = LatencyDigest()
+        digest.observe(0.003)
+        d = digest.value_dict()
+        assert d["buckets"][-1] == math.inf
+        assert len(d["counts"]) == len(d["buckets"])
+        assert d["count"] == 1 and d["sum"] == pytest.approx(0.003)
+
+    def test_empty_digest_raises(self):
+        digest = LatencyDigest()
+        with pytest.raises(WorkloadError):
+            digest.percentile(99.0)
+        with pytest.raises(WorkloadError):
+            digest.mean_s()
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(WorkloadError):
+            LatencyDigest(())
+        with pytest.raises(WorkloadError):
+            LatencyDigest((0.1, 0.1))
+        with pytest.raises(WorkloadError):
+            LatencyDigest((0.1, math.inf))
+
+
+# ---------------------------------------------------------------------------
+# Rate curves and traces
+
+
+class TestFlashCrowd:
+    def test_shape(self):
+        rate = flash_crowd_rate(10.0, 100.0, t_start_s=1.0, ramp_s=1.0,
+                                hold_s=2.0, decay_s=1.0)
+        assert rate(0.0) == 10.0
+        assert rate(1.5) == pytest.approx(55.0)
+        assert rate(2.0) == rate(3.0) == rate(4.0) == 100.0
+        assert rate(4.5) == pytest.approx(55.0)
+        assert rate(5.0) == rate(9.0) == 10.0
+
+    def test_peak_below_base_rejected(self):
+        with pytest.raises(WorkloadError):
+            flash_crowd_rate(10.0, 5.0, t_start_s=0.0, ramp_s=1.0,
+                             hold_s=1.0, decay_s=1.0)
+
+
+class TestRateTrace:
+    def test_step_semantics(self):
+        trace = RateTrace.from_points([(0.0, 5.0), (1.0, 50.0), (2.0, 0.0)])
+        rate = trace.rate_fn()
+        assert rate(-1.0) == 5.0
+        assert rate(0.0) == rate(0.99) == 5.0
+        assert rate(1.0) == rate(1.5) == 50.0
+        assert rate(2.0) == rate(100.0) == 0.0
+        assert trace.max_rate_per_s == 50.0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = RateTrace.from_points([(0.0, 5.0), (0.5, 20.0)])
+        path = tmp_path / "rates.jsonl"
+        trace.dump_jsonl(path)
+        assert RateTrace.load_jsonl(path) == trace
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RateTrace(times_s=(), rates_per_s=())
+        with pytest.raises(WorkloadError):
+            RateTrace(times_s=(1.0,), rates_per_s=(5.0,))   # not at 0
+        with pytest.raises(WorkloadError):
+            RateTrace(times_s=(0.0, 0.0), rates_per_s=(1.0, 2.0))
+        with pytest.raises(WorkloadError):
+            RateTrace(times_s=(0.0,), rates_per_s=(-1.0,))
+        with pytest.raises(WorkloadError):
+            RateTrace(times_s=(0.0, 1.0), rates_per_s=(1.0,))
+
+    def test_load_rejects_junk(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(WorkloadError):
+            RateTrace.load_jsonl(path)
+        path.write_text('{"kind": "phase-trace", "version": 1}\n')
+        with pytest.raises(WorkloadError):
+            RateTrace.load_jsonl(path)
+        with pytest.raises(WorkloadError):
+            RateTrace.load_jsonl(tmp_path / "missing.jsonl")
+
+    def test_drives_a_server_source(self):
+        trace = RateTrace.from_points([(0.0, 0.0), (0.5, 150.0)])
+        machine = SMPMachine(MachineConfig(
+            num_cores=1,
+            core_config=CoreConfig(latency_jitter_sigma=0.0,
+                                   idle_style=IdleStyle.HALT)), seed=2)
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=trace.rate_fn(),
+                              max_rate_per_s=trace.max_rate_per_s, rng=3)
+        source.attach(sim)
+        sim.run_for(1.0)
+        assert source.issued > 0
+        assert all(r.arrival_s >= 0.5 for r in source.records)
+
+
+# ---------------------------------------------------------------------------
+# Thinning exactness (property)
+
+
+class TestThinningExactness:
+    def test_count_moments_match_inhomogeneous_poisson(self):
+        # rate(t): 0 on [0, 0.25), 160 on [0.25, 0.75), 0 after —
+        # Lambda = 80 expected arrivals per run.  Over N seeded runs the
+        # per-run counts must match Poisson(80) in mean and variance
+        # (thinning at max_rate=160 with zero-rate windows included).
+        def rate(t):
+            return 160.0 if 0.25 <= t < 0.75 else 0.0
+
+        spec = RequestSpec(instructions=1e5)
+        counts = []
+        for seed in range(40):
+            machine = SMPMachine(MachineConfig(
+                num_cores=1,
+                core_config=CoreConfig(latency_jitter_sigma=0.0,
+                                       idle_style=IdleStyle.HALT)),
+                seed=seed)
+            sim = Simulation(machine)
+            source = ServerSource(machine, 0, rate_per_s=rate,
+                                  max_rate_per_s=160.0, spec=spec,
+                                  rng=1000 + seed)
+            source.attach(sim)
+            sim.run_for(1.0)
+            counts.append(source.issued)
+            assert all(0.25 <= r.arrival_s < 0.75 for r in source.records)
+        counts = np.array(counts, dtype=float)
+        lam = 80.0
+        n = counts.size
+        # Mean of n Poisson(lam) draws: se = sqrt(lam/n); 4-sigma band.
+        assert abs(counts.mean() - lam) < 4.0 * math.sqrt(lam / n)
+        # Variance ~ lam; chi-square 99.9% band for n-1 dof is roughly
+        # lam * [0.45, 1.8] at n = 40.
+        assert 0.45 * lam < counts.var(ddof=1) < 1.8 * lam
+
+    def test_buffered_draws_match_generator_stream(self):
+        # BlockedDraws must reproduce the plain-Generator arrival stream:
+        # it changes the batching, not the distribution.
+        a = BlockedDraws(123)
+        rng = np.random.default_rng(123)
+        first = [a.exponential(2.0) for _ in range(300)]
+        expected = rng.exponential(1.0, 256) * 2.0
+        np.testing.assert_allclose(first[:256], expected)
+
+
+# ---------------------------------------------------------------------------
+# The latency model
+
+
+class TestLatencyModel:
+    SIG = RequestSpec().signature(POWER4_LATENCIES)
+
+    def test_service_time_decreases_with_frequency(self):
+        spec = RequestSpec()
+        times = [service_time_s(self.SIG, spec.instructions, f)
+                 for f in POWER4_TABLE.freqs_hz]
+        assert all(t2 < t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_mm1_quantile_blows_up_at_saturation(self):
+        assert mm1_response_quantile_s(0.002, 499.0, 99.0) < math.inf
+        assert mm1_response_quantile_s(0.002, 500.0, 99.0) == math.inf
+        with pytest.raises(ModelError):
+            mm1_response_quantile_s(0.002, 100.0, 100.0)
+
+    def test_floor_monotone_in_rate_and_target(self):
+        spec = RequestSpec()
+        floors_by_rate = [
+            frequency_floor_hz(POWER4_TABLE, self.SIG, spec.instructions,
+                               rate, 0.02)
+            for rate in (50.0, 200.0, 400.0, 550.0)
+        ]
+        assert all(b >= a for a, b in zip(floors_by_rate,
+                                          floors_by_rate[1:]))
+        tight = frequency_floor_hz(POWER4_TABLE, self.SIG,
+                                   spec.instructions, 300.0, 0.005)
+        loose = frequency_floor_hz(POWER4_TABLE, self.SIG,
+                                   spec.instructions, 300.0, 0.5)
+        assert tight >= loose
+
+    def test_floor_is_fmax_when_target_unreachable(self):
+        spec = RequestSpec()
+        floor = frequency_floor_hz(POWER4_TABLE, self.SIG,
+                                   spec.instructions, 5000.0, 0.001)
+        assert floor == POWER4_TABLE.f_max_hz
+
+    def test_prediction_upper_bounds_simulated_p99(self):
+        # M/M/1 is the conservative closure of the simulator's
+        # near-deterministic service: predicted p99 must sit at or above
+        # the simulated p99, and within an order of magnitude of it.
+        rate = 300.0
+        machine = SMPMachine(MachineConfig(
+            num_cores=1,
+            core_config=CoreConfig(latency_jitter_sigma=0.0,
+                                   idle_style=IdleStyle.HALT)), seed=21)
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(rate),
+                              max_rate_per_s=rate, rng=22)
+        source.attach(sim)
+        sim.run_for(4.0)
+        simulated = source.censored_latency_percentile_s(99.0)
+        predicted = predicted_latency_quantile_s(
+            self.SIG, RequestSpec().instructions, rate,
+            machine.cores[0].frequency_setting_hz, percentile=99.0)
+        assert predicted >= simulated
+        assert predicted < 10.0 * simulated
+
+
+# ---------------------------------------------------------------------------
+# Frequency floors through the schedulers
+
+
+class TestSchedulerFloors:
+    def test_floors_respected_under_step2_pressure(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [pview(0, 0, sig(10.0)), pview(0, 1, sig(10.0)),
+                 pview(1, 0, sig(10.0)), pview(1, 1, sig(10.0))]
+        floors = {0: mhz(800)}
+        schedule = sched.schedule(views, power_limit_w=330.0,
+                                  min_freqs_hz=floors)
+        for a in schedule.assignments:
+            if a.node_id == 0:
+                assert a.freq_hz >= mhz(800)
+        # Node 1 absorbed the cut node 0 refused.
+        assert min(a.freq_hz for a in schedule.assignments
+                   if a.node_id == 1) < mhz(800)
+
+    def test_budget_below_floors_flags_infeasible(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [pview(0, 0, sig(10.0)), pview(1, 0, sig(10.0))]
+        floors = {0: ghz(1.0), 1: ghz(1.0)}
+        schedule = sched.schedule(views, power_limit_w=150.0,
+                                  min_freqs_hz=floors,
+                                  on_infeasible="floor")
+        assert schedule.infeasible
+        assert all(a.freq_hz == ghz(1.0) for a in schedule.assignments)
+
+    def test_none_and_empty_floors_identical_to_default(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [pview(0, i, sig(0.1)) for i in range(3)]
+        base = sched.schedule(views, power_limit_w=200.0)
+        for floors in (None, {}):
+            again = sched.schedule(views, power_limit_w=200.0,
+                                   min_freqs_hz=floors)
+            assert again.assignments == base.assignments
+            assert again.total_power_w == base.total_power_w
+
+    def test_floor_wins_over_idle_pin_and_ceiling(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        idle = sched.schedule([pview(0, 0, sig(10.0), idle=True)],
+                              min_freqs_hz={0: mhz(800)})
+        assert idle.assignments[0].freq_hz == mhz(800)
+        capped = sched.schedule([pview(0, 0, sig(10.0))],
+                                max_freq_hz=mhz(250),
+                                min_freqs_hz={0: mhz(800)})
+        assert capped.assignments[0].freq_hz == mhz(800)
+
+    def test_floor_quantizes_up_and_ignores_unknown_nodes(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        schedule = sched.schedule(
+            [pview(0, 0, sig(10.0), idle=True)],
+            min_freqs_hz={0: mhz(760), 99: ghz(1.0)})
+        assert schedule.assignments[0].freq_hz == mhz(800)
+
+    def test_floor_must_be_positive(self):
+        sched = FrequencyVoltageScheduler(POWER4_TABLE, epsilon=0.04)
+        with pytest.raises(Exception):
+            sched.schedule([pview(0, 0, sig(10.0))],
+                           min_freqs_hz={0: -1.0})
+
+    def test_nested_respects_floors_inside_node_limits(self):
+        sched = NestedBudgetScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [pview(0, 0, sig(10.0)), pview(0, 1, sig(10.0)),
+                 pview(1, 0, sig(10.0)), pview(1, 1, sig(10.0))]
+        schedule = sched.schedule_nested(
+            views, 400.0, {0: 170.0, 1: 170.0},
+            min_freqs_hz={0: mhz(700)})
+        for a in schedule.assignments:
+            if a.node_id == 0:
+                assert a.freq_hz >= mhz(700)
+
+    def test_nested_floors_none_identical_to_default(self):
+        sched = NestedBudgetScheduler(POWER4_TABLE, epsilon=0.04)
+        views = [pview(0, 0, sig(10.0)), pview(1, 0, sig(0.1))]
+        base = sched.schedule_nested(views, 250.0, {0: 120.0})
+        again = sched.schedule_nested(views, 250.0, {0: 120.0},
+                                      min_freqs_hz=None)
+        assert again.assignments == base.assignments
+
+
+# ---------------------------------------------------------------------------
+# Fleet traffic
+
+
+class TestFleetTrafficSource:
+    def _traffic(self, cluster, rate=200.0, **kwargs):
+        return FleetTrafficSource(
+            cluster, rate_per_s=constant_rate(rate), max_rate_per_s=rate,
+            seed=5, **kwargs)
+
+    def test_one_stream_per_core_and_attach_detach(self):
+        cluster = serving_cluster(nodes=2, procs=2)
+        traffic = self._traffic(cluster)
+        assert traffic.num_streams == 4
+        sim = Simulation(cluster.machines)
+        traffic.attach(sim)
+        with pytest.raises(WorkloadError):
+            traffic.attach(sim)
+        sim.run_for(0.5)
+        issued = traffic.issued
+        assert issued > 0
+        traffic.detach()
+        sim.run_for(0.5)
+        assert traffic.issued == issued
+
+    def test_digests_merge_upward(self):
+        cluster = serving_cluster(nodes=2, procs=1)
+        traffic = self._traffic(cluster)
+        sim = Simulation(cluster.machines)
+        traffic.attach(sim)
+        sim.run_for(1.0)
+        fleet = traffic.fleet_digest()
+        per_node = [traffic.node_digest(n.node_id)
+                    for n in cluster.nodes]
+        assert fleet.count == sum(d.count for d in per_node)
+        assert fleet.count == traffic.completed
+        with pytest.raises(WorkloadError):
+            traffic.node_digest(999)
+
+    def test_censored_digest_counts_in_flight(self):
+        cluster = serving_cluster(nodes=1, procs=1, seed=3)
+        traffic = FleetTrafficSource(
+            cluster, rate_per_s=constant_rate(700.0), max_rate_per_s=700.0,
+            seed=6)
+        sim = Simulation(cluster.machines)
+        traffic.attach(sim)
+        sim.run_for(1.0)
+        assert traffic.in_flight > 0
+        raw = traffic.fleet_digest()
+        censored = traffic.fleet_digest(censored=True, horizon_s=1.0)
+        assert censored.count == raw.count + traffic.in_flight
+
+    def test_node_demands_reports_per_core_rate(self):
+        cluster = serving_cluster(nodes=2, procs=2)
+        traffic = self._traffic(cluster, rate=400.0)
+        demands = traffic.node_demands(0.0)
+        assert set(demands) == {n.node_id for n in cluster.nodes}
+        for demand in demands.values():
+            assert demand.rate_per_core_per_s == pytest.approx(100.0)
+            assert demand.instructions == RequestSpec().instructions
+
+    def test_seeded_reproducibility(self):
+        def run():
+            cluster = serving_cluster(nodes=2, procs=1)
+            traffic = self._traffic(cluster)
+            sim = Simulation(cluster.machines)
+            traffic.attach(sim)
+            sim.run_for(1.0)
+            return traffic.issued, traffic.fleet_digest().value_dict()
+
+        a, b = run(), run()
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# SLO mode through the coordinator
+
+
+class TestCoordinatorSLO:
+    def _setup(self, *, target_s, budget_w=None, nodes=2, rate=500.0,
+               seed=0):
+        cluster = serving_cluster(nodes=nodes, procs=1, seed=seed)
+        traffic = FleetTrafficSource(
+            cluster, rate_per_s=constant_rate(rate), max_rate_per_s=rate,
+            seed=seed + 9)
+        coordinator = ClusterCoordinator(
+            cluster,
+            CoordinatorConfig(power_limit_w=budget_w,
+                              slo_p99_target_s=target_s),
+            seed=seed + 1)
+        coordinator.bind_serving(traffic)
+        sim = Simulation(cluster.machines)
+        coordinator.attach(sim)
+        traffic.attach(sim)
+        return sim, coordinator, traffic
+
+    def test_scheduled_frequencies_respect_floors(self):
+        sim, coordinator, _ = self._setup(target_s=0.01, budget_w=160.0)
+        sim.run_for(1.0)
+        floors = coordinator.slo_floors_hz
+        assert floors and max(floors.values()) > POWER4_TABLE.f_min_hz
+        for a in coordinator.last_schedule.assignments:
+            assert a.freq_hz >= floors[a.node_id] - 1e-6
+        assert coordinator.slo_floor_violations == 0
+
+    def test_tight_budget_counts_infeasible_passes(self):
+        sim, coordinator, _ = self._setup(target_s=0.005, budget_w=100.0)
+        sim.run_for(1.0)
+        assert coordinator.slo_infeasible_passes > 0
+        assert coordinator.slo_floor_violations == 0
+
+    def test_unbound_serving_raises(self):
+        cluster = serving_cluster()
+        coordinator = ClusterCoordinator(
+            cluster, CoordinatorConfig(slo_p99_target_s=0.02), seed=1)
+        sim = Simulation(cluster.machines)
+        coordinator.attach(sim)
+        with pytest.raises(ClusterError):
+            coordinator.run_global_pass(0.0)
+
+    def test_no_target_keeps_slo_machinery_idle(self):
+        sim, coordinator, _ = self._setup(target_s=None)
+        sim.run_for(1.0)
+        assert coordinator.slo_floors_hz == {}
+        assert coordinator.slo_floor_violations == 0
+        assert coordinator.slo_infeasible_passes == 0
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            CoordinatorConfig(slo_p99_target_s=-1.0)
+        with pytest.raises(ClusterError):
+            CoordinatorConfig(slo_p99_target_s=0.02, slo_percentile=100.0)
+
+    def test_fast_path_invalidated_by_floor_change(self):
+        # The reschedule fast path may only reuse a schedule produced
+        # under the same floors; a rate change that moves the floor must
+        # force a fresh pass.
+        sim, coordinator, traffic = self._setup(
+            target_s=0.03, budget_w=None, rate=500.0)
+        sim.run_for(0.35)
+        floors_before = dict(coordinator.slo_floors_hz)
+        assert floors_before
+        # Drop the demand to (almost) nothing: the floor falls.
+        slow = constant_rate(1.0)
+        for source in traffic.sources:
+            source.rate = slow
+        sim.run_for(0.35)
+        assert coordinator.slo_floors_hz != floors_before
+        assert all(f <= b for f, b in zip(
+            coordinator.slo_floors_hz.values(), floors_before.values()))
+
+    def test_degraded_lost_node_pinned_at_floor(self):
+        cluster = serving_cluster(nodes=2, procs=1)
+        coordinator = ClusterCoordinator(cluster, CoordinatorConfig(),
+                                         seed=1)
+        lost_id = cluster.nodes[1].node_id
+        live_id = cluster.nodes[0].node_id
+        views = [pview(live_id, 0, sig(10.0))]
+        schedule = coordinator._schedule_degraded(
+            views, [lost_id], {lost_id: mhz(760), live_id: mhz(700)})
+        pinned = [a for a in schedule.assignments if a.node_id == lost_id]
+        assert pinned and all(a.freq_hz == mhz(800) for a in pinned)
+        assert all(a.eps_freq_hz == mhz(800) for a in pinned)
+        live = [a for a in schedule.assignments if a.node_id == live_id]
+        assert all(a.freq_hz >= mhz(700) for a in live)
+
+    def test_degraded_saturated_budget_still_honours_floors(self):
+        cluster = serving_cluster(nodes=2, procs=1)
+        coordinator = ClusterCoordinator(
+            cluster, CoordinatorConfig(power_limit_w=10.0), seed=1)
+        lost_id = cluster.nodes[1].node_id
+        live_id = cluster.nodes[0].node_id
+        views = [pview(live_id, 0, sig(10.0))]
+        schedule = coordinator._schedule_degraded(
+            views, [lost_id], {live_id: mhz(800)})
+        assert schedule.infeasible
+        live = [a for a in schedule.assignments if a.node_id == live_id]
+        assert all(a.freq_hz >= mhz(800) for a in live)
+
+
+# ---------------------------------------------------------------------------
+# SLO mode through the hierarchy
+
+
+class TestHierarchySLO:
+    def test_bind_serving_reaches_every_shard(self):
+        cluster = serving_cluster(nodes=4, procs=1)
+        traffic = FleetTrafficSource(
+            cluster, rate_per_s=constant_rate(400.0), max_rate_per_s=400.0,
+            seed=5)
+        allocator = FleetAllocator(
+            cluster, CoordinatorConfig(slo_p99_target_s=0.01),
+            fleet=FleetConfig(shard_size=2), seed=3)
+        allocator.bind_serving(traffic)
+        assert allocator.num_shards == 2
+        sim = Simulation(cluster.machines)
+        allocator.attach(sim)
+        traffic.attach(sim)
+        sim.run_for(1.0)
+        for shard in allocator.shards:
+            assert shard.slo_floors_hz
+            assert shard.slo_floor_violations == 0
+            for a in shard.last_schedule.assignments:
+                assert a.freq_hz >= shard.slo_floors_hz[a.node_id] - 1e-6
+
+    def test_summary_ladder_flattened_at_floor(self):
+        cluster = serving_cluster(nodes=4, procs=1)
+        traffic = FleetTrafficSource(
+            cluster, rate_per_s=constant_rate(400.0), max_rate_per_s=400.0,
+            seed=5)
+        allocator = FleetAllocator(
+            cluster, CoordinatorConfig(slo_p99_target_s=0.01),
+            fleet=FleetConfig(shard_size=2), seed=3)
+        allocator.bind_serving(traffic)
+        sim = Simulation(cluster.machines)
+        allocator.attach(sim)
+        traffic.attach(sim)
+        sim.run_for(1.0)
+        table = POWER4_TABLE
+        for shard in allocator.shards:
+            floor_idx = min(
+                table.index_of(table.quantize_up(f))
+                for f in shard.slo_floors_hz.values())
+            ladder = shard.make_summary(sim.now_s).capped_demand_w
+            # Below the lowest floor rung the ladder cannot fall further:
+            # those rungs all cost at least the floor's power.
+            assert ladder[0] == pytest.approx(ladder[floor_idx])
+            assert all(b >= a - 1e-9 for a, b in zip(ladder, ladder[1:]))
+
+
+# ---------------------------------------------------------------------------
+# The curtailment experiment
+
+
+class TestCurtailmentExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.curtailment import run
+        return run(seed=2005, fast=True)
+
+    def test_reports_three_plus_budget_levels(self, result):
+        table = result.tables[0]
+        slo_rows = [r for r in table.rows if str(r[0]).startswith("slo@")]
+        assert len(slo_rows) >= 3
+        budgets = [r[1] for r in slo_rows]
+        assert budgets == sorted(budgets)
+        assert any(str(r[0]).startswith("no-slo@") for r in table.rows)
+
+    def test_floors_respected_and_compliance_monotone(self, result):
+        assert result.scalars["floors_respected"] == 1.0
+        assert result.scalars["compliance_monotone"] == 1.0
+        assert result.scalars["compliance_min_budget"] > \
+            result.scalars["no_slo_compliance"]
+
+    def test_energy_scales_with_budget(self, result):
+        assert result.scalars["slo_energy_j_max_budget"] > \
+            result.scalars["slo_energy_j_min_budget"]
+
+    def test_deterministic(self, result):
+        from repro.experiments.curtailment import run
+        again = run(seed=2005, fast=True)
+        assert again.scalars == result.scalars
+        assert again.tables[0].rows == result.tables[0].rows
+
+
+# ---------------------------------------------------------------------------
+# CLI flag
+
+
+class TestCliSloFlag:
+    def test_flag_parsed(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["run", "curtailment", "--fast", "--slo-p99-ms", "25"])
+        assert args.slo_p99_ms == 25.0
+        assert build_parser().parse_args(
+            ["run", "curtailment"]).slo_p99_ms is None
+
+    def test_rejected_for_non_serving_experiments(self, capsys):
+        from repro.cli import main
+        assert main(["run", "table1", "--slo-p99-ms", "25"]) == 1
+        assert "does not support" in capsys.readouterr().err
+
+    def test_non_positive_target_rejected(self, capsys):
+        from repro.cli import main
+        assert main(["run", "curtailment", "--fast",
+                     "--slo-p99-ms", "0"]) == 1
+        assert "positive" in capsys.readouterr().err

@@ -116,3 +116,152 @@ class TestServerSource:
         source.attach(sim)
         with pytest.raises(WorkloadError):
             sim.run_for(2.0)
+
+
+class _ZeroUniformRng:
+    """A stub generator whose uniform draw is exactly 0.0 — the edge the
+    thinning comparison must reject when the instantaneous rate is 0."""
+
+    def exponential(self, scale):
+        return 0.25 * scale
+
+    def uniform(self):
+        return 0.0
+
+
+class TestThinningZeroRate:
+    def test_zero_rate_window_admits_nothing(self):
+        # Regression: with `uniform() <= rate/max` a zero-rate interval
+        # still admitted requests whenever uniform() returned exactly 0.0
+        # (it can: the draw is over [0, 1)).  Strict `<` admits none.
+        machine = server_machine()
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(0.0),
+                              max_rate_per_s=100.0, rng=_ZeroUniformRng())
+        source.attach(sim)
+        sim.run_for(1.0)
+        assert source.issued == 0
+
+
+class TestDetachAndHorizon:
+    def test_detach_cancels_pending_and_stops_arrivals(self):
+        machine = server_machine()
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(100.0),
+                              max_rate_per_s=100.0, rng=3)
+        source.attach(sim)
+        sim.run_for(1.0)
+        issued = source.issued
+        assert issued > 0
+        source.detach()
+        assert not source.attached
+        sim.run_for(1.0)
+        assert source.issued == issued   # no dangling arrival event
+
+    def test_detach_requires_attachment(self):
+        machine = server_machine()
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(1.0),
+                              max_rate_per_s=1.0, rng=1)
+        with pytest.raises(WorkloadError):
+            source.detach()
+
+    def test_reattach_after_detach_resumes(self):
+        machine = server_machine()
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(100.0),
+                              max_rate_per_s=100.0, rng=4)
+        source.attach(sim)
+        sim.run_for(0.5)
+        source.detach()
+        issued = source.issued
+        source.attach(sim)
+        sim.run_for(0.5)
+        assert source.attached
+        assert source.issued > issued
+
+    def test_horizon_ends_arrival_chain(self):
+        machine = server_machine()
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(200.0),
+                              max_rate_per_s=200.0, horizon_s=0.5, rng=5)
+        source.attach(sim)
+        sim.run_for(2.0)
+        assert source._pending is None   # nothing left in the queue
+        assert all(r.arrival_s < 0.5 for r in source.records)
+
+
+class TestCensoredAccounting:
+    def test_censored_scores_every_issued_request(self):
+        # Overload: 2M instr/request at ~1.2 GIPS is ~1.7 ms service, so
+        # 700/s is rho > 1 — the queue grows and completed-only stats
+        # miss the tail.
+        machine = server_machine(11)
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(700.0),
+                              max_rate_per_s=700.0, rng=12)
+        source.attach(sim)
+        sim.run_for(2.0)
+        assert source.in_flight > 0
+        assert source.censored_latencies_s().size == source.issued
+        assert source.latencies_s().size == source.completed
+
+    def test_censored_tail_outgrows_raw_as_horizon_advances(self):
+        # The raw percentile is frozen at the completed set; the censored
+        # one keeps growing with the still-queued requests' lower bounds.
+        machine = server_machine(11)
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(700.0),
+                              max_rate_per_s=700.0, rng=12)
+        source.attach(sim)
+        sim.run_for(2.0)
+        raw = source.latency_percentile_s(99.0)
+        late = source.censored_latency_percentile_s(99.0, horizon_s=10.0)
+        assert late > raw
+
+    def test_censored_lower_bounds_use_horizon(self):
+        machine = server_machine(13)
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(700.0),
+                              max_rate_per_s=700.0, rng=14)
+        source.attach(sim)
+        sim.run_for(1.0)
+        bounds = source.inflight_lower_bounds_s(horizon_s=1.0)
+        assert bounds.size == source.in_flight
+        assert np.all(bounds >= 0.0)
+        assert np.all(bounds <= 1.0)
+
+    def test_censored_needs_horizon_when_detached(self):
+        machine = server_machine()
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(100.0),
+                              max_rate_per_s=100.0, rng=15)
+        source.attach(sim)
+        sim.run_for(0.5)
+        source.detach()
+        with pytest.raises(WorkloadError):
+            source.inflight_lower_bounds_s()
+        # Explicit horizon still works detached.
+        source.inflight_lower_bounds_s(horizon_s=0.5)
+
+    def test_drop_records_mode_keeps_digest_and_inflight(self):
+        class _Digest:
+            def __init__(self):
+                self.values = []
+
+            def observe(self, latency_s):
+                self.values.append(latency_s)
+
+        digest = _Digest()
+        machine = server_machine(17)
+        sim = Simulation(machine)
+        source = ServerSource(machine, 0, rate_per_s=constant_rate(100.0),
+                              max_rate_per_s=100.0, rng=18,
+                              digest=digest, keep_records=False)
+        source.attach(sim)
+        sim.run_for(2.0)
+        harvested = source.harvest()
+        assert harvested == len(digest.values)
+        assert source.completed == len(digest.values)
+        assert all(not r.completed for r in source.records)
+        with pytest.raises(WorkloadError):
+            source.latencies_s()
