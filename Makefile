@@ -55,7 +55,8 @@ bench-compare:
 		--max-ratio-for test_bench_power_series=5.0 \
 		--max-ratio-for test_bench_hier_round_1024_nodes=5.0 \
 		--max-ratio-for test_bench_advance_1024_nodes_10s=5.0 \
-		--max-ratio-for test_bench_advance_16_nodes_100s=2.0
+		--max-ratio-for test_bench_advance_16_nodes_100s=2.0 \
+		--max-ratio-for test_bench_serving_advance=5.0
 
 experiments:
 	fvsst run all

@@ -152,6 +152,78 @@ class TestBenchSimulatorAdvance:
             f"per-chunk walk {scalar_s * 1e3:.1f} ms: only {speedup:.1f}x"
         )
 
+    def test_bench_serving_advance(self, benchmark):
+        """Open-loop serving at fleet-kernel cost: 16 eight-core nodes
+        under constant Poisson traffic for 100 simulated seconds.  Every
+        request is a ONCE job; since completion became a columnar
+        crossing the lanes stay resident through arrival, completion, and
+        the drain back to hot idle — the bench asserts *zero* fallbacks
+        (``reason="transient"`` included) and >= 5x over the forced-scalar
+        path (``--no-fleet-kernel``) on a shorter horizon."""
+        import time as _time
+
+        from repro.sim.cluster import Cluster
+        from repro.sim.driver import Simulation
+        from repro.sim.fleet import fallback_breakdown, fleet_stats
+        from repro.sim.kernel import set_fleet_enabled
+        from repro.workloads.server import RequestSpec
+        from repro.workloads.serving import FleetTrafficSource
+
+        def build():
+            cluster = Cluster.homogeneous(
+                16,
+                machine_config=MachineConfig(
+                    num_cores=8,
+                    core_config=CoreConfig(latency_jitter_sigma=0.02)),
+                seed=3)
+            sim = Simulation(cluster.machines)
+            traffic = FleetTrafficSource(
+                cluster, rate_per_s=lambda t: 128.0, max_rate_per_s=128.0,
+                spec=RequestSpec(instructions=2e7), seed=41)
+            traffic.attach(sim)
+            return sim, traffic
+
+        state = {}
+
+        def serve_100s():
+            sim, traffic = build()
+            sim.run_for(100.0)
+            state["traffic"] = traffic
+
+        before = dict(fleet_stats)
+        transient_before = fallback_breakdown().get("transient", 0)
+        benchmark(serve_100s)
+        traffic = state["traffic"]
+        assert traffic.issued > 10_000
+        assert traffic.completed > 10_000
+        # Resident serving lanes: no fallbacks of any reason, and in
+        # particular no "transient" ones (the pre-crossing ONCE reason).
+        assert fleet_stats["fallbacks"] == before["fallbacks"]
+        assert fallback_breakdown().get("transient", 0) == transient_before
+        assert fleet_stats["advances"] > before["advances"]
+
+        # The >= 5x acceptance vs the forced-scalar path, min-of-2 on a
+        # 10 s horizon (same traffic, same seeds, bit-identical results).
+        fleet_s = scalar_s = float("inf")
+        for _ in range(2):
+            sim, _ = build()
+            t0 = _time.perf_counter()
+            sim.run_for(10.0)
+            fleet_s = min(fleet_s, _time.perf_counter() - t0)
+            set_fleet_enabled(False)
+            try:
+                sim, _ = build()
+                t0 = _time.perf_counter()
+                sim.run_for(10.0)
+                scalar_s = min(scalar_s, _time.perf_counter() - t0)
+            finally:
+                set_fleet_enabled(True)
+        speedup = scalar_s / fleet_s
+        assert speedup >= 5.0, (
+            f"fleet serving advance {fleet_s * 1e3:.1f} ms vs forced "
+            f"scalar {scalar_s * 1e3:.1f} ms: only {speedup:.1f}x"
+        )
+
     def test_bench_advance_1024_nodes_10s(self, benchmark):
         """Fleet-scale span advance: 1024 bankless single-core machines
         driven through the event loop with a 10 ms periodic tick — the

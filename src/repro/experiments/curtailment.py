@@ -29,6 +29,7 @@ from ..model.latency import POWER4_LATENCIES
 from ..model.latency_model import service_time_s
 from ..sim.cluster import Cluster
 from ..sim.driver import Simulation
+from ..sim.fleet import fallback_breakdown, fleet_stats
 from ..sim.machine import MachineConfig
 from ..sim.rng import spawn_seeds
 from ..workloads.server import RequestSpec
@@ -97,6 +98,11 @@ def _run_curtailment(budget_fraction: float, *, seed: int, fast: bool,
         coordinator.attach(sim)
         coordinators = [coordinator]
     traffic.attach(sim)
+    # Fleet-kernel residency over this run: deltas of the process-wide
+    # counters, so the scalars are identical at any --jobs fan-out.
+    advances0 = fleet_stats["advances"]
+    fallbacks0 = fleet_stats["fallbacks"]
+    transient0 = fallback_breakdown().get("transient", 0)
     sim.run_for(duration)
 
     censored = traffic.fleet_digest(censored=True, horizon_s=duration)
@@ -117,6 +123,10 @@ def _run_curtailment(budget_fraction: float, *, seed: int, fast: bool,
                                       for c in coordinators)),
         "infeasible_passes": float(sum(c.slo_infeasible_passes
                                        for c in coordinators)),
+        "fleet_advances": float(fleet_stats["advances"] - advances0),
+        "fleet_fallbacks": float(fleet_stats["fallbacks"] - fallbacks0),
+        "fleet_transient_fallbacks": float(
+            fallback_breakdown().get("transient", 0) - transient0),
     }
 
 
@@ -178,6 +188,9 @@ def run(seed: int = 2005, fast: bool = False,
               f"flash-crowd peak at {PEAK_RHO:.0%} per-core load",
     )
 
+    advances = sum(r["fleet_advances"] for r in results)
+    fallbacks = sum(r["fleet_fallbacks"] for r in results)
+    spans = advances + fallbacks
     compliance = [r["compliance"] for r in slo_rows]
     monotone = all(b >= a - 0.02
                    for a, b in zip(compliance, compliance[1:]))
@@ -190,6 +203,12 @@ def run(seed: int = 2005, fast: bool = False,
         "no_slo_compliance": contrast["compliance"],
         "slo_energy_j_min_budget": slo_rows[0]["energy_j"],
         "slo_energy_j_max_budget": slo_rows[-1]["energy_j"],
+        # Serving-path residency: fraction of machine-spans the fleet
+        # columnar kernel kept resident across all runs (1.0 when the
+        # kernel is disabled and no spans were attempted).
+        "fleet_residency": advances / spans if spans else 1.0,
+        "fleet_transient_fallbacks": sum(
+            r["fleet_transient_fallbacks"] for r in results),
     }
     notes = [
         "SLO mode translates the p99 target into per-node frequency "

@@ -45,14 +45,29 @@ Residency matrix (what lives in columns):
   Per-machine event order and every counter value match the scalar path
   bit-for-bit; only the interleaving of events *across* machines within
   one span is unspecified.
+* **ONCE jobs (serving requests)** are resident on unbanked machines: job
+  completion is just another columnar crossing.  The vector predicate that
+  finds phase boundaries also finds the last phase's end; the crossing
+  replay completes the job, pops the dispatch queue, and runs the rest of
+  the span as the scalar's hot-idle (or halted) loop — ``started_at_s`` /
+  ``completed_at_s`` stamps, event payloads, counters, and RNG draw order
+  all identical to the scalar path.  The drained lane re-derives at the
+  next span start (idle columns, fresh power), exactly when the scalar
+  re-reads ``core_power_w``.
+* **Pending frequency settling** stays resident on unbanked machines as a
+  *volatile* chunked lane: ``core.advance`` cuts the settle boundary each
+  span and the lane re-derives (power included) every span start.  Queues
+  mixing a ONCE job with other work ride the same volatile-chunked path
+  until they drain back into columns.
 
 What still cannot live in columns — subclassed machine/core/component
-hooks, desynchronised machine clocks, pending frequency settling, active
-idle listeners, non-LOOP jobs, negative-power meters, a supply bank
-*shared* between machines — delegates that machine to ``machine.advance``
-(the bit-equal reference), counted by ``sim_fleet_fallbacks_total`` and
-broken down per reason by its ``reason``-labelled series (see
-:func:`fallback_breakdown`).
+hooks, desynchronised machine clocks, active idle listeners,
+negative-power meters, a supply bank *shared* between machines, and
+banked machines mid-settle or holding ONCE work (their chunk walk prices
+the whole span's demand up front) — delegates that machine to
+``machine.advance`` (the bit-equal reference), counted by
+``sim_fleet_fallbacks_total`` and broken down per reason by its
+``reason``-labelled series (see :func:`fallback_breakdown`).
 
 View synchronisation: while resident, a core's running totals live in
 columns and the underlying objects lag.  Mutators routed through the core
@@ -77,10 +92,12 @@ from ..power.energy import EnergyAccumulator, EnergyLedger
 from ..power.supply import SupplyBank
 from ..telemetry import EVENT_PHASE_TRANSITION, get_telemetry
 from ..units import check_non_negative
+from ..workloads.job import Job, JobState, LoopMode
 from .core import _MIN_SLICE_S, SimulatedCore
+from .counters import CounterBank
 from .idle import HOT_IDLE_PHASE, IdleStyle
 from .kernel import (_BUSY, _CHUNKED, _IDLE, _OFFLINE, _acc, _classify,
-                     _detector_passive, _hooks_intact)
+                     _detector_passive, _hooks_intact, _phases_plain)
 from .machine import SMPMachine, observation_bounds
 from .os_sched import Dispatcher
 from .powermeter import PowerMeter
@@ -166,6 +183,61 @@ def _bump(advances: int, fallbacks: dict[str, int] | None = None) -> None:
 
 class _Evict(Exception):
     """A lane can no longer be represented in columns; rebuild the fleet."""
+
+
+def _classify_lane(core: SimulatedCore, t0: float,
+                   banked: bool) -> tuple[int, bool] | None:
+    """Fleet-side extension of :func:`kernel._classify`.
+
+    Returns ``(mode, volatile)`` or None (the machine must delegate).
+    Beyond the kernel's modes, this admits what only the fleet layer can
+    keep resident:
+
+    * a single plain-phase :class:`Job` of *any* loop mode is ``_BUSY`` —
+      a ONCE job's completion is handled as a columnar crossing by
+      :meth:`FleetState._advance_busy_lane`;
+    * pending frequency settling, and queues that mix a ONCE job with
+      other work, are ``_CHUNKED`` *volatile* lanes: ``core.advance``
+      handles the interior boundary each span, and the lane re-derives
+      (power included) at every span start — exactly when the scalar
+      ``machine._advance_to`` would re-read ``core_power_w``.
+
+    Banked machines keep the kernel's stricter gate: their chunk walk
+    prices the whole span's demand up front, which a mid-span completion
+    or settle would invalidate, so they delegate until drained.
+    """
+    mode = _classify(core)
+    if mode is not None:
+        return mode, False
+    if banked:
+        return None
+    if not _hooks_intact(core) or core.offline:
+        return None
+    act = core.actuator
+    if type(act) is not ThrottleActuator:
+        return None
+    if not _detector_passive(core.idle_detector):
+        return None
+    if type(core.dispatcher) is not Dispatcher:
+        return None
+    queue = core.dispatcher._queue
+    for job in queue:
+        if type(job) is not Job:
+            return None
+    # Observe (and passively settle) through the public actuator API —
+    # the same call the scalar path's first slice makes at span start.
+    act.effective_hz(t0)
+    if act.pending:
+        return _CHUNKED, True
+    if core._overhead_debt_s > _MIN_SLICE_S:
+        return _CHUNKED, True
+    if type(core.counters) is not CounterBank:
+        return _CHUNKED, True
+    if not queue:
+        return _IDLE, False
+    if len(queue) == 1 and _phases_plain(queue[0]):
+        return _BUSY, False
+    return _CHUNKED, True
 
 
 class FleetState:
@@ -258,6 +330,11 @@ class FleetState:
         self.pending: list[dict | None] = [None] * n
         self._bank_hooks: list = [None] * n
         self._chunked: set[int] = set()
+        #: Chunked lanes whose classification/power can change without an
+        #: invalidation hook firing (pending settling, a draining ONCE
+        #: queue): re-derived at every span start, like the scalar path
+        #: re-reads power each span.
+        self._volatile: set[int] = set()
         self._offline: set[int] = set()
         self._halt: set[int] = set()
         #: Unbanked busy lanes with latency_jitter_sigma > 0: one RNG draw
@@ -323,13 +400,14 @@ class FleetState:
 
     def _residency_blocker(self, m, now_ref) -> str | None:
         """None when ``m`` can live in columns, else why not.  "transient"
-        blockers (pending settling, a ONCE job that will drain) are
-        rechecked each span; anything structural stays delegated until the
-        fleet is rebuilt."""
+        blockers (a banked machine with pending settling or ONCE work that
+        will drain, a Job subclass in a queue) are rechecked each span;
+        anything structural stays delegated until the fleet is rebuilt."""
         if type(m) is not SMPMachine:
             return "type"
         bank = m.supply_bank
-        if bank is not None:
+        banked = bank is not None
+        if banked:
             if type(bank) is not SupplyBank or id(bank) in self._shared_banks:
                 return "bank"
         if type(m.ledger) is not EnergyLedger or type(m.meter) is not PowerMeter:
@@ -341,8 +419,8 @@ class FleetState:
             return "desync"
         transient = False
         for c in m.cores:
-            mode = _classify(c)
-            if mode is None:
+            cls = _classify_lane(c, m._now_s, banked)
+            if cls is None:
                 if not _hooks_intact(c):
                     return "hooks"
                 act = c.actuator
@@ -352,7 +430,8 @@ class FleetState:
                     return "detector"
                 if type(c.dispatcher) is not Dispatcher:
                     return "dispatcher"
-                # Remaining causes: pending settling or a non-LOOP job.
+                # Remaining causes: a banked machine mid-settle/mid-ONCE,
+                # or a Job subclass — both drain or rebuild away.
                 transient = True
                 continue
             if m.meter.core_power_w(c, m._now_s) < 0.0:
@@ -388,9 +467,13 @@ class FleetState:
         old = core._fleet
         if old is not None and old is not self and old._valid:
             old.detach()
-        mode = _classify(core)
-        if mode is None:
+        cls = _classify_lane(core, t0, bool(self._lane_banked[i]))
+        if cls is None:
             raise _Evict
+        mode, volatile = cls
+        self._volatile.discard(i)
+        if volatile:
+            self._volatile.add(i)
         self._chunked.discard(i)
         self._offline.discard(i)
         self._jitter.discard(i)
@@ -587,6 +670,9 @@ class FleetState:
 
     def prepare(self) -> bool:
         """Re-derive dirty lanes; False means rebuild the whole fleet."""
+        if self._volatile:
+            cores = self.cores
+            self._dirty.update(cores[i] for i in self._volatile)
         if self._dirty:
             t0 = self.now
             dirty = self._dirty
@@ -888,6 +974,7 @@ class FleetState:
         """
         core = self.cores[i]
         job = self.jobs[i]
+        once = job.loop is not LoopMode.LOOP
         pdata = self.pdata[i]
         nph = len(pdata)
         pidx = self.pidx[i]
@@ -973,6 +1060,60 @@ class FleetState:
                     retired += instr
                     if prog >= pinstr * (1.0 - 1e-12):
                         prog = 0.0
+                        if once and pidx + 1 >= nph:
+                            # Completion crossing: Job._advance_phase and
+                            # Dispatcher.account_run's done path, in the
+                            # scalar slice's exact order.  Only unbanked
+                            # single-job lanes classify busy with a ONCE
+                            # job, so `chunks` is the whole span.
+                            res[name] = cur_res
+                            t = t + chunk
+                            job.state = JobState.COMPLETED
+                            job.completed_at_s = t
+                            if emit:
+                                tel.emit(EVENT_PHASE_TRANSITION,
+                                         sim_time_s=t, job=jname,
+                                         from_phase=name, to_phase=None)
+                            disp = core.dispatcher
+                            disp._queue.popleft()
+                            disp.finished.append(job)
+                            disp._quantum_left_s = disp.quantum_s
+                            core.idle_detector.note_queue_length(0)
+                            # Drained: the rest of the span is the
+                            # scalar's idle loop — no jitter draws, the
+                            # same frequency key, one residue-safe slice
+                            # per `_advance_idle` call.
+                            hot = (core.config.idle_style
+                                   is IdleStyle.HOT_LOOP)
+                            name = "__idle__" if hot else "__halted__"
+                            nxt = res.get(name)
+                            if nxt is None:
+                                nxt = pt.get(name, 0.0)
+                            cur_res = nxt
+                            if hot:
+                                ithr = HOT_IDLE_PHASE.throughput(
+                                    core.latencies, freq)
+                                while end - t > min_slice:
+                                    chunk = end - t
+                                    ci += ithr * chunk
+                                    cc += freq * chunk
+                                    cur_res += chunk
+                                    ft += chunk
+                                    t = t + chunk
+                            else:
+                                halted = float(cnt[6, i])
+                                while end - t > min_slice:
+                                    chunk = end - t
+                                    halted += freq * chunk
+                                    cur_res += chunk
+                                    ft += chunk
+                                    t = t + chunk
+                                cnt[6, i] = halted
+                            # Power may have flipped (is_idle): re-derive
+                            # the lane at the next span start, exactly
+                            # when the scalar re-reads core_power_w.
+                            self._dirty.add(core)
+                            return
                         if pidx + 1 < nph:
                             pidx += 1
                         else:

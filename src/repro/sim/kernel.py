@@ -30,7 +30,9 @@ and per-core order as ``Job.retire``.  Anything the kernel cannot
 reproduce exactly — subclassed hooks, pending frequency settling,
 ONCE-mode jobs that may complete mid-span, idle listeners — falls back to
 the scalar path via the same method-identity gating the vectorised
-scheduler uses.
+scheduler uses.  (The fleet layer above, ``repro.sim.fleet``, relaxes the
+settling and ONCE gates for unbanked machines: completion is one more
+columnar crossing there — see ``fleet._classify_lane``.)
 """
 
 from __future__ import annotations
@@ -173,6 +175,9 @@ def _classify(core: SimulatedCore) -> int | None:
     for job in queue:
         # A ONCE job may complete mid-span, flipping is_idle and the power
         # draw at an interior boundary the kernel does not re-evaluate.
+        # (The fleet layer handles that boundary as a columnar crossing
+        # and admits such lanes itself — this gate must stay LOOP-only so
+        # the banked span walk keeps its constant-demand premise.)
         if type(job) is not Job or job.loop is not LoopMode.LOOP:
             return None
     if core._overhead_debt_s > _MIN_SLICE_S:

@@ -33,7 +33,7 @@ requests are always retained, even in drop-records mode).
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import TYPE_CHECKING, Callable, Iterable, NamedTuple
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, NamedTuple
 
 import numpy as np
 
@@ -309,12 +309,19 @@ class FleetTrafficSource:
     O(requests served) — the property that lets a simulated fleet serve
     millions of requests.  Pass ``keep_records=True`` to retain exact
     per-request latencies (tests, calibration).
+
+    ``spec`` is either one fleet-wide :class:`RequestSpec` or a mapping
+    from ``node_id`` to the spec that node serves — a heterogeneous mix
+    (e.g. a lean front-end tier next to a memory-bound backend tier).
+    The mapping must cover every served node; :meth:`node_demands`
+    reports each node's own signature and instruction count either way.
     """
 
     def __init__(self, cluster: "Cluster", *,
                  rate_per_s: Callable[[float], float],
                  max_rate_per_s: float,
-                 spec: RequestSpec | None = None,
+                 spec: RequestSpec | Mapping[int, RequestSpec]
+                     | None = None,
                  cores_per_node: int | None = None,
                  horizon_s: float | None = None,
                  keep_records: bool = False,
@@ -325,9 +332,19 @@ class FleetTrafficSource:
         self.cluster = cluster
         self.rate = rate_per_s
         self.max_rate = max_rate_per_s
-        self.spec = spec or RequestSpec()
         self.latencies = latencies
-        self._signature = self.spec.signature(latencies)
+        if spec is None or isinstance(spec, RequestSpec):
+            #: The fleet-wide request shape; ``None`` under a per-node map.
+            self.spec: RequestSpec | None = spec or RequestSpec()
+            spec_by_node = None
+        else:
+            self.spec = None
+            spec_by_node = {int(nid): s for nid, s in dict(spec).items()}
+            for nid, node_spec in spec_by_node.items():
+                if not isinstance(node_spec, RequestSpec):
+                    raise WorkloadError(
+                        f"per-node request spec for node {nid} must be a "
+                        f"RequestSpec, got {type(node_spec).__name__}")
         self._buckets = tuple(float(b) for b in buckets_s)
         streams: list[tuple[int, int]] = []   # (node index, core index)
         for i, node in enumerate(cluster.nodes):
@@ -336,6 +353,26 @@ class FleetTrafficSource:
             streams.extend((i, c) for c in range(cores))
         if not streams:
             raise WorkloadError("no cores to serve traffic on")
+        # Resolve every served node's request shape up front — signatures
+        # are computed once per node, and a mapping that misses a served
+        # node fails loudly here rather than at first arrival.
+        self._node_spec: dict[int, RequestSpec] = {}
+        self._node_signature: dict[int, "WorkloadSignature"] = {}
+        for i, _ in streams:
+            node_id = cluster.nodes[i].node_id
+            if node_id in self._node_spec:
+                continue
+            if spec_by_node is None:
+                node_spec = self.spec
+            else:
+                try:
+                    node_spec = spec_by_node[node_id]
+                except KeyError:
+                    raise WorkloadError(
+                        f"per-node request specs given, but served node "
+                        f"{node_id} has none") from None
+            self._node_spec[node_id] = node_spec
+            self._node_signature[node_id] = node_spec.signature(latencies)
         self.num_streams = len(streams)
         seeds = spawn_seeds(seed, self.num_streams)
         share = 1.0 / self.num_streams
@@ -352,7 +389,7 @@ class FleetTrafficSource:
                 node.machine, core,
                 rate_per_s=stream_rate,
                 max_rate_per_s=max_rate_per_s * share,
-                spec=self.spec,
+                spec=self._node_spec[node.node_id],
                 horizon_s=horizon_s,
                 digest=LatencyDigest(self._buckets),
                 keep_records=keep_records,
@@ -452,7 +489,7 @@ class FleetTrafficSource:
             # the per-core rate.
             demands[node_id] = NodeDemand(
                 rate_per_core_per_s=sources[0].rate(now_s),
-                signature=self._signature,
-                instructions=self.spec.instructions,
+                signature=self._node_signature[node_id],
+                instructions=self._node_spec[node_id].instructions,
             )
         return demands

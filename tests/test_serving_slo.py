@@ -474,6 +474,51 @@ class TestFleetTrafficSource:
             assert demand.rate_per_core_per_s == pytest.approx(100.0)
             assert demand.instructions == RequestSpec().instructions
 
+    def test_per_node_spec_mapping(self):
+        cluster = serving_cluster(nodes=2, procs=2)
+        lean = RequestSpec(name="frontend", instructions=1e6)
+        heavy = RequestSpec(name="backend", instructions=8e6,
+                            n_mem_per_instr=0.004)
+        specs = {cluster.nodes[0].node_id: lean,
+                 cluster.nodes[1].node_id: heavy}
+        traffic = self._traffic(cluster, rate=400.0, spec=specs)
+        assert traffic.spec is None   # no single fleet-wide shape
+        # Every stream serves its own node's spec.
+        for node_id, sources in traffic._by_node.items():
+            assert all(s.spec is specs[node_id] for s in sources)
+        # node_demands carries the per-node signature and instructions.
+        demands = traffic.node_demands(0.0)
+        for node_id, spec in specs.items():
+            assert demands[node_id].instructions == spec.instructions
+            assert demands[node_id].signature == \
+                spec.signature(POWER4_LATENCIES)
+
+    def test_per_node_specs_shape_the_requests_served(self):
+        cluster = serving_cluster(nodes=2, procs=1)
+        specs = {cluster.nodes[0].node_id: RequestSpec(instructions=5e5),
+                 cluster.nodes[1].node_id: RequestSpec(instructions=2e7)}
+        traffic = self._traffic(cluster, rate=60.0, spec=specs)
+        sim = Simulation(cluster.machines)
+        traffic.attach(sim)
+        sim.run_for(1.0)
+        light = traffic.node_digest(cluster.nodes[0].node_id)
+        heavy = traffic.node_digest(cluster.nodes[1].node_id)
+        assert light.count > 0 and heavy.count > 0
+        # 40x the instructions: visibly slower requests on node 1.
+        assert heavy.mean_s() > light.mean_s() * 10
+
+    def test_per_node_spec_mapping_must_cover_served_nodes(self):
+        cluster = serving_cluster(nodes=2, procs=1)
+        only_first = {cluster.nodes[0].node_id: RequestSpec()}
+        with pytest.raises(WorkloadError):
+            self._traffic(cluster, spec=only_first)
+
+    def test_per_node_spec_mapping_rejects_non_specs(self):
+        cluster = serving_cluster(nodes=1, procs=1)
+        with pytest.raises(WorkloadError):
+            self._traffic(cluster,
+                          spec={cluster.nodes[0].node_id: "heavy"})
+
     def test_seeded_reproducibility(self):
         def run():
             cluster = serving_cluster(nodes=2, procs=1)
@@ -670,6 +715,12 @@ class TestCurtailmentExperiment:
     def test_energy_scales_with_budget(self, result):
         assert result.scalars["slo_energy_j_max_budget"] > \
             result.scalars["slo_energy_j_min_budget"]
+
+    def test_serving_runs_at_fleet_kernel_cost(self, result):
+        # ONCE-request lanes are resident: the whole sweep runs through
+        # the fleet columns with no transient fallbacks.
+        assert result.scalars["fleet_residency"] == 1.0
+        assert result.scalars["fleet_transient_fallbacks"] == 0.0
 
     def test_deterministic(self, result):
         from repro.experiments.curtailment import run

@@ -17,6 +17,12 @@ identical event streams, subclassed-hook machines forcing the counted
 fallback, invalidation through every mutator between spans, lazy-flush
 snapshots mid-run, and the ``lossy`` / ``crash`` / ``chaos`` fault
 scenarios run end-to-end through the cluster coordinator.
+
+Serving residency: open-loop request fleets (every request a ONCE job)
+replay three ways too — arrivals and completions mid-span, queue drain to
+hot idle, ``detach()``/re-attach, censored in-flight accounting, and
+per-request ``elapsed_s`` stamps — and a stock serving fleet must take
+*zero* fallbacks (completion is a columnar crossing, not a delegation).
 """
 
 import numpy as np
@@ -32,11 +38,14 @@ from repro.sim import fleet as fleet_mod
 from repro.sim.driver import Simulation as Driver
 from repro.sim.fleet import (FleetState, advance_fleet, fallback_breakdown,
                              fleet_stats, flush_machines, reset_fleet)
+from repro.sim import kernel as kernel_mod
 from repro.sim.idle import IdleStyle
 from repro.sim.kernel import advance_machines, fleet_enabled, set_fleet_enabled
 from repro.errors import CascadeFailureError
 from repro.telemetry import EVENT_PHASE_TRANSITION, Telemetry, use_telemetry
 from repro.workloads.job import Job, LoopMode
+from repro.workloads.server import RequestSpec
+from repro.workloads.serving import FleetTrafficSource
 from repro.workloads.synthetic import synthetic_phase
 
 
@@ -342,9 +351,10 @@ def test_mutators_between_spans_match():
     run_three_ways(build, script)
 
 
-def test_once_job_machine_is_transient_delegate_until_drained():
-    """A ONCE job blocks residency (it completes mid-span); once it drains
-    the recheck folds the machine back into columns."""
+def test_once_job_machine_stays_resident_through_completion():
+    """A ONCE job no longer blocks residency: completion is a columnar
+    crossing (queue pop + idle fall-through mid-span), so the machine
+    never delegates — before, during, or after the drain."""
     jobs = []
 
     def build():
@@ -367,12 +377,159 @@ def test_once_job_machine_is_transient_delegate_until_drained():
         for _ in range(8):
             advance(0.01)   # the ONCE job completes around t=0.02
         assert jobs[-1].done
+        assert jobs[-1].completed_at_s is not None
 
+    before = dict(fleet_stats)
     ms = run_three_ways(build, script)
-    # After the drain the machine passes residency again.
+    # Only the first replay runs through the fleet: 8 spans x 2 machines,
+    # every one resident, none delegated.
+    assert fleet_stats["advances"] == before["advances"] + 16
+    assert fleet_stats["fallbacks"] == before["fallbacks"]
     advance_fleet(ms, 0.01)
     fl = ms[0].__dict__["_fleet_cache"][1]
     assert ms[0] in fl.resident
+
+
+# -- serving traffic: ONCE-request lanes stay resident ------------------------------
+
+
+def serving_build(*, nodes, procs, rate, sigma=0.02,
+                  style=IdleStyle.HOT_LOOP, seed=11, traffic_seed=29,
+                  spec=None):
+    """A homogeneous serving fleet under constant open-loop traffic."""
+    cluster = Cluster.homogeneous(
+        nodes,
+        machine_config=MachineConfig(
+            num_cores=procs,
+            core_config=CoreConfig(latency_jitter_sigma=sigma,
+                                   idle_style=style)),
+        seed=seed)
+    sim = Driver(cluster.machines)
+    traffic = FleetTrafficSource(
+        cluster, rate_per_s=lambda t: rate, max_rate_per_s=rate,
+        spec=spec, keep_records=True, seed=traffic_seed)
+    return cluster.machines, sim, traffic
+
+
+def serving_snapshot(machines, traffic, horizon_s):
+    """Everything the scalar reference must agree on, bit for bit:
+    machine state, per-request stamps (arrival / started / completed /
+    ``elapsed_s``), issue and censored in-flight accounting, the censored
+    fleet digest, and the arrival RNG stream positions (the next draw of
+    each stream pins its position)."""
+    traffic.harvest()
+    records = [[(r.job.name, r.arrival_s, r.job.started_at_s,
+                 r.job.completed_at_s, r.job.state, r.job.elapsed_s())
+                for r in src.records]
+               for src in traffic.sources]
+    censored = traffic.fleet_digest(censored=True, horizon_s=horizon_s)
+    next_draws = [src._rng.exponential(1.0) for src in traffic.sources]
+    return (fleet_state(machines), records, traffic.issued,
+            sum(s.completed for s in traffic.sources), traffic.in_flight,
+            censored.value_dict(), next_draws)
+
+
+def run_serving_three_ways(build, script, horizon_s):
+    """Replay ``script(sim, traffic)`` through the fleet columns, the
+    per-machine kernel, and the literal scalar slice loop (the kernel
+    monkeypatched away); exact snapshot equality."""
+    def run():
+        machines, sim, traffic = build()
+        script(sim, traffic)
+        flush_machines(machines)
+        return serving_snapshot(machines, traffic, horizon_s)
+
+    cols = run()
+    set_fleet_enabled(False)
+    try:
+        kern = run()
+        orig = kernel_mod.try_fast_advance
+
+        def no_fast_advance(*args, **kwargs):
+            return False
+
+        kernel_mod.try_fast_advance = no_fast_advance
+        try:
+            scal = run()
+        finally:
+            kernel_mod.try_fast_advance = orig
+    finally:
+        set_fleet_enabled(True)
+    assert cols == kern
+    assert kern == scal
+    return cols
+
+
+def test_serving_open_loop_three_way_equality():
+    """Randomized open-loop traffic on a jittered hot-idle fleet: arrivals
+    and completions land mid-span, queues drain to hot idle between them,
+    and all three paths agree exactly."""
+    def build():
+        return serving_build(nodes=3, procs=2, rate=240.0,
+                             spec=RequestSpec(instructions=8e6))
+
+    def script(sim, traffic):
+        traffic.attach(sim)
+        sim.run_for(0.4)
+
+    snap = run_serving_three_ways(build, script, 0.4)
+    _, _, issued, completed, _, _, _ = snap
+    assert issued > 20
+    assert completed > 0
+
+
+def test_serving_overload_censoring_three_way():
+    """An overloaded halt-idle fleet: queues build (volatile chunked
+    lanes), and the censored digest's in-flight lower bounds match the
+    scalar reference exactly."""
+    def build():
+        return serving_build(nodes=2, procs=1, rate=3000.0, sigma=0.0,
+                             style=IdleStyle.HALT, seed=4, traffic_seed=31)
+
+    def script(sim, traffic):
+        traffic.attach(sim)
+        sim.run_for(0.25)
+
+    snap = run_serving_three_ways(build, script, 0.25)
+    _, _, issued, completed, in_flight, _, _ = snap
+    assert completed > 0
+    assert in_flight > 0    # genuinely overloaded: censoring matters
+
+
+def test_serving_detach_reattach_three_way():
+    """Detaching mid-run drains the queues back into idle columns;
+    re-attaching resumes arrivals — bit-equal throughout."""
+    def build():
+        return serving_build(nodes=2, procs=2, rate=300.0, seed=7,
+                             traffic_seed=17)
+
+    def script(sim, traffic):
+        traffic.attach(sim)
+        sim.run_for(0.15)
+        traffic.detach()
+        sim.run_for(0.1)    # queues drain back to hot idle
+        traffic.attach(sim)
+        sim.run_for(0.15)
+
+    run_serving_three_ways(build, script, 0.4)
+
+
+def test_stock_serving_fleet_takes_no_fallbacks():
+    """The ISSUE's headline: ``reason="transient"`` fallbacks are zero on
+    a stock serving fleet — every span of every machine stays resident
+    through arrivals, completions, buildup, and drain."""
+    machines, sim, traffic = serving_build(nodes=2, procs=2, rate=500.0,
+                                           seed=13, traffic_seed=23)
+    traffic.attach(sim)
+    before = dict(fleet_stats)
+    reasons_before = fallback_breakdown()
+    sim.run_for(0.5)
+    assert traffic.issued > 0
+    assert sum(s.completed for s in traffic.sources) > 0
+    assert fleet_stats["advances"] > before["advances"]
+    assert fleet_stats["fallbacks"] == before["fallbacks"]
+    assert fallback_breakdown().get("transient", 0) == \
+        reasons_before.get("transient", 0)
 
 
 # -- fallback accounting -----------------------------------------------------------
